@@ -1,0 +1,164 @@
+// Package tesa is a from-scratch Go reproduction of TESA, the
+// TEmperature-aware methodology that Sizes and places Accelerator
+// chiplets on multi-chip modules (MCMs) for multi-DNN workloads
+// (Shukla et al., DATE 2023).
+//
+// TESA tunes a chiplet's systolic-array dimension and the inter-chiplet
+// spacing (ICS) — from which the SRAM capacity and the chiplet mesh
+// follow — to find an MCM that satisfies user-defined latency, power,
+// area, and temperature constraints while minimizing a weighted sum of
+// normalized MCM fabrication cost and DRAM power (the paper's Eq. 6).
+//
+// The package is a facade over the substrate implementations:
+//
+//   - internal/dnn       — the six-DNN AR/VR workload (layer-level IR)
+//   - internal/systolic  — SCALE-Sim-equivalent performance model
+//   - internal/sram      — CACTI-7.0-equivalent 22 nm SRAM model
+//   - internal/power     — Eqs. (1)-(5) and the leakage models
+//   - internal/dram      — Micron-style DDR4 power model
+//   - internal/area      — 2-D / 3-D chiplet area model
+//   - internal/cost      — MCM fabrication-cost model
+//   - internal/floorplan — mesh estimator and floorplanner
+//   - internal/thermal   — HotSpot-6.0-equivalent steady-state solver
+//   - internal/sched     — thermally-aware multi-DNN static scheduler
+//   - internal/anneal    — multi-start simulated annealing
+//   - internal/core      — the TESA pipeline, optimizer, baselines, and
+//     the drivers that regenerate every table and figure of the paper
+//
+// # Quick start
+//
+//	w := tesa.ARVRWorkload()
+//	opts := tesa.DefaultOptions()           // 2-D, 400 MHz, Eq.6 weights 1/1
+//	cons := tesa.DefaultConstraints()       // 30 fps, 15 W, 75 C, 8x8 mm
+//	ev, _ := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
+//	res, _ := ev.Optimize(tesa.DefaultSpace(), 1)
+//	if res.Found {
+//	    fmt.Println(res.Best.Point, res.Best.PeakTempC)
+//	}
+package tesa
+
+import (
+	"tesa/internal/core"
+	"tesa/internal/dnn"
+	"tesa/internal/systolic"
+)
+
+// Core design-space exploration types.
+type (
+	// DesignPoint is one candidate MCM configuration (array dimension and
+	// inter-chiplet spacing; SRAM capacity and mesh are derived).
+	DesignPoint = core.DesignPoint
+	// Space is the discrete design space (Table II).
+	Space = core.Space
+	// Evaluation is the full characterization of one MCM (Fig. 2b
+	// pipeline outputs plus feasibility).
+	Evaluation = core.Evaluation
+	// Evaluator runs the TESA pipeline for one workload and setting.
+	Evaluator = core.Evaluator
+	// Options configure the evaluation (technology, frequency, dataflow,
+	// thermal grid, Eq. 6 weights).
+	Options = core.Options
+	// Constraints are the user-defined limits (fps, power, temperature,
+	// interposer area).
+	Constraints = core.Constraints
+	// Models bundles the substrate parameter sets.
+	Models = core.Models
+	// Tech selects 2-D or 3-D chiplet integration.
+	Tech = core.Tech
+	// OptimizeResult is a TESA optimization outcome.
+	OptimizeResult = core.OptimizeResult
+	// ExhaustiveResult is a full-space sweep outcome.
+	ExhaustiveResult = core.ExhaustiveResult
+	// BaselineResult pairs a baseline's pick with its ground truth.
+	BaselineResult = core.BaselineResult
+	// ExperimentConfig parameterizes the paper's experiment drivers.
+	ExperimentConfig = core.ExperimentConfig
+	// Corner is one constraint corner of the evaluation.
+	Corner = core.Corner
+	// Workload is a multi-DNN workload.
+	Workload = dnn.Workload
+	// Network is one DNN described layer by layer.
+	Network = dnn.Network
+	// Dataflow selects the systolic-array mapping (os/ws).
+	Dataflow = systolic.Dataflow
+)
+
+// Integration technologies.
+const (
+	Tech2D = core.Tech2D
+	Tech3D = core.Tech3D
+)
+
+// Dataflows.
+const (
+	OutputStationary = systolic.OutputStationary
+	WeightStationary = systolic.WeightStationary
+)
+
+// NewEvaluator builds an evaluator for the workload under the given
+// options and constraints; zero-valued models are filled with the
+// calibrated 22 nm defaults.
+func NewEvaluator(w Workload, opts Options, cons Constraints, models Models) (*Evaluator, error) {
+	return core.NewEvaluator(w, opts, cons, models)
+}
+
+// DefaultOptions returns the paper's evaluation defaults (2-D, 400 MHz,
+// output-stationary, 125 um-class grid, alpha = beta = 1).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultConstraints returns the paper's canonical corner: 30 fps, 15 W,
+// 75 C, 8x8 mm interposer.
+func DefaultConstraints() Constraints { return core.DefaultConstraints() }
+
+// DefaultModels returns the calibrated 22 nm substrate parameters.
+func DefaultModels() Models { return core.DefaultModels() }
+
+// DefaultSpace returns the Table II design space (121 array sizes x 21
+// ICS options).
+func DefaultSpace() Space { return core.DefaultSpace() }
+
+// ValidationSpace returns the small Sec. IV-A optimizer-validation space.
+func ValidationSpace() Space { return core.ValidationSpace() }
+
+// ARVRWorkload returns the paper's six-DNN AR/VR workload: handpose
+// detection, image segmentation (U-Net), object detection (MobileNet),
+// object recognition (ResNet-50), depth estimation (DNL), and speech
+// recognition (Transformer).
+func ARVRWorkload() Workload { return dnn.ARVRWorkload() }
+
+// SRAMKBForArray derives the per-SRAM capacity for an array dimension via
+// the paper's area-ratio rule.
+func SRAMKBForArray(arrayDim int) int { return core.SRAMKBForArray(arrayDim) }
+
+// DefaultExperimentConfig returns the configuration that regenerates the
+// paper's tables and figures.
+func DefaultExperimentConfig() ExperimentConfig { return core.DefaultExperimentConfig() }
+
+// Baselines.
+var (
+	// RunSC1 is the temperature-unaware maximum-parallelism baseline.
+	RunSC1 = core.RunSC1
+	// RunSC2 is the temperature-unaware chiplet-sizing baseline.
+	RunSC2 = core.RunSC2
+	// RunW1 is the adoption of the minimize-temperature floorplanner [4].
+	RunW1 = core.RunW1
+	// RunW2 is the adoption of the T+cost+latency co-optimizer [3].
+	RunW2 = core.RunW2
+)
+
+// ThermalMapASCII renders an evaluation's hottest-phase temperature
+// field as an ASCII heat map (Fig. 6 analogue).
+func ThermalMapASCII(ev *Evaluation) string { return core.ThermalMapASCII(ev) }
+
+// ThermalMapCSV renders the same field as CSV for plotting.
+func ThermalMapCSV(ev *Evaluation) string { return core.ThermalMapCSV(ev) }
+
+// FloorplanASCII renders an evaluated MCM's floorplan as ASCII art.
+func FloorplanASCII(ev *Evaluation) string { return core.FloorplanASCII(ev) }
+
+// MarshalWorkload serializes a workload to the JSON schema documented in
+// internal/dnn (TESA's layer-wise workload description input).
+func MarshalWorkload(w *Workload) ([]byte, error) { return dnn.MarshalWorkload(w) }
+
+// UnmarshalWorkload parses and validates a workload from JSON.
+func UnmarshalWorkload(data []byte) (Workload, error) { return dnn.UnmarshalWorkload(data) }

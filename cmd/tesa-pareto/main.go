@@ -1,0 +1,86 @@
+// Command tesa-pareto sweeps the Eq. (6) objective weights to trace the
+// MCM-cost vs DRAM-power Pareto front for one constraint corner, printing
+// a CSV of the distinct winning configurations.
+//
+// Usage:
+//
+//	tesa-pareto [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
+//	            [-points 9] [-grid 32] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tesa"
+)
+
+func main() {
+	var (
+		tech    = flag.String("tech", "2d", "integration technology: 2d or 3d")
+		freqMHz = flag.Float64("freq", 400, "operating frequency in MHz")
+		fps     = flag.Float64("fps", 30, "latency constraint in frames per second")
+		tempC   = flag.Float64("temp", 75, "thermal budget in Celsius")
+		points  = flag.Int("points", 9, "number of weight settings to sweep")
+		grid    = flag.Int("grid", 32, "thermal grid cells per side")
+		seed    = flag.Int64("seed", 1, "optimizer seed")
+	)
+	flag.Parse()
+	if *points < 2 {
+		fmt.Fprintln(os.Stderr, "need at least 2 sweep points")
+		os.Exit(2)
+	}
+
+	base := tesa.DefaultOptions()
+	if strings.EqualFold(*tech, "3d") {
+		base.Tech = tesa.Tech3D
+	}
+	base.FreqHz = *freqMHz * 1e6
+	base.Grid = *grid
+	cons := tesa.DefaultConstraints()
+	cons.FPS = *fps
+	cons.TempBudgetC = *tempC
+	w := tesa.ARVRWorkload()
+	space := tesa.DefaultSpace()
+
+	fmt.Println("alpha,beta,arrayDim,sramKBper,icsUM,meshRows,meshCols,peakC,powerW,costUSD,dramW")
+	seen := map[tesa.DesignPoint]bool{}
+	for i := 0; i < *points; i++ {
+		// Sweep the weight angle from cost-only to DRAM-only.
+		frac := float64(i) / float64(*points-1)
+		opts := base
+		opts.Alpha = 1 - frac
+		opts.Beta = frac
+		if opts.Alpha == 0 {
+			opts.Alpha = 1e-9 // keep the objective well-defined
+		}
+		if opts.Beta == 0 {
+			opts.Beta = 1e-9
+		}
+		ev, err := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := ev.Optimize(space, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !res.Found {
+			fmt.Fprintf(os.Stderr, "alpha=%.2f beta=%.2f: no solution\n", opts.Alpha, opts.Beta)
+			continue
+		}
+		b := res.Best
+		marker := ""
+		if seen[b.Point] {
+			marker = " (dup)"
+		}
+		seen[b.Point] = true
+		fmt.Printf("%.3f,%.3f,%d,%d,%d,%d,%d,%.2f,%.2f,%.2f,%.2f%s\n",
+			opts.Alpha, opts.Beta, b.Point.ArrayDim, b.Point.SRAMKB(), b.Point.ICSUM,
+			b.Mesh.Rows, b.Mesh.Cols, b.PeakTempC, b.TotalPowerW, b.MCMCost.Total, b.DRAMPowerW, marker)
+	}
+}

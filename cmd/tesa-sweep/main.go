@@ -1,0 +1,104 @@
+// Command tesa-sweep exhaustively evaluates a design space and compares
+// the global optimum against the multi-start annealer — the paper's
+// Sec. IV-A optimizer-correctness study, plus a way to quantify how much
+// of the full Table II space is feasible per corner.
+//
+// Usage:
+//
+//	tesa-sweep [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
+//	           [-full] [-grid 32] [-seed 1]
+//
+// By default the small validation space (64x64..128x128 arrays, coarse
+// ICS) is swept; -full sweeps the whole Table II space.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tesa"
+)
+
+func main() {
+	var (
+		tech    = flag.String("tech", "2d", "integration technology: 2d or 3d")
+		freqMHz = flag.Float64("freq", 400, "operating frequency in MHz")
+		fps     = flag.Float64("fps", 15, "latency constraint in frames per second")
+		tempC   = flag.Float64("temp", 85, "thermal budget in Celsius")
+		full    = flag.Bool("full", false, "sweep the full Table II space instead of the validation space")
+		grid    = flag.Int("grid", 32, "thermal grid cells per side")
+		seed    = flag.Int64("seed", 1, "optimizer seed")
+	)
+	flag.Parse()
+
+	opts := tesa.DefaultOptions()
+	if strings.EqualFold(*tech, "3d") {
+		opts.Tech = tesa.Tech3D
+	}
+	opts.FreqHz = *freqMHz * 1e6
+	opts.Grid = *grid
+	cons := tesa.DefaultConstraints()
+	cons.FPS = *fps
+	cons.TempBudgetC = *tempC
+
+	space := tesa.ValidationSpace()
+	if *full {
+		space = tesa.DefaultSpace()
+	}
+	w := tesa.ARVRWorkload()
+
+	ex, err := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("exhaustive sweep: %d design vectors (%s, %.0f MHz, %.0f fps, %.0f C)\n",
+		space.Size(), opts.Tech, *freqMHz, cons.FPS, cons.TempBudgetC)
+	start := time.Now()
+	exRes, err := ex.Exhaustive(space)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exElapsed := time.Since(start)
+	fmt.Printf("  %d feasible of %d (%.1f%%), %.1fs\n", exRes.Feasible, exRes.Total,
+		100*float64(exRes.Feasible)/float64(exRes.Total), exElapsed.Seconds())
+	if exRes.Best != nil {
+		fmt.Printf("  global optimum: %v, %v grid, objective %.4f\n",
+			exRes.Best.Point, exRes.Best.Mesh, exRes.Best.Objective)
+	} else {
+		fmt.Println("  no feasible configuration in this space")
+	}
+
+	op, err := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	start = time.Now()
+	opRes, err := op.Optimize(space, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nmulti-start annealer: explored %d points (%.1f%% of the space), %.1fs\n",
+		opRes.Explored, 100*float64(opRes.Explored)/float64(space.Size()), time.Since(start).Seconds())
+	switch {
+	case !opRes.Found && exRes.Best == nil:
+		fmt.Println("  agreement: both report no feasible configuration")
+	case opRes.Found && exRes.Best != nil:
+		fmt.Printf("  MSA optimum:    %v, objective %.4f\n", opRes.Best.Point, opRes.Best.Objective)
+		if opRes.Best.Objective <= exRes.Best.Objective*(1+1e-9) {
+			fmt.Println("  agreement: 100% — the annealer matched the global optimum")
+		} else {
+			fmt.Printf("  DISAGREEMENT: annealer %.4f vs global %.4f\n", opRes.Best.Objective, exRes.Best.Objective)
+			os.Exit(3)
+		}
+	default:
+		fmt.Println("  DISAGREEMENT: one side found a solution, the other did not")
+		os.Exit(3)
+	}
+}

@@ -1,0 +1,129 @@
+// Command tesa runs the TESA optimizer for one constraint corner and
+// prints the chosen MCM.
+//
+// Usage:
+//
+//	tesa [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75] [-power 15]
+//	     [-interposer 8] [-grid 32] [-seed 1] [-alpha 1] [-beta 1]
+//
+// The output reports the winning design point, its derived mesh and SRAM
+// capacity, and the full evaluation (peak temperature, power, cost, DRAM
+// power, per-chiplet schedule).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tesa"
+)
+
+func main() {
+	var (
+		tech       = flag.String("tech", "2d", "integration technology: 2d or 3d")
+		freqMHz    = flag.Float64("freq", 400, "operating frequency in MHz")
+		fps        = flag.Float64("fps", 30, "latency constraint in frames per second")
+		tempC      = flag.Float64("temp", 75, "thermal budget in Celsius")
+		powerW     = flag.Float64("power", 15, "power budget in watts")
+		interposer = flag.Float64("interposer", 8, "interposer side in mm")
+		grid       = flag.Int("grid", 32, "thermal grid cells per side during search")
+		seed       = flag.Int64("seed", 1, "optimizer seed")
+		alpha      = flag.Float64("alpha", 1, "Eq. 6 weight on MCM cost")
+		beta       = flag.Float64("beta", 1, "Eq. 6 weight on DRAM power")
+		dataflow   = flag.String("dataflow", "os", "systolic dataflow: os or ws")
+		workload   = flag.String("workload", "", "JSON workload file (default: the built-in AR/VR workload)")
+	)
+	flag.Parse()
+
+	opts := tesa.DefaultOptions()
+	switch strings.ToLower(*tech) {
+	case "2d":
+		opts.Tech = tesa.Tech2D
+	case "3d":
+		opts.Tech = tesa.Tech3D
+	default:
+		fmt.Fprintf(os.Stderr, "unknown tech %q\n", *tech)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*dataflow) {
+	case "os":
+		opts.Dataflow = tesa.OutputStationary
+	case "ws":
+		opts.Dataflow = tesa.WeightStationary
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataflow %q\n", *dataflow)
+		os.Exit(2)
+	}
+	opts.FreqHz = *freqMHz * 1e6
+	opts.Grid = *grid
+	opts.Alpha, opts.Beta = *alpha, *beta
+	cons := tesa.Constraints{FPS: *fps, PowerBudgetW: *powerW, TempBudgetC: *tempC, InterposerMM: *interposer}
+
+	w := tesa.ARVRWorkload()
+	if *workload != "" {
+		data, err := os.ReadFile(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if w, err = tesa.UnmarshalWorkload(data); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	ev, err := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("TESA: %s MCM at %.0f MHz for the %d-DNN %s workload\n", opts.Tech, *freqMHz, len(w.Networks), w.Name)
+	fmt.Printf("constraints: %.0f fps, %.0f W, %.0f C, %.0fx%.0f mm interposer\n\n",
+		cons.FPS, cons.PowerBudgetW, cons.TempBudgetC, cons.InterposerMM, cons.InterposerMM)
+
+	start := time.Now()
+	res, err := ev.Optimize(tesa.DefaultSpace(), *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	if !res.Found {
+		fmt.Printf("SOLUTION DOES NOT EXIST under these constraints\n")
+		fmt.Printf("(explored %d of %d design vectors in %.1fs)\n", res.Explored, tesa.DefaultSpace().Size(), elapsed.Seconds())
+		fmt.Println("remedial options: relax the thermal budget, reduce frequency, or enlarge the interposer")
+		os.Exit(3)
+	}
+
+	best := res.Best
+	fmt.Printf("winning MCM:  %v\n", best.Point)
+	fmt.Printf("mesh:         %v (%d chiplets)\n", best.Mesh, best.Mesh.Count())
+	fmt.Printf("chiplet:      %.2f x %.2f mm (array %.2f mm2, SRAM %.2f mm2)\n",
+		best.Chiplet.WidthMM, best.Chiplet.HeightMM, best.Chiplet.ArrayMM2, best.Chiplet.SRAMMM2)
+	fmt.Printf("peak temp:    %.2f C (budget %.0f C)\n", best.PeakTempC, cons.TempBudgetC)
+	fmt.Printf("power:        %.2f W total (%.2f dynamic + %.2f leakage; budget %.0f W)\n",
+		best.TotalPowerW, best.DynamicPowerW, best.LeakageW, cons.PowerBudgetW)
+	fmt.Printf("latency:      %.1f ms makespan (%.2fx of the %.0f fps budget)\n",
+		best.MakespanSec*1e3, best.LatencyFactor, cons.FPS)
+	fmt.Printf("MCM cost:     $%.2f (dies $%.2f, interposer $%.2f, bonding $%.2f, stacking $%.2f)\n",
+		best.MCMCost.Total, best.MCMCost.ChipletDies, best.MCMCost.Interposer, best.MCMCost.Bonding, best.MCMCost.Stacking)
+	fmt.Printf("DRAM power:   %.2f W over %d channels\n", best.DRAMPowerW, best.DRAMChannels)
+	fmt.Printf("throughput:   %.2f TOPS effective, %.2f TOPS peak\n", best.OPS/1e12, best.PeakOPS/1e12)
+	fmt.Printf("objective:    %.4f (Eq. 6, alpha=%.2g beta=%.2g)\n\n", best.Objective, opts.Alpha, opts.Beta)
+
+	fmt.Println("schedule (non-preemptive, corner-first):")
+	for c, dnns := range best.Schedule.ChipletDNNs {
+		fmt.Printf("  chiplet %d:", c)
+		for _, d := range dnns {
+			fmt.Printf(" %s", w.Networks[d].Name)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nsearch: %d evaluations, %d distinct points (%.1f%% of the space), %.1fs\n\n",
+		res.Evaluations, res.Explored, 100*float64(res.Explored)/float64(tesa.DefaultSpace().Size()), elapsed.Seconds())
+	fmt.Print(tesa.FloorplanASCII(best))
+}

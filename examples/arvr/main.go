@@ -1,0 +1,68 @@
+// AR/VR constraint-corner study: run TESA across frequency, frame-rate,
+// and thermal-budget corners for 2-D chiplets — a compact version of the
+// paper's Table V — and show how the thermal budget steers the chosen
+// chiplet size and spacing.
+//
+// Run with:
+//
+//	go run ./examples/arvr
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tesa"
+)
+
+func main() {
+	workload := tesa.ARVRWorkload()
+	fmt.Printf("workload %q:\n", workload.Name)
+	for _, n := range workload.Networks {
+		fmt.Printf("  %-13s %6.1f GMACs, %5.1f MB weights, %d layers\n",
+			n.Name, float64(n.MACs())/1e9, float64(n.WeightBytes())/1e6, len(n.Layers))
+	}
+	fmt.Println()
+
+	space := tesa.Space{}
+	for d := 184; d <= 256; d += 4 {
+		space.ArrayDims = append(space.ArrayDims, d)
+	}
+	for ics := 0; ics <= 1000; ics += 100 {
+		space.ICSUMs = append(space.ICSUMs, ics)
+	}
+
+	type corner struct {
+		freqMHz, fps, budgetC float64
+	}
+	corners := []corner{
+		{400, 15, 75}, {400, 30, 75}, {400, 30, 85},
+		{500, 30, 75}, {500, 30, 85},
+	}
+	fmt.Println("TESA outputs (2-D), by constraint corner:")
+	for _, c := range corners {
+		opts := tesa.DefaultOptions()
+		opts.FreqHz = c.freqMHz * 1e6
+		opts.Grid = 32
+		cons := tesa.DefaultConstraints()
+		cons.FPS = c.fps
+		cons.TempBudgetC = c.budgetC
+
+		ev, err := tesa.NewEvaluator(workload, opts, cons, tesa.Models{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := ev.Optimize(space, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%3.0f MHz %2.0f fps %2.0f C", c.freqMHz, c.fps, c.budgetC)
+		if !res.Found {
+			fmt.Printf("  %s: solution does not exist\n", label)
+			continue
+		}
+		b := res.Best
+		fmt.Printf("  %s: %v, %v grid -> peak %.1f C, $%.2f, DRAM %.1f W\n",
+			label, b.Point, b.Mesh, b.PeakTempC, b.MCMCost.Total, b.DRAMPowerW)
+	}
+}

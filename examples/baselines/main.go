@@ -1,0 +1,88 @@
+// Baseline comparison: why temperature awareness matters. Runs the
+// paper's SC1 (maximum parallelism) and SC2 (sizing without temperature)
+// baselines next to TESA at the same corner and reports what their picks
+// actually do thermally — the substance of the paper's Tables III/IV and
+// Fig. 5.
+//
+// Run with:
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tesa"
+)
+
+func main() {
+	workload := tesa.ARVRWorkload()
+	opts := tesa.DefaultOptions()
+	opts.FreqHz = 500e6
+	opts.Grid = 32
+	cons := tesa.DefaultConstraints()
+	cons.FPS = 15
+	cons.TempBudgetC = 75 // strict budget: this is where thermal awareness bites
+	space := tesa.DefaultSpace()
+	models := tesa.DefaultModels()
+
+	fmt.Printf("corner: 2-D, 500 MHz, %.0f fps, %.0f C, %.0f W\n\n", cons.FPS, cons.TempBudgetC, cons.PowerBudgetW)
+	// At 75 C and 500 MHz the thermal constraint binds: the
+	// temperature-blind baselines pick hot MCMs, TESA must not.
+
+	// SC1: one chiplet per DNN at maximum spacing, temperature unaware.
+	sc1, err := tesa.RunSC1(workload, opts, cons, models, space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sc1.Found {
+		a := sc1.Actual
+		fmt.Printf("SC1 (max parallelism):    %v, %v grid\n", a.Point, a.Mesh)
+		fmt.Printf("  actually runs at %.1f C, %.1f W — temperature unawareness costs silicon and power\n",
+			a.PeakTempC, a.TotalPowerW)
+	}
+
+	// SC2: the TESA optimizer with its thermal and leakage models cut out.
+	sc2, err := tesa.RunSC2(workload, opts, cons, models, space, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sc2.Found {
+		a := sc2.Actual
+		fmt.Printf("SC2 (sizing w/o thermal): %v, %v grid\n", a.Point, a.Mesh)
+		state := fmt.Sprintf("peak %.1f C", a.PeakTempC)
+		if a.Runaway {
+			state = "THERMAL RUNAWAY"
+		}
+		fmt.Printf("  actually runs at %s\n", state)
+	}
+
+	// TESA itself.
+	ev, err := tesa.NewEvaluator(workload, opts, cons, tesa.Models{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ev.Optimize(space, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		fmt.Println("TESA: no feasible MCM at this corner")
+		return
+	}
+	b := res.Best
+	fmt.Printf("TESA:                     %v, %v grid\n", b.Point, b.Mesh)
+	fmt.Printf("  peak %.1f C, %.1f W — feasible by construction\n\n", b.PeakTempC, b.TotalPowerW)
+
+	if sc1.Found {
+		fmt.Printf("savings vs SC1: MCM cost %.0f%%, DRAM power %.0f%%\n",
+			100*(1-b.MCMCost.Total/sc1.Actual.MCMCost.Total),
+			100*(1-b.DRAMPowerW/sc1.Actual.DRAMPowerW))
+	}
+	if sc2.Found {
+		fmt.Printf("vs SC2: MCM cost %+.0f%%, DRAM power %+.0f%%\n",
+			100*(b.MCMCost.Total/sc2.Actual.MCMCost.Total-1),
+			100*(b.DRAMPowerW/sc2.Actual.DRAMPowerW-1))
+	}
+}

@@ -1,0 +1,86 @@
+// Custom workload: describe your own multi-DNN workload in JSON (TESA's
+// layer-wise workload input), run TESA on it, and compare against the
+// built-in AR/VR workload. This example builds a lighter two-DNN drone
+// workload — detection plus depth — inline, but the same JSON can live in
+// a file and be passed to `cmd/tesa -workload`.
+//
+// Run with:
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tesa"
+)
+
+const droneWorkload = `{
+  "name": "drone",
+  "networks": [
+    {
+      "name": "detector",
+      "layers": [
+        {"kind": "conv", "in": [416, 416, 3],  "kernel": [3, 3], "filters": 16,  "stride": 1, "pad": 1},
+        {"kind": "conv", "in": [208, 208, 16], "kernel": [3, 3], "filters": 32,  "stride": 1, "pad": 1},
+        {"kind": "conv", "in": [104, 104, 32], "kernel": [3, 3], "filters": 64,  "stride": 1, "pad": 1},
+        {"kind": "conv", "in": [52, 52, 64],   "kernel": [3, 3], "filters": 128, "stride": 1, "pad": 1},
+        {"kind": "conv", "in": [26, 26, 128],  "kernel": [3, 3], "filters": 256, "stride": 1, "pad": 1},
+        {"kind": "conv", "in": [13, 13, 256],  "kernel": [3, 3], "filters": 512, "stride": 1, "pad": 1},
+        {"kind": "conv", "in": [13, 13, 512],  "kernel": [3, 3], "filters": 1024, "stride": 1, "pad": 1},
+        {"kind": "conv", "in": [13, 13, 1024], "kernel": [1, 1], "filters": 125, "stride": 1, "pad": 0}
+      ]
+    },
+    {
+      "name": "depth",
+      "layers": [
+        {"kind": "conv", "in": [224, 224, 3],  "kernel": [7, 7], "filters": 64,  "stride": 2, "pad": 3},
+        {"kind": "conv", "in": [112, 112, 64], "kernel": [3, 3], "filters": 128, "stride": 2, "pad": 1},
+        {"kind": "conv", "in": [56, 56, 128],  "kernel": [3, 3], "filters": 256, "stride": 2, "pad": 1},
+        {"kind": "conv", "in": [28, 28, 256],  "kernel": [3, 3], "filters": 256, "stride": 1, "pad": 1},
+        {"kind": "conv", "in": [56, 56, 256],  "kernel": [3, 3], "filters": 128, "stride": 1, "pad": 1},
+        {"kind": "conv", "in": [112, 112, 128], "kernel": [3, 3], "filters": 64, "stride": 1, "pad": 1},
+        {"kind": "conv", "in": [224, 224, 64],  "kernel": [3, 3], "filters": 1,  "stride": 1, "pad": 1}
+      ]
+    }
+  ]
+}`
+
+func main() {
+	w, err := tesa.UnmarshalWorkload([]byte(droneWorkload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %q:\n", w.Name)
+	for _, n := range w.Networks {
+		fmt.Printf("  %-10s %6.2f GMACs, %4.1f MB weights\n",
+			n.Name, float64(n.MACs())/1e9, float64(n.WeightBytes())/1e6)
+	}
+
+	// A drone is even more constrained than a headset: 10 W, 70 C.
+	opts := tesa.DefaultOptions()
+	opts.Grid = 32
+	opts.MaxChiplets = len(w.Networks)
+	cons := tesa.DefaultConstraints()
+	cons.PowerBudgetW = 10
+	cons.TempBudgetC = 70
+
+	ev, err := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ev.Optimize(tesa.DefaultSpace(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		fmt.Println("\nno feasible MCM for the drone constraints — relax a budget")
+		return
+	}
+	b := res.Best
+	fmt.Printf("\nTESA's drone MCM: %v, %v grid\n", b.Point, b.Mesh)
+	fmt.Printf("  peak %.1f C (budget %.0f), %.1f W (budget %.0f), $%.2f, DRAM %.1f W\n",
+		b.PeakTempC, cons.TempBudgetC, b.TotalPowerW, cons.PowerBudgetW, b.MCMCost.Total, b.DRAMPowerW)
+	fmt.Printf("  latency %.1f ms against the %.0f fps budget\n", b.MakespanSec*1e3, cons.FPS)
+}

@@ -1,0 +1,3 @@
+module tesa
+
+go 1.22

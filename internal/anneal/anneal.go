@@ -1,0 +1,167 @@
+// Package anneal implements the multi-start simulated-annealing (MSA)
+// optimizer of TESA's Fig. 4: each annealer starts from a feasible
+// configuration, performs N perturbations per temperature level, accepts
+// better feasible configurations unconditionally and worse ones with a
+// Metropolis probability, decays the annealing temperature by a per-start
+// factor delta, and converges when the temperature falls below the final
+// threshold. Multiple starts run in parallel and the best result wins,
+// increasing the probability of reaching the global optimum.
+//
+// The package is generic over the state type so TESA's design points,
+// the baselines' restricted spaces, and test problems all share one
+// engine.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Config parameterizes one annealer. The paper's validated settings are
+// TInit=19, TFinal=0.5, N=10, with per-start decays 0.89, 0.87, 0.85
+// (see DefaultStarts).
+type Config struct {
+	TInit                 float64 // initial annealing temperature (T_a)
+	TFinal                float64 // convergence threshold
+	Decay                 float64 // temperature multiplier per level (delta)
+	PerturbationsPerLevel int     // N
+	Seed                  int64   // deterministic PRNG seed
+}
+
+// Validate reports an error for unusable annealer settings.
+func (c Config) Validate() error {
+	if c.TInit <= 0 || c.TFinal <= 0 || c.TFinal >= c.TInit {
+		return fmt.Errorf("anneal: need 0 < TFinal < TInit, got %g and %g", c.TFinal, c.TInit)
+	}
+	if c.Decay <= 0 || c.Decay >= 1 {
+		return fmt.Errorf("anneal: decay must be in (0,1), got %g", c.Decay)
+	}
+	if c.PerturbationsPerLevel <= 0 {
+		return fmt.Errorf("anneal: non-positive perturbations per level %d", c.PerturbationsPerLevel)
+	}
+	return nil
+}
+
+// DefaultStarts returns the paper's three-start configuration.
+func DefaultStarts(seed int64) []Config {
+	mk := func(delta float64, s int64) Config {
+		return Config{TInit: 19, TFinal: 0.5, Decay: delta, PerturbationsPerLevel: 10, Seed: s}
+	}
+	return []Config{
+		mk(0.89, seed),
+		mk(0.87, seed+1),
+		mk(0.85, seed+2),
+	}
+}
+
+// Eval evaluates a state: its objective value and whether it satisfies
+// every user-defined constraint. Infeasible states are always rejected
+// (Fig. 4), so their objective value is ignored.
+type Eval[S any] func(S) (obj float64, feasible bool)
+
+// Neighbor produces a random perturbation of a state.
+type Neighbor[S any] func(S, *rand.Rand) S
+
+// Init produces a starting state; ok=false means no feasible start was
+// found and the annealer reports failure.
+type Init[S any] func(*rand.Rand) (state S, ok bool)
+
+// Result reports one annealer's (or the multi-start ensemble's) outcome.
+type Result[S any] struct {
+	Best        S
+	BestObj     float64
+	Found       bool // false when no feasible configuration was ever seen
+	Evaluations int  // perturbations evaluated
+	Accepted    int  // accepted moves (better or Metropolis)
+	Uphill      int  // accepted worsening moves
+}
+
+// Minimize runs a single annealer per Fig. 4.
+func Minimize[S any](cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S]) (Result[S], error) {
+	if err := cfg.Validate(); err != nil {
+		return Result[S]{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var res Result[S]
+
+	cur, ok := init(rng)
+	if !ok {
+		return res, nil
+	}
+	curObj, feasible := eval(cur)
+	res.Evaluations++
+	if !feasible {
+		// The contract is that init returns a feasible state; treat a
+		// violation as "nothing found" rather than panicking, so callers
+		// can surface the paper's "solution does not exist" outcome.
+		return res, nil
+	}
+	res.Best, res.BestObj, res.Found = cur, curObj, true
+
+	for ta := cfg.TInit; ta > cfg.TFinal; ta *= cfg.Decay {
+		for i := 0; i < cfg.PerturbationsPerLevel; i++ {
+			cand := neighbor(cur, rng)
+			obj, feas := eval(cand)
+			res.Evaluations++
+			if !feas {
+				continue // constraint violation: reject, next iteration
+			}
+			accept := false
+			if obj < curObj {
+				accept = true
+			} else {
+				// Metropolis: accept a worse configuration with
+				// probability exp(-(obj-cur)/T_a) to escape local minima.
+				p := math.Exp(-(obj - curObj) / ta)
+				if rng.Float64() < p {
+					accept = true
+					res.Uphill++
+				}
+			}
+			if accept {
+				cur, curObj = cand, obj
+				res.Accepted++
+				if obj < res.BestObj {
+					res.Best, res.BestObj = cand, obj
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// MultiStart runs one annealer per config in parallel and returns the
+// best result plus the per-start results.
+func MultiStart[S any](cfgs []Config, init Init[S], neighbor Neighbor[S], eval Eval[S]) (Result[S], []Result[S], error) {
+	if len(cfgs) == 0 {
+		return Result[S]{}, nil, fmt.Errorf("anneal: no starts configured")
+	}
+	results := make([]Result[S], len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			results[i], errs[i] = Minimize(cfg, init, neighbor, eval)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result[S]{}, nil, err
+		}
+	}
+	var best Result[S]
+	for _, r := range results {
+		best.Evaluations += r.Evaluations
+		best.Accepted += r.Accepted
+		best.Uphill += r.Uphill
+		if r.Found && (!best.Found || r.BestObj < best.BestObj) {
+			best.Best, best.BestObj, best.Found = r.Best, r.BestObj, true
+		}
+	}
+	return best, results, nil
+}

@@ -1,0 +1,121 @@
+// Package area implements TESA's chiplet area model for 2-D and 3-D
+// (two-tier, SRAM-under-array) chiplets.
+//
+// Following the paper: a 22 nm MAC occupies a representative 100 um^2
+// [10]; SRAM areas come from the CACTI-equivalent model; in 3-D the SRAM
+// tier carries a TSV area overhead sized by the chiplet's peak SRAM
+// bandwidth, with aggressive 2 um diameter / 2 um keep-out TSVs [18]; and
+// a 3-D chiplet's footprint is the maximum of its two tier areas.
+package area
+
+import (
+	"fmt"
+	"math"
+
+	"tesa/internal/sram"
+)
+
+// Technology constants (22 nm, after the paper's citations).
+const (
+	// MACAreaMM2 is the silicon area of one 8-bit MAC PE [10]. At this
+	// pitch a 200x200 array spans 1.72 mm — which makes the paper's 2-D
+	// mesh geometry work out: two or three rectangular 200x200-class
+	// chiplets stack vertically on the 8 mm interposer (Table V's "2x"
+	// and "3x" grids) while a second column never fits.
+	MACAreaMM2 = 74e-6
+	// tsvPitchUM is the TSV pitch: 2 um diameter plus 2 um keep-out zone
+	// on each side [18].
+	tsvPitchUM = 6.0
+	// tsvAreaMM2 is the silicon area consumed per TSV (pitch^2).
+	tsvAreaMM2 = tsvPitchUM * tsvPitchUM * 1e-6
+	// tsvCopperAreaMM2 is the copper cross-section of one TSV (pi*r^2,
+	// r = 1 um), used by the thermal model to adjust the SRAM tier's
+	// vertical conductivity.
+	tsvCopperAreaMM2 = math.Pi * 1e-6
+	// tsvSignalOverhead accounts for power/ground and redundancy TSVs on
+	// top of the signal bundle.
+	tsvSignalOverhead = 1.3
+	// stackMarginMM is the per-side assembly margin of a 3-D chiplet:
+	// the die-to-die bonding alignment ring, seal ring, and TSV keep-out
+	// at the die edge add a fixed border to the stacked footprint.
+	stackMarginMM = 0.15
+)
+
+// Chiplet is the area decomposition of one chiplet.
+type Chiplet struct {
+	ThreeD bool
+
+	ArrayMM2 float64 // systolic-array tier (or region, in 2-D) area
+	SRAMMM2  float64 // three SRAM macros
+	TSVMM2   float64 // TSV overhead on the SRAM tier (3-D only)
+
+	// FootprintMM2 is the interposer area the chiplet occupies: the sum
+	// of regions in 2-D, the maximum tier in 3-D.
+	FootprintMM2 float64
+	// WidthMM and HeightMM are the footprint dimensions. A 2-D chiplet is
+	// rectangular: the square systolic array sets the height and the
+	// three SRAM macros sit beside it, extending the width. A 3-D chiplet
+	// is square: the SRAM tier hides under the array tier.
+	WidthMM, HeightMM float64
+	// TSVCount is the number of TSVs crossing the tier boundary.
+	TSVCount int
+	// TSVCopperFraction is the fraction of the SRAM tier cross-section
+	// that is copper TSV, for the thermal model.
+	TSVCopperFraction float64
+	// ActiveInsetMM is the border of the footprint that carries no
+	// power (the 3-D assembly margin); the thermal model injects power
+	// only inside it.
+	ActiveInsetMM float64
+}
+
+// SiliconMM2 returns the total silicon fabricated for the chiplet (both
+// tiers in 3-D) — the quantity the cost model's yield term consumes.
+func (c Chiplet) SiliconMM2() float64 {
+	if c.ThreeD {
+		return c.ArrayMM2 + c.SRAMMM2 + c.TSVMM2
+	}
+	return c.ArrayMM2 + c.SRAMMM2
+}
+
+// ArrayTierMM2 returns the array die area (3-D) or array region (2-D).
+func (c Chiplet) ArrayTierMM2() float64 { return c.ArrayMM2 }
+
+// SRAMTierMM2 returns the SRAM die area including TSV overhead (3-D) or
+// the SRAM region (2-D).
+func (c Chiplet) SRAMTierMM2() float64 { return c.SRAMMM2 + c.TSVMM2 }
+
+// Build computes the area decomposition of a chiplet with numPEs MACs and
+// three SRAM macros characterized by est. For 3-D chiplets,
+// peakSRAMBytesPerCycle sizes the TSV bundle (one bit per TSV per cycle,
+// times the power/ground overhead).
+func Build(numPEs int, est sram.Estimate, threeD bool, peakSRAMBytesPerCycle float64) (Chiplet, error) {
+	if numPEs <= 0 {
+		return Chiplet{}, fmt.Errorf("area: non-positive PE count %d", numPEs)
+	}
+	if est.Bytes <= 0 {
+		return Chiplet{}, fmt.Errorf("area: SRAM estimate not initialized")
+	}
+	c := Chiplet{
+		ThreeD:   threeD,
+		ArrayMM2: float64(numPEs) * MACAreaMM2,
+		SRAMMM2:  3 * est.AreaMM2,
+	}
+	if threeD {
+		if peakSRAMBytesPerCycle <= 0 {
+			return Chiplet{}, fmt.Errorf("area: 3-D chiplet needs positive peak SRAM bandwidth, got %g", peakSRAMBytesPerCycle)
+		}
+		c.TSVCount = int(math.Ceil(peakSRAMBytesPerCycle * 8 * tsvSignalOverhead))
+		c.TSVMM2 = float64(c.TSVCount) * tsvAreaMM2
+		sramTier := c.SRAMMM2 + c.TSVMM2
+		c.TSVCopperFraction = float64(c.TSVCount) * tsvCopperAreaMM2 / sramTier
+		c.WidthMM = math.Sqrt(math.Max(c.ArrayMM2, sramTier)) + 2*stackMarginMM
+		c.HeightMM = c.WidthMM
+		c.FootprintMM2 = c.WidthMM * c.HeightMM
+		c.ActiveInsetMM = stackMarginMM
+	} else {
+		c.FootprintMM2 = c.ArrayMM2 + c.SRAMMM2
+		c.HeightMM = math.Sqrt(c.ArrayMM2)
+		c.WidthMM = c.HeightMM + c.SRAMMM2/c.HeightMM
+	}
+	return c, nil
+}

@@ -1,0 +1,158 @@
+package area
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tesa/internal/sram"
+)
+
+func est(t *testing.T, kb int64) sram.Estimate {
+	t.Helper()
+	e, err := sram.Estimate22nm(kb * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestBuildRejectsBadInputs(t *testing.T) {
+	e := est(t, 64)
+	if _, err := Build(0, e, false, 0); err == nil {
+		t.Error("zero PEs accepted")
+	}
+	if _, err := Build(100, sram.Estimate{}, false, 0); err == nil {
+		t.Error("uninitialized SRAM estimate accepted")
+	}
+	if _, err := Build(100, e, true, 0); err == nil {
+		t.Error("3-D chiplet with zero peak bandwidth accepted")
+	}
+}
+
+func Test2DFootprintIsSum(t *testing.T) {
+	e := est(t, 1024)
+	c, err := Build(200*200, e, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.FootprintMM2-(c.ArrayMM2+c.SRAMMM2)) > 1e-12 {
+		t.Errorf("2-D footprint %g != array+SRAM %g", c.FootprintMM2, c.ArrayMM2+c.SRAMMM2)
+	}
+	if c.TSVCount != 0 || c.TSVMM2 != 0 {
+		t.Error("2-D chiplet has TSVs")
+	}
+	// 200x200 at 74 um^2 = 2.96 mm^2 exactly.
+	if math.Abs(c.ArrayMM2-2.96) > 1e-9 {
+		t.Errorf("200x200 array area = %g mm^2, want 2.96", c.ArrayMM2)
+	}
+	// Rectangular: height = array side, width longer.
+	if math.Abs(c.HeightMM*c.HeightMM-c.ArrayMM2) > 1e-9 {
+		t.Errorf("2-D height %g not the array side", c.HeightMM)
+	}
+	if c.WidthMM <= c.HeightMM {
+		t.Errorf("2-D chiplet width %g not beyond array height %g", c.WidthMM, c.HeightMM)
+	}
+}
+
+func Test3DFootprintIsMaxTier(t *testing.T) {
+	e := est(t, 1024)
+	c, err := Build(196*196, e, true, 196+2*196)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footprint = max tier plus the per-side assembly margin.
+	wantSide := math.Sqrt(math.Max(c.ArrayMM2, c.SRAMMM2+c.TSVMM2)) + 0.3
+	if math.Abs(c.FootprintMM2-wantSide*wantSide) > 1e-9 {
+		t.Errorf("3-D footprint %g != (max-tier side + margin)^2 %g", c.FootprintMM2, wantSide*wantSide)
+	}
+	if c.ActiveInsetMM <= 0 {
+		t.Error("3-D chiplet missing active inset")
+	}
+	if c.TSVCount <= 0 || c.TSVCopperFraction <= 0 || c.TSVCopperFraction >= 1 {
+		t.Errorf("TSV accounting wrong: count=%d copper=%g", c.TSVCount, c.TSVCopperFraction)
+	}
+}
+
+// Test3DSavesFootprint: the core 3-D advantage the paper exploits — a 3-D
+// chiplet's interposer footprint is well below the 2-D equivalent,
+// letting TESA place more chiplets (and win OPS).
+func Test3DSavesFootprint(t *testing.T) {
+	e := est(t, 1024)
+	peak := 200 + 2*200.0
+	c2, err := Build(200*200, e, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := Build(200*200, e, true, peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stacked footprint (max tier plus the assembly margin) stays
+	// clearly below the planar footprint.
+	if c3.FootprintMM2 >= 0.85*c2.FootprintMM2 {
+		t.Errorf("3-D footprint %g not well below 2-D %g", c3.FootprintMM2, c2.FootprintMM2)
+	}
+	// But total silicon is at least as large (extra TSV area).
+	if c3.SiliconMM2() < c2.SiliconMM2() {
+		t.Errorf("3-D silicon %g below 2-D %g", c3.SiliconMM2(), c2.SiliconMM2())
+	}
+}
+
+func TestTSVCountScalesWithBandwidth(t *testing.T) {
+	e := est(t, 256)
+	f := func(bw uint8) bool {
+		b := float64(bw%200) + 1
+		c1, err1 := Build(64*64, e, true, b)
+		c2, err2 := Build(64*64, e, true, 2*b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c2.TSVCount >= 2*c1.TSVCount-2 && c2.TSVCount <= 2*c1.TSVCount+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDimsMatchFootprint(t *testing.T) {
+	e := est(t, 512)
+	c2, err := Build(128*128, e, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c2.WidthMM*c2.HeightMM-c2.FootprintMM2) > 1e-9 {
+		t.Errorf("2-D W*H = %g != footprint %g", c2.WidthMM*c2.HeightMM, c2.FootprintMM2)
+	}
+	c3, err := Build(128*128, e, true, 128*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c3.WidthMM-c3.HeightMM) > 1e-12 {
+		t.Errorf("3-D chiplet not square: %g x %g", c3.WidthMM, c3.HeightMM)
+	}
+	if math.Abs(c3.WidthMM*c3.HeightMM-c3.FootprintMM2) > 1e-9 {
+		t.Errorf("3-D W*H = %g != footprint %g", c3.WidthMM*c3.HeightMM, c3.FootprintMM2)
+	}
+}
+
+// TestInterposerCapacity: the paper's winning configurations must
+// physically fit the 8x8 mm interposer: two 200x200/3x1MB 2-D chiplets
+// and four (2x2) 196x196/3x1MB 3-D chiplets.
+func TestInterposerCapacity(t *testing.T) {
+	e := est(t, 1024)
+	c2, err := Build(200*200, e, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*c2.HeightMM+1.0 > 8.0 { // two chiplets stacked vertically plus 1 mm max ICS
+		t.Errorf("two 2-D chiplets (height %.2f mm) overflow the 8 mm interposer", c2.HeightMM)
+	}
+	c3, err := Build(196*196, e, true, 196*3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*c3.WidthMM+1.0 > 8.0 {
+		t.Errorf("2x2 3-D chiplets (side %.2f mm) overflow the 8 mm interposer", c3.WidthMM)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tesa/internal/dnn"
+)
+
+func baselineSetup(t *testing.T, tech Tech, freqMHz float64) (dnn.Workload, Options, Constraints, Models) {
+	t.Helper()
+	w := dnn.ARVRWorkload()
+	opts := DefaultOptions()
+	opts.Tech = tech
+	opts.FreqHz = freqMHz * 1e6
+	opts.Grid = 24
+	cons := DefaultConstraints()
+	cons.TempBudgetC = 75
+	return w, opts, cons, DefaultModels()
+}
+
+// TestSC1MaxParallelism: SC1 must output a six-chiplet MCM (one DNN per
+// chiplet) at the maximum ICS, and its ground-truth evaluation must
+// exceed the 75 C budget — the paper's Fig. 5 result.
+func TestSC1MaxParallelism(t *testing.T) {
+	w, opts, cons, models := baselineSetup(t, Tech2D, 500)
+	res, err := RunSC1(w, opts, cons, models, DefaultSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("SC1 found no six-chiplet configuration")
+	}
+	if res.Chosen.Mesh.Count() != 6 {
+		t.Errorf("SC1 mesh %v, want 6 chiplets (one per DNN)", res.Chosen.Mesh)
+	}
+	if res.Chosen.Point.ICSUM != 1000 {
+		t.Errorf("SC1 ICS %d um, want the maximum 1000", res.Chosen.Point.ICSUM)
+	}
+	// The paper's SC1 chiplet is 180x180 with 1,536 KB; ours must land in
+	// the same neighbourhood (the largest array whose 6-chiplet mesh
+	// fits).
+	if dim := res.Chosen.Point.ArrayDim; dim < 160 || dim > 200 {
+		t.Errorf("SC1 array %dx%d, want in the 160..200 band (paper: 180)", dim, dim)
+	}
+	if res.Actual.PeakTempC <= cons.TempBudgetC && !res.Actual.Runaway {
+		t.Errorf("SC1 actually feasible at %.1f C; the paper's point is that it exceeds 75 C", res.Actual.PeakTempC)
+	}
+}
+
+// TestSC2HotterThanBudget: sizing without temperature picks MCMs that
+// violate the strict 75 C budget at 500 MHz (Table IV).
+func TestSC2HotterThanBudget(t *testing.T) {
+	w, opts, cons, models := baselineSetup(t, Tech2D, 500)
+	res, err := RunSC2(w, opts, cons, models, tinySpace(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("SC2 found nothing")
+	}
+	if !res.Chosen.Feasible {
+		t.Error("SC2's own pick infeasible under its own (thermal-blind) models")
+	}
+	if res.Actual.PeakTempC <= 75 && !res.Actual.Runaway {
+		t.Errorf("SC2 2-D at 500 MHz actually ran at %.1f C <= 75; expected a violation", res.Actual.PeakTempC)
+	}
+}
+
+// TestW1OriginalPerformanceViolation: minimizing temperature with no
+// constraints lands on tiny, slow chiplets (the paper: 16x16 with a 36x
+// latency violation).
+func TestW1OriginalPerformanceViolation(t *testing.T) {
+	w, opts, cons, models := baselineSetup(t, Tech3D, 500)
+	res, err := RunW1(w, opts, cons, models, tinySpaceWide(), 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("W1 found nothing")
+	}
+	if dim := res.Chosen.Point.ArrayDim; dim > 64 {
+		t.Errorf("W1-original picked %dx%d; minimizing T should drive to the smallest arrays", dim, dim)
+	}
+	if res.Actual.LatencyFactor < 5 {
+		t.Errorf("W1-original latency factor %.1fx, want a gross violation (paper: 36x)", res.Actual.LatencyFactor)
+	}
+	desc := res.Describe(cons)
+	if !strings.Contains(desc, "INFEASIBLE") {
+		t.Errorf("Describe() = %q, want INFEASIBLE", desc)
+	}
+}
+
+// TestW1ConstrainedThermalViolation: adding performance and power
+// constraints to W1 still yields a thermally infeasible MCM at 75 C,
+// because W1 ignores leakage.
+func TestW1ConstrainedThermalViolation(t *testing.T) {
+	w, opts, cons, models := baselineSetup(t, Tech3D, 500)
+	res, err := RunW1(w, opts, cons, models, tinySpaceWide(), 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Skip("W1-constrained found nothing on the reduced space")
+	}
+	if res.Actual.LatencyFactor > 1 {
+		t.Errorf("W1-constrained violates latency (%.2fx); constraints should have prevented that", res.Actual.LatencyFactor)
+	}
+	if res.Actual.PeakTempC <= 75 && !res.Actual.Runaway {
+		t.Errorf("W1-constrained actually feasible (%.1f C); expected thermal violation at 75 C", res.Actual.PeakTempC)
+	}
+}
+
+// TestW2LinearLeakageUnderestimates: W2's linear leakage model reports
+// less leakage power than the exponential ground truth at identical
+// operating points.
+func TestW2LinearLeakageUnderestimates(t *testing.T) {
+	w, opts, cons, models := baselineSetup(t, Tech3D, 500)
+	linOpts := opts
+	linOpts.LinearLeakage = true
+	lin, err := NewEvaluator(w, linOpts, cons, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := NewEvaluator(w, opts, cons, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DesignPoint{ArrayDim: 216, ICSUM: 700}
+	evLin, err := lin.EvaluateFull(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evExp, err := exp.EvaluateFull(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evLin.LeakageW >= evExp.LeakageW {
+		t.Errorf("linear leakage %.2f W not below exponential %.2f W", evLin.LeakageW, evExp.LeakageW)
+	}
+	if evLin.PeakTempC >= evExp.PeakTempC {
+		t.Errorf("linear-model temperature %.1f C not below exponential %.1f C", evLin.PeakTempC, evExp.PeakTempC)
+	}
+}
+
+// tinySpaceWide spans small to large arrays for the W1/W2 studies.
+func tinySpaceWide() Space {
+	var s Space
+	for d := 16; d <= 256; d += 16 {
+		s.ArrayDims = append(s.ArrayDims, d)
+	}
+	for ics := 0; ics <= 1000; ics += 250 {
+		s.ICSUMs = append(s.ICSUMs, ics)
+	}
+	return s
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tesa/internal/area"
+	"tesa/internal/cost"
+	"tesa/internal/dnn"
+	"tesa/internal/floorplan"
+	"tesa/internal/nop"
+	"tesa/internal/power"
+	"tesa/internal/sched"
+	"tesa/internal/sram"
+	"tesa/internal/systolic"
+	"tesa/internal/thermal"
+)
+
+// Evaluation is the full characterization of one MCM design point — the
+// outputs of the Fig. 2b pipeline that the optimizer consumes plus
+// everything the paper's tables report.
+type Evaluation struct {
+	Point DesignPoint
+
+	// Feasible is true when every user-defined constraint holds.
+	Feasible bool
+	// Violations lists the violated constraints ("area", "latency",
+	// "power", "temperature", "runaway").
+	Violations []string
+	// Fits is false when no chiplet mesh fits the interposer at all; the
+	// remaining fields are then zero.
+	Fits bool
+
+	Mesh    floorplan.Mesh
+	Chiplet area.Chiplet
+	// MakespanSec is the workload completion time; the latency
+	// constraint is MakespanSec <= 1/FPS.
+	MakespanSec float64
+	// LatencyFactor is MakespanSec * FPS: >1 means violation (the paper
+	// reports "36x longer than 30 fps" style factors).
+	LatencyFactor float64
+
+	// PeakTempC is the maximum junction temperature across all execution
+	// phases (NaN when thermal evaluation is disabled).
+	PeakTempC float64
+	// Runaway marks a diverging leakage-temperature fixed point.
+	Runaway bool
+	// LeakIters is the maximum leakage-temperature iterations over
+	// phases.
+	LeakIters int
+
+	// TotalPowerW is the worst-phase chiplet power including leakage at
+	// the converged temperature; DynamicPowerW is its dynamic part.
+	TotalPowerW   float64
+	DynamicPowerW float64
+	LeakageW      float64
+
+	MCMCost      cost.Breakdown
+	DRAMPowerW   float64
+	DRAMChannels int
+	// OPS is the sustained operations per second during workload
+	// execution: 2 operations per MAC over the makespan. PeakOPS is the
+	// hardware's peak capacity (2 x PEs x chiplets x frequency), the
+	// paper's Sec. IV-B.3 comparison metric.
+	OPS     float64
+	PeakOPS float64
+
+	// Objective is Eq. (6): Alpha*cost/RefCost + Beta*DRAM/RefDRAM.
+	Objective float64
+
+	// Schedule is the static DNN-to-chiplet assignment.
+	Schedule *sched.Schedule
+	// Placement is the concrete floorplan (chiplet rectangles on the
+	// interposer).
+	Placement *floorplan.Placement
+	// ChipletTraffic is each chiplet's DRAM traffic in bytes per frame.
+	ChipletTraffic []int64
+	// Hottest, when full evaluation was requested, is the thermal field
+	// of the hottest phase (for Fig. 6 maps).
+	Hottest *thermal.Result
+	// HottestStack is the stack that produced Hottest.
+	HottestStack *thermal.Stack
+	// Full records whether thermal analysis ran to completion even after
+	// an early constraint violation (reporting mode).
+	Full bool
+}
+
+// Evaluator runs the TESA pipeline for design points of one workload
+// under one (Options, Constraints) setting, memoizing both the
+// performance simulations and whole-point evaluations — the paper's
+// SCALE-Sim runs take minutes to hours per point, which is exactly why
+// the real tool-chain caches too.
+type Evaluator struct {
+	Workload dnn.Workload
+	Opts     Options
+	Cons     Constraints
+	Models   Models
+
+	sim *systolic.Simulator
+
+	mu    sync.Mutex
+	cache map[DesignPoint]*Evaluation
+}
+
+// NewEvaluator builds an evaluator; zero fields of models are filled with
+// defaults.
+func NewEvaluator(w dnn.Workload, opts Options, cons Constraints, models Models) (*Evaluator, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cons.Validate(); err != nil {
+		return nil, err
+	}
+	zero := Models{}
+	if models == zero {
+		models = DefaultModels()
+	}
+	if err := models.Power.Validate(); err != nil {
+		return nil, err
+	}
+	if err := models.DRAM.Validate(); err != nil {
+		return nil, err
+	}
+	if err := models.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxChiplets == 0 {
+		opts.MaxChiplets = len(w.Networks)
+	}
+	return &Evaluator{
+		Workload: w,
+		Opts:     opts,
+		Cons:     cons,
+		Models:   models,
+		sim:      systolic.NewSimulator(),
+		cache:    make(map[DesignPoint]*Evaluation),
+	}, nil
+}
+
+// Explored returns the number of distinct design points evaluated so far
+// (used for the paper's "<15% of the space explored" claim).
+func (e *Evaluator) Explored() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// Evaluate runs the pipeline, short-circuiting the expensive thermal
+// stage once a cheaper constraint already fails (DSE mode).
+func (e *Evaluator) Evaluate(p DesignPoint) (*Evaluation, error) {
+	return e.evaluate(p, false)
+}
+
+// EvaluateFull runs the whole pipeline including thermal analysis even
+// for constraint-violating points (reporting mode: the paper's Tables
+// III and IV show peak temperatures of infeasible MCMs).
+func (e *Evaluator) EvaluateFull(p DesignPoint) (*Evaluation, error) {
+	return e.evaluate(p, true)
+}
+
+func (e *Evaluator) evaluate(p DesignPoint, full bool) (*Evaluation, error) {
+	e.mu.Lock()
+	if ev, ok := e.cache[p]; ok && (ev.Full || !full) {
+		e.mu.Unlock()
+		return ev, nil
+	}
+	e.mu.Unlock()
+
+	ev, err := e.pipeline(p, full)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.cache[p] = ev
+	e.mu.Unlock()
+	return ev, nil
+}
+
+// netProfile couples a network's simulation stats with its chiplet-level
+// power decomposition.
+type netProfile struct {
+	stats *systolic.NetworkStats
+	dyn   power.Dynamic // chiplet dynamic power decomposition while running this network
+}
+
+// pipeline is Fig. 2b: perturbed design point -> mesh estimator ->
+// scheduler -> floorplanner -> power/leakage/thermal models -> DRAM
+// power, MCM cost, latency -> objective.
+func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
+	if p.ArrayDim <= 0 || p.ICSUM < 0 {
+		return nil, fmt.Errorf("core: invalid design point %+v", p)
+	}
+	ev := &Evaluation{Point: p, PeakTempC: math.NaN(), Full: full}
+	threeD := e.Opts.Tech == Tech3D
+	sramKB := p.SRAMKB()
+
+	// Performance model (SCALE-Sim equivalent), memoized per
+	// (array, network).
+	arr := systolic.Array{
+		Rows: p.ArrayDim, Cols: p.ArrayDim,
+		Dataflow:  e.Opts.Dataflow,
+		SRAMBytes: int64(sramKB) * 1024,
+	}
+	profiles := make([]netProfile, len(e.Workload.Networks))
+	est, err := sram.Estimate22nm(int64(sramKB) * 1024)
+	if err != nil {
+		return nil, err
+	}
+	var peakSRAMBw float64
+	for i := range e.Workload.Networks {
+		st, err := e.sim.Simulate(arr, &e.Workload.Networks[i])
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = netProfile{
+			stats: st,
+			dyn:   e.Models.Power.ChipletDynamic(st, est, e.Opts.FreqHz, threeD),
+		}
+		if st.PeakSRAMBytesPerCycle > peakSRAMBw {
+			peakSRAMBw = st.PeakSRAMBytesPerCycle
+		}
+	}
+
+	// Area model and mesh estimator.
+	chip, err := area.Build(p.ArrayDim*p.ArrayDim, est, threeD, peakSRAMBw)
+	if err != nil {
+		return nil, err
+	}
+	ev.Chiplet = chip
+	// Mesh estimator: the densest grid that fits the interposer at the
+	// chosen spacing, capped at the DNN count. The ICS knob therefore
+	// controls the chiplet count.
+	mesh, err := floorplan.EstimateMesh(e.Cons.InterposerMM, chip.WidthMM, chip.HeightMM, float64(p.ICSUM)/1000, e.Opts.MaxChiplets)
+	if err != nil {
+		ev.Violations = append(ev.Violations, "area")
+		ev.Objective = math.Inf(1)
+		return ev, nil
+	}
+	ev.Mesh = mesh
+	place, err := floorplan.Place(e.Cons.InterposerMM, chip.WidthMM, chip.HeightMM, float64(p.ICSUM)/1000, mesh)
+	if err != nil {
+		return nil, err
+	}
+	ev.Fits = true
+	ev.Placement = place
+	if mesh.Count() < e.Opts.MinChiplets {
+		// The paper targets multi-accelerator MCMs: independent DNNs run
+		// in parallel on distinct chiplets.
+		ev.Violations = append(ev.Violations, "mesh")
+	}
+
+	// Scheduler: latency-, power-, and power-density-aware static
+	// assignment.
+	sp := make([]sched.DNNProfile, len(profiles))
+	var totalMACs int64
+	for i, pr := range profiles {
+		sp[i] = sched.DNNProfile{
+			Name:       e.Workload.Networks[i].Name,
+			LatencySec: pr.stats.LatencySeconds(e.Opts.FreqHz),
+			PowerWatts: pr.dyn.Total(),
+		}
+		totalMACs += pr.stats.MACs
+	}
+	schedule, err := sched.Build(sp, mesh.Count(), place.CornerFirstOrder())
+	if err != nil {
+		return nil, err
+	}
+	ev.Schedule = schedule
+	ev.MakespanSec = schedule.MakespanSec
+	ev.LatencyFactor = schedule.MakespanSec * e.Cons.FPS
+	ev.OPS = 2 * float64(totalMACs) / schedule.MakespanSec
+	ev.PeakOPS = 2 * float64(mesh.Count()) * float64(p.ArrayDim) * float64(p.ArrayDim) * e.Opts.FreqHz
+	if ev.LatencyFactor > 1+1e-9 {
+		ev.Violations = append(ev.Violations, "latency")
+	}
+
+	// DRAM power: per-chiplet channel provisioning by peak bandwidth
+	// (max over the chiplet's DNNs), traffic averaged over the frame.
+	var channels int
+	var frameBytes float64
+	ev.ChipletTraffic = make([]int64, mesh.Count())
+	for c, dnns := range schedule.ChipletDNNs {
+		var need int
+		for _, d := range dnns {
+			bw := profiles[d].stats.PeakDRAMBw * e.Opts.FreqHz
+			if ch := e.Models.DRAM.ChannelsFor(bw); ch > need {
+				need = ch
+			}
+			frameBytes += float64(profiles[d].stats.DRAMBytes)
+			ev.ChipletTraffic[c] += profiles[d].stats.DRAMBytes
+		}
+		if len(dnns) > 0 && need == 0 {
+			need = 1
+		}
+		channels += need
+	}
+	ev.DRAMChannels = channels
+	ev.DRAMPowerW = e.Models.DRAM.Power(channels, frameBytes*e.Cons.FPS)
+
+	// MCM cost.
+	spec := cost.ChipletSpec{ThreeD: threeD}
+	if threeD {
+		spec.ArrayDieMM2 = chip.ArrayTierMM2()
+		spec.SRAMDieMM2 = chip.SRAMTierMM2()
+	} else {
+		spec.ArrayDieMM2 = chip.SiliconMM2()
+	}
+	bd, err := e.Models.Cost.MCM(spec, mesh.Count(), e.Cons.InterposerMM*e.Cons.InterposerMM)
+	if err != nil {
+		return nil, err
+	}
+	ev.MCMCost = bd
+
+	// Objective, Eq. (6).
+	ev.Objective = e.Opts.Alpha*bd.Total/e.Opts.RefCostUSD + e.Opts.Beta*ev.DRAMPowerW/e.Opts.RefDRAMWatts
+
+	// Power and thermal models.
+	if e.Opts.DisableThermal {
+		// SC2 mode: dynamic power only, no temperature evaluation.
+		var worst float64
+		for _, ph := range schedule.Phases {
+			var dyn float64
+			for _, d := range ph.Running {
+				if d >= 0 {
+					dyn += profiles[d].dyn.Total()
+				}
+			}
+			if dyn > worst {
+				worst = dyn
+			}
+		}
+		ev.DynamicPowerW = worst
+		ev.TotalPowerW = worst
+		if worst > e.Cons.PowerBudgetW {
+			ev.Violations = append(ev.Violations, "power")
+		}
+		ev.Feasible = len(ev.Violations) == 0
+		return ev, nil
+	}
+
+	// DSE short-circuit: skip thermal once a cheap constraint failed,
+	// unless a full report is requested.
+	if !full && len(ev.Violations) > 0 {
+		ev.Objective = math.Inf(1)
+		return ev, nil
+	}
+	// Cheap dynamic-power pre-screen: leakage only adds power, so a
+	// dynamic-only violation is already final (but full mode still wants
+	// the temperature).
+	if !full {
+		var worstDyn float64
+		for _, ph := range schedule.Phases {
+			var dyn float64
+			for _, d := range ph.Running {
+				if d >= 0 {
+					dyn += profiles[d].dyn.Total()
+				}
+			}
+			if dyn > worstDyn {
+				worstDyn = dyn
+			}
+		}
+		if worstDyn > e.Cons.PowerBudgetW {
+			ev.DynamicPowerW = worstDyn
+			ev.TotalPowerW = worstDyn
+			ev.Violations = append(ev.Violations, "power")
+			ev.Objective = math.Inf(1)
+			return ev, nil
+		}
+	}
+
+	if err := e.thermalAnalysis(ev, profiles, place, est); err != nil {
+		return nil, err
+	}
+
+	if ev.TotalPowerW > e.Cons.PowerBudgetW {
+		ev.Violations = append(ev.Violations, "power")
+	}
+	if ev.Runaway {
+		ev.Violations = append(ev.Violations, "runaway")
+	} else if ev.PeakTempC > e.Cons.TempBudgetC {
+		ev.Violations = append(ev.Violations, "temperature")
+	}
+	ev.Feasible = len(ev.Violations) == 0
+	if !ev.Feasible && !full {
+		ev.Objective = math.Inf(1)
+	}
+	return ev, nil
+}
+
+// AssessNoP quantifies the network-on-package overhead of an evaluated
+// MCM: each chiplet's link to its edge DRAM PHY. The paper assumes this
+// overhead is negligible ("ICS does not significantly impact DRAM
+// latency"); this method lets callers verify that for any configuration.
+func (e *Evaluator) AssessNoP(ev *Evaluation, params nop.Params) (*nop.Assessment, error) {
+	if ev == nil || ev.Placement == nil {
+		return nil, fmt.Errorf("core: evaluation carries no placement")
+	}
+	return params.Assess(ev.Placement, ev.ChipletTraffic, e.Cons.FPS)
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tesa/internal/dnn"
+)
+
+// TestPipelineSurvivesSyntheticWorkloads is the end-to-end fuzz: random
+// but valid multi-DNN workloads through the full evaluation pipeline at
+// random design points must never error, and every produced evaluation
+// must satisfy basic invariants (non-negative powers, consistent
+// feasibility flags, placement/traffic shapes).
+func TestPipelineSurvivesSyntheticWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	space := DefaultSpace()
+	for trial := 0; trial < 12; trial++ {
+		nDNN := 2 + rng.Intn(5)
+		w := dnn.SynthWorkload(rng, nDNN, dnn.DefaultSynthParams())
+		opts := DefaultOptions()
+		opts.Grid = 20
+		if rng.Intn(2) == 0 {
+			opts.Tech = Tech3D
+		}
+		if rng.Intn(2) == 0 {
+			opts.FreqHz = 500e6
+		}
+		cons := DefaultConstraints()
+		e, err := NewEvaluator(w, opts, cons, Models{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < 6; i++ {
+			p := space.Random(rng)
+			ev, err := e.EvaluateFull(p)
+			if err != nil {
+				t.Fatalf("trial %d point %v: %v", trial, p, err)
+			}
+			checkInvariants(t, ev, opts)
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, ev *Evaluation, opts Options) {
+	t.Helper()
+	if !ev.Fits {
+		if !contains(ev.Violations, "area") {
+			t.Errorf("%v: does not fit but no area violation", ev.Point)
+		}
+		return
+	}
+	if ev.MakespanSec <= 0 {
+		t.Errorf("%v: non-positive makespan", ev.Point)
+	}
+	if ev.DynamicPowerW < 0 || ev.LeakageW < 0 || ev.TotalPowerW < ev.DynamicPowerW {
+		t.Errorf("%v: inconsistent power %f/%f/%f", ev.Point, ev.DynamicPowerW, ev.LeakageW, ev.TotalPowerW)
+	}
+	if ev.MCMCost.Total <= 0 || ev.DRAMPowerW <= 0 {
+		t.Errorf("%v: non-positive cost/DRAM %f/%f", ev.Point, ev.MCMCost.Total, ev.DRAMPowerW)
+	}
+	if !math.IsNaN(ev.PeakTempC) && ev.PeakTempC < 45-1e-6 {
+		t.Errorf("%v: peak %f below ambient", ev.Point, ev.PeakTempC)
+	}
+	if ev.Feasible && len(ev.Violations) > 0 {
+		t.Errorf("%v: feasible with violations %v", ev.Point, ev.Violations)
+	}
+	if !ev.Feasible && len(ev.Violations) == 0 {
+		t.Errorf("%v: infeasible without violations", ev.Point)
+	}
+	if len(ev.ChipletTraffic) != ev.Mesh.Count() {
+		t.Errorf("%v: traffic entries %d != chiplets %d", ev.Point, len(ev.ChipletTraffic), ev.Mesh.Count())
+	}
+	if ev.Placement == nil || len(ev.Placement.Chiplets) != ev.Mesh.Count() {
+		t.Errorf("%v: placement inconsistent", ev.Point)
+	}
+	// Every scheduled DNN appears exactly once.
+	seen := map[int]int{}
+	for _, dnns := range ev.Schedule.ChipletDNNs {
+		for _, d := range dnns {
+			seen[d]++
+		}
+	}
+	for d, c := range seen {
+		if c != 1 {
+			t.Errorf("%v: DNN %d scheduled %d times", ev.Point, d, c)
+		}
+	}
+}
+
+// TestPipelineSingleDNNWorkload: the degenerate one-DNN workload works
+// end to end (the mesh cap drops to 1, MinChiplets permitting).
+func TestPipelineSingleDNNWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := dnn.SynthWorkload(rng, 1, dnn.DefaultSynthParams())
+	opts := DefaultOptions()
+	opts.Grid = 20
+	opts.MinChiplets = 1
+	e, err := NewEvaluator(w, opts, DefaultConstraints(), Models{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := e.EvaluateFull(DesignPoint{ArrayDim: 64, ICSUM: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Mesh.Count() != 1 {
+		t.Errorf("mesh %v, want a single chiplet (cap = #DNNs = 1)", ev.Mesh)
+	}
+	checkInvariants(t, ev, opts)
+}

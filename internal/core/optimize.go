@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"tesa/internal/anneal"
+)
+
+// OptimizeResult is the outcome of a TESA optimization run.
+type OptimizeResult struct {
+	// Best is the winning MCM, nil when no feasible configuration exists
+	// (the paper's "solution does not exist" outcome, e.g. 3-D at
+	// 500 MHz under a 75 C budget).
+	Best *Evaluation
+	// Found is false when the whole run saw no feasible point.
+	Found bool
+	// Evaluations counts annealer evaluations (including cache hits);
+	// Explored counts distinct design points actually evaluated.
+	Evaluations int
+	Explored    int
+	// PerStart reports each annealer's own best.
+	PerStart []anneal.Result[DesignPoint]
+}
+
+// initAttempts bounds the random search for a feasible starting MCM on
+// the full design space; smaller spaces get a proportionally smaller
+// budget so the initialization does not trivially exhaust them.
+const initAttempts = 400
+
+// initBudget scales the initialization sampling to the space.
+func initBudget(space Space) int {
+	b := space.Size() / 6
+	if b > initAttempts {
+		b = initAttempts
+	}
+	if b < 10 {
+		b = 10
+	}
+	return b
+}
+
+// Optimize runs the paper's multi-start simulated annealing over the
+// design space (Fig. 4): three parallel annealers with decays 0.89, 0.87
+// and 0.85, T_a from 19 down to 0.5, and 10 perturbations per level.
+// Infeasible candidates are rejected outright; feasible ones compete on
+// the Eq. (6) objective.
+func (e *Evaluator) Optimize(space Space, seed int64) (*OptimizeResult, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	// Initialization with a feasible MCM (Fig. 4): sample the space and
+	// start from the BEST feasible sample. The feasible set can be
+	// fragmented (infeasible candidates are always rejected, so an
+	// annealer cannot cross an infeasible band), which makes the starting
+	// basin decisive.
+	budget := initBudget(space)
+	init := func(rng *rand.Rand) (DesignPoint, bool) {
+		var best DesignPoint
+		bestObj, found := 0.0, false
+		for i := 0; i < budget; i++ {
+			p := space.Random(rng)
+			ev, err := e.Evaluate(p)
+			if err != nil || !ev.Feasible {
+				continue
+			}
+			if !found || ev.Objective < bestObj {
+				best, bestObj, found = p, ev.Objective, true
+			}
+		}
+		return best, found
+	}
+	var evalErr error
+	var errOnce sync.Once
+	eval := func(p DesignPoint) (float64, bool) {
+		ev, err := e.Evaluate(p)
+		if err != nil {
+			errOnce.Do(func() { evalErr = err })
+			return 0, false
+		}
+		return ev.Objective, ev.Feasible
+	}
+	best, per, err := anneal.MultiStart(anneal.DefaultStarts(seed), init, space.Neighbor, eval)
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	res := &OptimizeResult{
+		Found:       best.Found,
+		Evaluations: best.Evaluations,
+		Explored:    e.Explored(),
+		PerStart:    per,
+	}
+	if best.Found {
+		ev, err := e.Evaluate(best.Best)
+		if err != nil {
+			return nil, err
+		}
+		res.Best = ev
+	}
+	return res, nil
+}
+
+// ExhaustiveResult is the outcome of a full design-space sweep.
+type ExhaustiveResult struct {
+	// Best is the global optimum, nil when nothing is feasible.
+	Best *Evaluation
+	// Feasible counts feasible points; Total is the space size.
+	Feasible, Total int
+}
+
+// Exhaustive evaluates every design vector in the space in parallel and
+// returns the global optimum of Eq. (6). The paper uses this on a small
+// validation sub-space to certify the optimizer (Sec. IV-A); it is also
+// how the "an exhaustive evaluation can take multiple days" claim is
+// quantified against the annealer's <15% exploration.
+func (e *Evaluator) Exhaustive(space Space) (*ExhaustiveResult, error) {
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	pts := space.Enumerate()
+	res := &ExhaustiveResult{Total: len(pts)}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+		next    int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstEr != nil || next >= len(pts) {
+					mu.Unlock()
+					return
+				}
+				p := pts[next]
+				next++
+				mu.Unlock()
+
+				ev, err := e.Evaluate(p)
+				mu.Lock()
+				if err != nil {
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if ev.Feasible {
+					res.Feasible++
+					if res.Best == nil || ev.Objective < res.Best.Objective {
+						res.Best = ev
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, fmt.Errorf("core: exhaustive sweep: %w", firstEr)
+	}
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSRAMDerivationMatchesPaper pins the derived per-SRAM capacities to
+// every chiplet configuration the paper reports (Tables III, IV, V and
+// Fig. 5): the area-ratio rule must reproduce them all.
+func TestSRAMDerivationMatchesPaper(t *testing.T) {
+	cases := map[int]int{
+		16:  8,    // W1 original: 24 KB total
+		56:  64,   // W2 original: 192 KB total
+		96:  256,  // Table V 3-D: 768 KB total
+		132: 512,  // W1 with constraints: 1,536 KB total
+		186: 512,  // Table V 3-D: 1,536 KB total
+		196: 1024, // Table V 3-D: 3,072 KB total
+		200: 1024, // Table V 2-D: 3,072 KB total
+		216: 1024, // Table IV / V: 3,072 KB total
+		240: 1024, // Table V 2-D: 3,072 KB total
+	}
+	for dim, want := range cases {
+		if got := SRAMKBForArray(dim); got != want {
+			t.Errorf("SRAMKBForArray(%d) = %d KB, want %d KB (paper total %d KB)", dim, got, want, 3*want)
+		}
+	}
+}
+
+// TestSRAMDerivationMonotone: bigger arrays never derive smaller SRAMs,
+// and the result is always a power of two in [8, 4096].
+func TestSRAMDerivationMonotone(t *testing.T) {
+	prev := 0
+	for d := 16; d <= 256; d += 2 {
+		kb := SRAMKBForArray(d)
+		if kb < prev {
+			t.Errorf("dim %d: SRAM %d KB below smaller array's %d KB", d, kb, prev)
+		}
+		if kb < 8 || kb > 4096 || kb&(kb-1) != 0 {
+			t.Errorf("dim %d: SRAM %d KB not a power of two in [8,4096]", d, kb)
+		}
+		prev = kb
+	}
+}
+
+func TestDefaultSpaceMatchesTableII(t *testing.T) {
+	s := DefaultSpace()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ArrayDims) != 121 {
+		t.Errorf("array sizes = %d, want 121 (16x16..256x256 step 2)", len(s.ArrayDims))
+	}
+	if len(s.ICSUMs) != 21 {
+		t.Errorf("ICS options = %d, want 21 (0..1mm step 50um)", len(s.ICSUMs))
+	}
+	if s.Size() != 121*21 {
+		t.Errorf("space size = %d, want %d", s.Size(), 121*21)
+	}
+	if s.ArrayDims[0] != 16 || s.ArrayDims[len(s.ArrayDims)-1] != 256 {
+		t.Errorf("array range = [%d, %d], want [16, 256]", s.ArrayDims[0], s.ArrayDims[len(s.ArrayDims)-1])
+	}
+}
+
+func TestEnumerateCoversSpace(t *testing.T) {
+	s := ValidationSpace()
+	pts := s.Enumerate()
+	if len(pts) != s.Size() {
+		t.Fatalf("enumerated %d points, size says %d", len(pts), s.Size())
+	}
+	seen := make(map[DesignPoint]bool, len(pts))
+	for _, p := range pts {
+		if seen[p] {
+			t.Fatalf("duplicate point %v", p)
+		}
+		seen[p] = true
+		if !s.Contains(p) {
+			t.Fatalf("enumerated point %v not in space", p)
+		}
+	}
+}
+
+// TestNeighborStaysInSpace: every perturbation lands on the axes
+// (property test).
+func TestNeighborStaysInSpace(t *testing.T) {
+	s := DefaultSpace()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := s.Random(rng)
+		for i := 0; i < 50; i++ {
+			p = s.Neighbor(p, rng)
+			if !s.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNeighborChangesExactlyOneKnob: each perturbation tunes chiplet size
+// OR spacing, never both (Fig. 4).
+func TestNeighborChangesExactlyOneKnob(t *testing.T) {
+	s := DefaultSpace()
+	rng := rand.New(rand.NewSource(7))
+	p := DesignPoint{ArrayDim: 128, ICSUM: 500}
+	changedDim, changedICS := false, false
+	for i := 0; i < 200; i++ {
+		q := s.Neighbor(p, rng)
+		if q.ArrayDim != p.ArrayDim && q.ICSUM != p.ICSUM {
+			t.Fatalf("perturbation changed both knobs: %v -> %v", p, q)
+		}
+		if q == p {
+			t.Fatalf("perturbation %d changed nothing", i)
+		}
+		if q.ArrayDim != p.ArrayDim {
+			changedDim = true
+		}
+		if q.ICSUM != p.ICSUM {
+			changedICS = true
+		}
+	}
+	if !changedDim || !changedICS {
+		t.Error("perturbations never touched one of the knobs")
+	}
+}
+
+func TestSpaceValidateRejectsEmpty(t *testing.T) {
+	if err := (Space{}).Validate(); err == nil {
+		t.Error("empty space accepted")
+	}
+	bad := Space{ArrayDims: []int{0}, ICSUMs: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero array dim accepted")
+	}
+	neg := Space{ArrayDims: []int{16}, ICSUMs: []int{-5}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative ICS accepted")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	p := DesignPoint{ArrayDim: 200, ICSUM: 1700}
+	want := "200x200 array, 3072 KB SRAM, ICS 1700 um"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FloorplanASCII renders an evaluated MCM's floorplan: the interposer
+// outline with each chiplet's systolic-array region ('A') and SRAM region
+// ('S'); for 3-D chiplets the stacked footprint renders as '3' with its
+// assembly margin as 'm'. Whitespace between chiplets is '.'.
+func FloorplanASCII(ev *Evaluation) string {
+	if ev == nil || ev.Placement == nil {
+		return ""
+	}
+	const cols = 48
+	pl := ev.Placement
+	scale := float64(cols) / pl.InterposerMM
+	rows := cols / 2 // terminal cells are ~2x taller than wide
+
+	canvas := make([][]byte, rows)
+	for j := range canvas {
+		canvas[j] = []byte(strings.Repeat(".", cols))
+	}
+	for _, r := range pl.Chiplets {
+		for yj := 0; yj < rows; yj++ {
+			for xi := 0; xi < cols; xi++ {
+				x := (float64(xi) + 0.5) / scale
+				y := (float64(yj) + 0.5) * 2 / scale
+				if x < r.X || x >= r.X+r.W || y < r.Y || y >= r.Y+r.H {
+					continue
+				}
+				var ch byte
+				if ev.Chiplet.ThreeD {
+					ch = '3'
+					in := ev.Chiplet.ActiveInsetMM
+					if x < r.X+in || x >= r.X+r.W-in || y < r.Y+in || y >= r.Y+r.H-in {
+						ch = 'm'
+					}
+				} else {
+					arrayW := r.W * ev.Chiplet.ArrayMM2 / ev.Chiplet.FootprintMM2
+					if x < r.X+arrayW {
+						ch = 'A'
+					} else {
+						ch = 'S'
+					}
+				}
+				canvas[yj][xi] = ch
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "floorplan %v, %v grid on %.0fx%.0f mm interposer:\n",
+		ev.Point, ev.Mesh, pl.InterposerMM, pl.InterposerMM)
+	b.WriteString("+" + strings.Repeat("-", cols) + "+\n")
+	for j := rows - 1; j >= 0; j-- {
+		b.WriteString("|")
+		b.Write(canvas[j])
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", cols) + "+\n")
+	if ev.Chiplet.ThreeD {
+		b.WriteString("3 = stacked array-over-SRAM chiplet, m = assembly margin\n")
+	} else {
+		b.WriteString("A = systolic array region, S = SRAM region\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+// Package cost implements TESA's MCM fabrication-cost model, after the
+// representative model of Coskun et al. (TCAD 2020) the paper adopts: the
+// cost of an MCM is the sum of its chiplet die costs (wafer amortization
+// over yielded dies), the silicon interposer, and the microbump bonding
+// steps, assuming known good dies (KGD — every die is tested before
+// assembly, so assembly never consumes bad dies, but each bonding step
+// still carries its own yield).
+//
+// The model captures the two levers TESA trades against DRAM power:
+// smaller chiplets yield better and cost less silicon, but more chiplets
+// mean more bonding steps; 3-D chiplets add a second die and a
+// tier-stacking bond each.
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params holds the fabrication cost constants. The zero value is not
+// valid; use Default22nm.
+type Params struct {
+	// WaferCost is the processed-wafer cost of the 22 nm logic process.
+	WaferCost float64
+	// WaferDiameterMM is the wafer diameter (300 mm).
+	WaferDiameterMM float64
+	// WaferEdgeExclusionMM is the unusable edge ring.
+	WaferEdgeExclusionMM float64
+	// DefectDensityPerCM2 is D0 of the negative-binomial yield model.
+	DefectDensityPerCM2 float64
+	// ClusterAlpha is the defect-clustering parameter (alpha).
+	ClusterAlpha float64
+	// DieTestCost is the per-die KGD test cost.
+	DieTestCost float64
+
+	// InterposerCostPerMM2 is the passive-interposer silicon cost per
+	// mm^2 (mature node, near-perfect yield folded in).
+	InterposerCostPerMM2 float64
+
+	// BondCost is the cost of microbump-bonding one die to the
+	// interposer.
+	BondCost float64
+	// BondYield is the per-bonding-step assembly yield.
+	BondYield float64
+	// StackBondCost is the cost of the intra-chiplet face-to-back bond of
+	// a 3-D chiplet (die-on-die, finer pitch than die-on-interposer).
+	StackBondCost float64
+	// StackBondYield is that step's yield.
+	StackBondYield float64
+}
+
+// Default22nm returns the calibration used in the reproduction (DESIGN.md
+// section 5): $10,000 processed wafers at D0 = 0.8 /cm^2 with alpha = 2 —
+// a die-cost-dominated regime, as in the Coskun et al. model the paper
+// adopts, where the silicon (area x yield) term, not the bonding steps,
+// drives the chiplet-count trade-off — plus cents-per-mm^2 interposer
+// silicon and sub-dollar bonding.
+func Default22nm() Params {
+	return Params{
+		WaferCost:            10000,
+		WaferDiameterMM:      300,
+		WaferEdgeExclusionMM: 3,
+		DefectDensityPerCM2:  0.8,
+		ClusterAlpha:         2,
+		DieTestCost:          0.05,
+		InterposerCostPerMM2: 0.02,
+		BondCost:             0.12,
+		BondYield:            0.99,
+		StackBondCost:        0.20,
+		StackBondYield:       0.98,
+	}
+}
+
+// Validate reports an error for non-physical parameter sets.
+func (p Params) Validate() error {
+	switch {
+	case p.WaferCost <= 0, p.WaferDiameterMM <= 0, p.DefectDensityPerCM2 < 0,
+		p.ClusterAlpha <= 0, p.InterposerCostPerMM2 < 0:
+		return fmt.Errorf("cost: non-physical wafer params %+v", p)
+	case p.BondYield <= 0 || p.BondYield > 1, p.StackBondYield <= 0 || p.StackBondYield > 1:
+		return fmt.Errorf("cost: bond yields must be in (0,1], got %g and %g", p.BondYield, p.StackBondYield)
+	case p.BondCost < 0 || p.StackBondCost < 0 || p.DieTestCost < 0:
+		return fmt.Errorf("cost: negative step costs %+v", p)
+	}
+	return nil
+}
+
+// DieYield returns the negative-binomial yield of a die of the given
+// area: Y = (1 + A*D0/alpha)^(-alpha).
+func (p Params) DieYield(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		return 1
+	}
+	aCM2 := areaMM2 / 100
+	return math.Pow(1+aCM2*p.DefectDensityPerCM2/p.ClusterAlpha, -p.ClusterAlpha)
+}
+
+// DiesPerWafer returns the gross die count for the given die area using
+// the standard circular-wafer correction.
+func (p Params) DiesPerWafer(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		return 0
+	}
+	d := p.WaferDiameterMM - 2*p.WaferEdgeExclusionMM
+	return math.Pi*d*d/(4*areaMM2) - math.Pi*d/math.Sqrt(2*areaMM2)
+}
+
+// DieCost returns the cost of one known-good die of the given area:
+// wafer amortization over yielded dies, plus test.
+func (p Params) DieCost(areaMM2 float64) float64 {
+	n := p.DiesPerWafer(areaMM2)
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return p.WaferCost/(n*p.DieYield(areaMM2)) + p.DieTestCost
+}
+
+// ChipletSpec describes one chiplet for costing purposes.
+type ChipletSpec struct {
+	ThreeD bool
+	// ArrayDieMM2 is the logic (systolic-array) die area. In 2-D this is
+	// the whole chiplet die.
+	ArrayDieMM2 float64
+	// SRAMDieMM2 is the SRAM-tier die area including TSV overhead; zero
+	// for 2-D (the SRAM is on the single die, included in ArrayDieMM2 by
+	// the caller via the chiplet's total silicon).
+	SRAMDieMM2 float64
+}
+
+// Breakdown itemizes an MCM's cost.
+type Breakdown struct {
+	ChipletDies float64 // all known-good dies
+	Stacking    float64 // intra-chiplet 3-D bonds, yield-adjusted
+	Interposer  float64
+	Bonding     float64 // die-to-interposer bonds, yield-adjusted
+	Total       float64
+}
+
+// MCM costs an MCM of n identical chiplets on an interposer of the given
+// area. Known good dies: die cost is paid per assembled chiplet; assembly
+// yield multiplies the whole in-progress assembly cost, because a failed
+// bond scraps the interposer and everything already bonded.
+func (p Params) MCM(spec ChipletSpec, n int, interposerMM2 float64) (Breakdown, error) {
+	if err := p.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if n <= 0 {
+		return Breakdown{}, fmt.Errorf("cost: non-positive chiplet count %d", n)
+	}
+	if spec.ArrayDieMM2 <= 0 {
+		return Breakdown{}, fmt.Errorf("cost: non-positive array die area %g", spec.ArrayDieMM2)
+	}
+	if spec.ThreeD && spec.SRAMDieMM2 <= 0 {
+		return Breakdown{}, fmt.Errorf("cost: 3-D chiplet needs positive SRAM die area, got %g", spec.SRAMDieMM2)
+	}
+
+	var b Breakdown
+	perChipletDies := p.DieCost(spec.ArrayDieMM2)
+	if spec.ThreeD {
+		perChipletDies += p.DieCost(spec.SRAMDieMM2)
+		// The tier stack is assembled before interposer attach; a failed
+		// stack bond scraps both dies.
+		stacked := (perChipletDies + p.StackBondCost) / p.StackBondYield
+		b.Stacking = stacked - perChipletDies
+		perChipletDies = stacked
+	}
+	b.ChipletDies = float64(n)*perChipletDies - b.Stacking*float64(n)
+	b.Stacking *= float64(n)
+
+	b.Interposer = interposerMM2 * p.InterposerCostPerMM2
+
+	// Sequential die-to-interposer attach: after bonding all n chiplets
+	// the surviving fraction is BondYield^n; the expected cost of one
+	// good MCM divides the materials by that survival probability and
+	// adds the bond-step costs.
+	materials := float64(n)*perChipletDies + b.Interposer + float64(n)*p.BondCost
+	survival := math.Pow(p.BondYield, float64(n))
+	b.Bonding = materials/survival - (float64(n)*perChipletDies + b.Interposer)
+	b.Total = materials / survival
+	return b, nil
+}

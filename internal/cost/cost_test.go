@@ -1,0 +1,153 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default22nm().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default22nm()
+	bad.BondYield = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("bond yield > 1 accepted")
+	}
+}
+
+func TestDieYieldProperties(t *testing.T) {
+	p := Default22nm()
+	if y := p.DieYield(0); y != 1 {
+		t.Errorf("zero-area yield = %g, want 1", y)
+	}
+	// Monotone decreasing in area, always in (0, 1].
+	f := func(a, b uint16) bool {
+		aa, bb := float64(a%400)+0.1, float64(b%400)+0.1
+		if aa > bb {
+			aa, bb = bb, aa
+		}
+		ya, yb := p.DieYield(aa), p.DieYield(bb)
+		return ya >= yb && yb > 0 && ya <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Sanity: an 8 mm^2 chiplet at D0=0.8 should yield ~94%.
+	if y := p.DieYield(8); y < 0.90 || y > 0.97 {
+		t.Errorf("8 mm^2 yield = %.4f, want ~0.94", y)
+	}
+}
+
+func TestDiesPerWafer(t *testing.T) {
+	p := Default22nm()
+	n := p.DiesPerWafer(8)
+	// ~67,000 mm^2 usable / 8 mm^2 minus edge loss: several thousand.
+	if n < 5000 || n > 9000 {
+		t.Errorf("8 mm^2 dies per wafer = %.0f, want 5000..9000", n)
+	}
+	if p.DiesPerWafer(0) != 0 {
+		t.Error("zero-area dies-per-wafer not zero")
+	}
+}
+
+func TestDieCostMonotone(t *testing.T) {
+	p := Default22nm()
+	prev := 0.0
+	for _, a := range []float64{1, 2, 4, 8, 16, 32, 64} {
+		c := p.DieCost(a)
+		if c <= prev {
+			t.Errorf("die cost not increasing at %g mm^2: %g <= %g", a, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestMCMRejectsBadSpecs(t *testing.T) {
+	p := Default22nm()
+	if _, err := p.MCM(ChipletSpec{ArrayDieMM2: 8}, 0, 64); err == nil {
+		t.Error("zero chiplets accepted")
+	}
+	if _, err := p.MCM(ChipletSpec{}, 2, 64); err == nil {
+		t.Error("zero die area accepted")
+	}
+	if _, err := p.MCM(ChipletSpec{ThreeD: true, ArrayDieMM2: 4}, 2, 64); err == nil {
+		t.Error("3-D chiplet without SRAM die accepted")
+	}
+}
+
+func TestMCMBreakdownConsistent(t *testing.T) {
+	p := Default22nm()
+	b, err := p.MCM(ChipletSpec{ArrayDieMM2: 8}, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := b.ChipletDies + b.Stacking + b.Interposer + b.Bonding
+	if math.Abs(sum-b.Total) > 1e-9 {
+		t.Errorf("breakdown sum %g != total %g", sum, b.Total)
+	}
+	if b.Stacking != 0 {
+		t.Errorf("2-D MCM has stacking cost %g", b.Stacking)
+	}
+	if b.Total <= 0 {
+		t.Errorf("total %g not positive", b.Total)
+	}
+}
+
+// Test3DCostsMore: at equal silicon, a 3-D chiplet MCM costs more than
+// the 2-D equivalent (extra stacking bond and its yield hit) — the
+// paper's "3-D sacrifices 61% in MCM cost" direction.
+func Test3DCostsMore(t *testing.T) {
+	p := Default22nm()
+	b2, err := p.MCM(ChipletSpec{ArrayDieMM2: 8}, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := p.MCM(ChipletSpec{ThreeD: true, ArrayDieMM2: 4, SRAMDieMM2: 4}, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.Total <= b2.Total {
+		t.Errorf("3-D total %g not above 2-D total %g at iso-silicon", b3.Total, b2.Total)
+	}
+}
+
+// TestFewerBiggerVsManySmaller encodes the SC1-vs-TESA cost shape: six
+// medium chiplets (SC1's layout) cost more than two larger chiplets of
+// comparable total compute, because of the extra bonding steps.
+func TestFewerBiggerVsManySmaller(t *testing.T) {
+	p := Default22nm()
+	six, err := p.MCM(ChipletSpec{ArrayDieMM2: 5.2}, 6, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := p.MCM(ChipletSpec{ArrayDieMM2: 7.7}, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Total >= six.Total {
+		t.Errorf("two big chiplets ($%.2f) not cheaper than six medium ($%.2f)", two.Total, six.Total)
+	}
+	saving := 1 - two.Total/six.Total
+	if saving < 0.20 {
+		t.Errorf("cost saving = %.0f%%, want > 20%% (paper reports ~44%%)", saving*100)
+	}
+}
+
+// TestCostMonotoneInChiplets: adding identical chiplets never reduces
+// cost.
+func TestCostMonotoneInChiplets(t *testing.T) {
+	p := Default22nm()
+	prev := 0.0
+	for n := 1; n <= 6; n++ {
+		b, err := p.MCM(ChipletSpec{ArrayDieMM2: 6}, n, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Total <= prev {
+			t.Errorf("cost not increasing at n=%d: %g <= %g", n, b.Total, prev)
+		}
+		prev = b.Total
+	}
+}

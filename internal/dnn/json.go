@@ -1,0 +1,164 @@
+package dnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file implements the serialized workload format: TESA's first input
+// is a "multi-DNN workload (layer-wise description of each DNN with input
+// size, #weights, etc.)". The JSON schema mirrors the Layer IR directly
+// so users can describe their own workloads without writing Go:
+//
+//	{
+//	  "name": "my-workload",
+//	  "networks": [
+//	    {
+//	      "name": "tiny-cnn",
+//	      "layers": [
+//	        {"kind": "conv", "in": [32, 32, 3], "kernel": [3, 3],
+//	         "filters": 16, "stride": 1, "pad": 1},
+//	        {"kind": "fc", "inFeatures": 1024, "outFeatures": 10}
+//	      ]
+//	    }
+//	  ]
+//	}
+//
+// GEMM layers use {"kind": "gemm", "m":, "n":, "k":}; depthwise layers
+// use {"kind": "dwconv"} with the conv fields minus "filters".
+
+// jsonWorkload is the on-disk schema.
+type jsonWorkload struct {
+	Name     string        `json:"name"`
+	Networks []jsonNetwork `json:"networks"`
+}
+
+type jsonNetwork struct {
+	Name   string      `json:"name"`
+	Layers []jsonLayer `json:"layers"`
+}
+
+type jsonLayer struct {
+	Name   string `json:"name,omitempty"`
+	Kind   string `json:"kind"`
+	In     []int  `json:"in,omitempty"`     // [H, W, C]
+	Kernel []int  `json:"kernel,omitempty"` // [KH, KW]
+	// Filters is the output-channel count of a conv layer.
+	Filters int `json:"filters,omitempty"`
+	Stride  int `json:"stride,omitempty"`
+	Pad     int `json:"pad,omitempty"`
+	// FC fields.
+	InFeatures  int `json:"inFeatures,omitempty"`
+	OutFeatures int `json:"outFeatures,omitempty"`
+	// GEMM fields.
+	M int `json:"m,omitempty"`
+	N int `json:"n,omitempty"`
+	K int `json:"k,omitempty"`
+}
+
+// MarshalWorkload serializes a workload to the JSON schema.
+func MarshalWorkload(w *Workload) ([]byte, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	jw := jsonWorkload{Name: w.Name}
+	for _, n := range w.Networks {
+		jn := jsonNetwork{Name: n.Name}
+		for _, l := range n.Layers {
+			jl := jsonLayer{Name: l.Name, Kind: l.Kind.String()}
+			switch l.Kind {
+			case Conv, DWConv:
+				jl.In = []int{l.InH, l.InW, l.InC}
+				jl.Kernel = []int{l.KH, l.KW}
+				jl.Stride = l.Stride
+				jl.Pad = l.Pad
+				if l.Kind == Conv {
+					jl.Filters = l.OutC
+				}
+			case FC:
+				jl.InFeatures = l.GemmK
+				jl.OutFeatures = l.GemmN
+			case GEMM:
+				jl.M, jl.N, jl.K = l.GemmM, l.GemmN, l.GemmK
+			}
+			jn.Layers = append(jn.Layers, jl)
+		}
+		jw.Networks = append(jw.Networks, jn)
+	}
+	return json.MarshalIndent(jw, "", "  ")
+}
+
+// UnmarshalWorkload parses and validates a workload from the JSON schema.
+func UnmarshalWorkload(data []byte) (Workload, error) {
+	var jw jsonWorkload
+	if err := json.Unmarshal(data, &jw); err != nil {
+		return Workload{}, fmt.Errorf("dnn: parsing workload: %w", err)
+	}
+	w := Workload{Name: jw.Name}
+	for ni, jn := range jw.Networks {
+		n := Network{Name: jn.Name}
+		for li, jl := range jn.Layers {
+			l, err := jl.toLayer()
+			if err != nil {
+				return Workload{}, fmt.Errorf("dnn: network %d (%s) layer %d: %w", ni, jn.Name, li, err)
+			}
+			if l.Name == "" {
+				l.Name = fmt.Sprintf("%s.l%d", jn.Name, li)
+			}
+			n.Layers = append(n.Layers, l)
+		}
+		w.Networks = append(w.Networks, n)
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}
+
+// ReadWorkload parses a workload from a reader.
+func ReadWorkload(r io.Reader) (Workload, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Workload{}, fmt.Errorf("dnn: reading workload: %w", err)
+	}
+	return UnmarshalWorkload(data)
+}
+
+func (jl jsonLayer) toLayer() (Layer, error) {
+	switch jl.Kind {
+	case "conv", "dwconv":
+		if len(jl.In) != 3 {
+			return Layer{}, fmt.Errorf("%s layer needs in: [H, W, C], got %v", jl.Kind, jl.In)
+		}
+		if len(jl.Kernel) != 2 {
+			return Layer{}, fmt.Errorf("%s layer needs kernel: [KH, KW], got %v", jl.Kind, jl.Kernel)
+		}
+		stride := jl.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		if jl.Kind == "dwconv" {
+			if jl.Filters != 0 {
+				return Layer{}, fmt.Errorf("dwconv layer must not set filters (one filter per channel)")
+			}
+			return NewDWConv(jl.Name, jl.In[0], jl.In[1], jl.In[2], jl.Kernel[0], jl.Kernel[1], stride, jl.Pad), nil
+		}
+		if jl.Filters <= 0 {
+			return Layer{}, fmt.Errorf("conv layer needs positive filters, got %d", jl.Filters)
+		}
+		return NewConv(jl.Name, jl.In[0], jl.In[1], jl.In[2], jl.Kernel[0], jl.Kernel[1], jl.Filters, stride, jl.Pad), nil
+	case "fc":
+		if jl.InFeatures <= 0 || jl.OutFeatures <= 0 {
+			return Layer{}, fmt.Errorf("fc layer needs positive inFeatures/outFeatures, got %d/%d", jl.InFeatures, jl.OutFeatures)
+		}
+		return NewFC(jl.Name, jl.InFeatures, jl.OutFeatures), nil
+	case "gemm":
+		if jl.M <= 0 || jl.N <= 0 || jl.K <= 0 {
+			return Layer{}, fmt.Errorf("gemm layer needs positive m/n/k, got %d/%d/%d", jl.M, jl.N, jl.K)
+		}
+		return NewGEMM(jl.Name, jl.M, jl.N, jl.K), nil
+	default:
+		return Layer{}, fmt.Errorf("unknown layer kind %q (want conv, dwconv, fc, or gemm)", jl.Kind)
+	}
+}

@@ -1,0 +1,114 @@
+package dnn
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRoundTripARVR: the full AR/VR workload survives a
+// marshal/unmarshal round trip exactly.
+func TestRoundTripARVR(t *testing.T) {
+	w := ARVRWorkload()
+	data, err := MarshalWorkload(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalWorkload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != w.Name || len(got.Networks) != len(w.Networks) {
+		t.Fatalf("shape mismatch: %s/%d vs %s/%d", got.Name, len(got.Networks), w.Name, len(w.Networks))
+	}
+	for i := range w.Networks {
+		a, b := &w.Networks[i], &got.Networks[i]
+		if a.Name != b.Name || len(a.Layers) != len(b.Layers) {
+			t.Fatalf("network %d: %s/%d vs %s/%d", i, b.Name, len(b.Layers), a.Name, len(a.Layers))
+		}
+		if a.MACs() != b.MACs() {
+			t.Errorf("%s: MACs %d != %d after round trip", a.Name, b.MACs(), a.MACs())
+		}
+		if a.WeightBytes() != b.WeightBytes() {
+			t.Errorf("%s: weights %d != %d after round trip", a.Name, b.WeightBytes(), a.WeightBytes())
+		}
+	}
+}
+
+func TestUnmarshalMinimal(t *testing.T) {
+	src := `{
+	  "name": "tiny",
+	  "networks": [{
+	    "name": "net",
+	    "layers": [
+	      {"kind": "conv", "in": [32, 32, 3], "kernel": [3, 3], "filters": 16, "stride": 1, "pad": 1},
+	      {"kind": "dwconv", "in": [32, 32, 16], "kernel": [3, 3], "pad": 1},
+	      {"kind": "fc", "inFeatures": 256, "outFeatures": 10},
+	      {"kind": "gemm", "m": 8, "n": 8, "k": 8}
+	    ]
+	  }]
+	}`
+	w, err := UnmarshalWorkload([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &w.Networks[0]
+	if len(n.Layers) != 4 {
+		t.Fatalf("layers = %d, want 4", len(n.Layers))
+	}
+	wantKinds := []Kind{Conv, DWConv, FC, GEMM}
+	for i, k := range wantKinds {
+		if n.Layers[i].Kind != k {
+			t.Errorf("layer %d kind %v, want %v", i, n.Layers[i].Kind, k)
+		}
+	}
+	// Default stride applied.
+	if n.Layers[1].Stride != 1 {
+		t.Errorf("dwconv default stride = %d, want 1", n.Layers[1].Stride)
+	}
+	// Auto-generated names.
+	if n.Layers[0].Name != "net.l0" {
+		t.Errorf("auto name = %q, want net.l0", n.Layers[0].Name)
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"syntax":        `{"name": }`,
+		"unknown kind":  `{"name":"x","networks":[{"name":"n","layers":[{"kind":"pool"}]}]}`,
+		"conv no in":    `{"name":"x","networks":[{"name":"n","layers":[{"kind":"conv","kernel":[3,3],"filters":4}]}]}`,
+		"conv no kern":  `{"name":"x","networks":[{"name":"n","layers":[{"kind":"conv","in":[8,8,3],"filters":4}]}]}`,
+		"conv no filt":  `{"name":"x","networks":[{"name":"n","layers":[{"kind":"conv","in":[8,8,3],"kernel":[3,3]}]}]}`,
+		"dw w/ filters": `{"name":"x","networks":[{"name":"n","layers":[{"kind":"dwconv","in":[8,8,3],"kernel":[3,3],"filters":4}]}]}`,
+		"fc bad":        `{"name":"x","networks":[{"name":"n","layers":[{"kind":"fc","inFeatures":-1,"outFeatures":10}]}]}`,
+		"gemm bad":      `{"name":"x","networks":[{"name":"n","layers":[{"kind":"gemm","m":1,"n":0,"k":1}]}]}`,
+		"empty":         `{"name":"x","networks":[]}`,
+		"dupe names":    `{"name":"x","networks":[{"name":"n","layers":[{"kind":"gemm","m":1,"n":1,"k":1}]},{"name":"n","layers":[{"kind":"gemm","m":1,"n":1,"k":1}]}]}`,
+	}
+	for label, src := range cases {
+		if _, err := UnmarshalWorkload([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}
+
+func TestReadWorkload(t *testing.T) {
+	w := Workload{Name: "r", Networks: []Network{MobileNet()}}
+	data, err := MarshalWorkload(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkload(strings.NewReader(string(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Networks[0].MACs() != w.Networks[0].MACs() {
+		t.Error("MACs changed through ReadWorkload")
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	bad := Workload{Name: "bad"}
+	if _, err := MarshalWorkload(&bad); err == nil {
+		t.Error("empty workload marshaled")
+	}
+}

@@ -1,0 +1,95 @@
+package dnn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SynthParams bounds the synthetic network generator. Zero-valued fields
+// get sensible defaults from DefaultSynthParams.
+type SynthParams struct {
+	MinLayers, MaxLayers int
+	// MaxInputHW bounds the input resolution (power-of-two-ish sizes are
+	// drawn up to this).
+	MaxInputHW int
+	// MaxChannels bounds channel counts.
+	MaxChannels int
+	// FCHead appends a classifier head when true.
+	FCHead bool
+}
+
+// DefaultSynthParams returns edge-inference-scale bounds.
+func DefaultSynthParams() SynthParams {
+	return SynthParams{MinLayers: 3, MaxLayers: 24, MaxInputHW: 256, MaxChannels: 512, FCHead: true}
+}
+
+// SynthNetwork generates a random but geometrically valid CNN: a chain of
+// convolutions, depthwise convolutions, and pooling stages whose shapes
+// are tracked so every layer is consistent with its predecessor. It is
+// the fuzzing substrate for pipeline-level property tests: any generated
+// network must survive the full TESA evaluation.
+func SynthNetwork(name string, rng *rand.Rand, p SynthParams) Network {
+	if p.MinLayers <= 0 {
+		p.MinLayers = 3
+	}
+	if p.MaxLayers < p.MinLayers {
+		p.MaxLayers = p.MinLayers + 8
+	}
+	if p.MaxInputHW < 16 {
+		p.MaxInputHW = 256
+	}
+	if p.MaxChannels < 8 {
+		p.MaxChannels = 512
+	}
+
+	sizes := []int{32, 64, 96, 128, 160, 224, 256, 320}
+	hw := sizes[rng.Intn(len(sizes))]
+	for hw > p.MaxInputHW {
+		hw = sizes[rng.Intn(len(sizes))]
+	}
+	b := newBuilder(name, hw, hw, 3)
+	layers := p.MinLayers + rng.Intn(p.MaxLayers-p.MinLayers+1)
+	ch := 8 << rng.Intn(3) // 8, 16, 32
+	for i := 0; i < layers; i++ {
+		// Keep the spatial size workable.
+		if b.h < 4 || b.w < 4 {
+			break
+		}
+		switch rng.Intn(5) {
+		case 0: // strided conv downsample
+			if b.h >= 8 {
+				b.conv(3, 3, ch, 2, 1)
+			} else {
+				b.conv(3, 3, ch, 1, 1)
+			}
+		case 1: // pointwise
+			b.conv(1, 1, ch, 1, 0)
+		case 2: // depthwise
+			b.dwconv(3, 3, 1, 1)
+		case 3: // pool + widen
+			if b.h >= 8 {
+				b.pool(2)
+			}
+			if ch < p.MaxChannels {
+				ch *= 2
+			}
+			b.conv(3, 3, ch, 1, 1)
+		default: // plain 3x3
+			b.conv(3, 3, ch, 1, 1)
+		}
+	}
+	if p.FCHead {
+		b.globalPool()
+		b.fc(10 + rng.Intn(990))
+	}
+	return b.build()
+}
+
+// SynthWorkload generates a multi-DNN workload of n synthetic networks.
+func SynthWorkload(rng *rand.Rand, n int, p SynthParams) Workload {
+	w := Workload{Name: fmt.Sprintf("synthetic-%d", n)}
+	for i := 0; i < n; i++ {
+		w.Networks = append(w.Networks, SynthNetwork(fmt.Sprintf("synth%d", i), rng, p))
+	}
+	return w
+}

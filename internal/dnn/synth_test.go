@@ -1,0 +1,56 @@
+package dnn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSynthNetworksAlwaysValid: every generated network passes
+// validation and has positive MACs (generator-level fuzz).
+func TestSynthNetworksAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := DefaultSynthParams()
+	for i := 0; i < 300; i++ {
+		n := SynthNetwork("fuzz", rng, p)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("iteration %d: invalid network: %v", i, err)
+		}
+		if n.MACs() <= 0 {
+			t.Fatalf("iteration %d: non-positive MACs", i)
+		}
+		if n.WeightBytes() <= 0 {
+			t.Fatalf("iteration %d: non-positive weights", i)
+		}
+	}
+}
+
+// TestSynthWorkloadShape: workloads have distinct names and validate.
+func TestSynthWorkloadShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := SynthWorkload(rng, 4, DefaultSynthParams())
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Networks) != 4 {
+		t.Fatalf("networks = %d, want 4", len(w.Networks))
+	}
+}
+
+// TestSynthZeroParamsDefaulted: the zero SynthParams still generates
+// valid networks.
+func TestSynthZeroParamsDefaulted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := SynthNetwork("z", rng, SynthParams{})
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSynthDeterministic: same seed, same topology.
+func TestSynthDeterministic(t *testing.T) {
+	a := SynthNetwork("d", rand.New(rand.NewSource(9)), DefaultSynthParams())
+	b := SynthNetwork("d", rand.New(rand.NewSource(9)), DefaultSynthParams())
+	if a.MACs() != b.MACs() || len(a.Layers) != len(b.Layers) {
+		t.Error("same seed produced different networks")
+	}
+}

@@ -1,0 +1,85 @@
+// Package dram reproduces the Micron DDR4 SDRAM system-power model that
+// TESA uses for its second objective term: per-channel background power
+// (standby, refresh, and I/O termination) plus traffic-proportional
+// access energy.
+//
+// Channel provisioning follows the paper: each chiplet owns independent
+// DRAM channels, the count determined by its bandwidth requirement; a
+// chiplet that runs multiple DNNs sequentially is assigned the highest
+// channel count across those DNNs.
+package dram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params characterizes one DDR4 channel and its access energy. The zero
+// value is not valid; use DefaultDDR4.
+type Params struct {
+	// ChannelPeakBytesPerSec is the raw channel bandwidth (DDR4-2400 x64:
+	// 19.2 GB/s).
+	ChannelPeakBytesPerSec float64
+	// ChannelEfficiency derates the peak to the sustainable bandwidth a
+	// streaming accelerator achieves (row-buffer locality of sequential
+	// tile fetches keeps this high).
+	ChannelEfficiency float64
+	// BackgroundWattsPerChannel is the always-on power of one populated
+	// channel: device standby currents, refresh, and I/O termination per
+	// the Micron power calculator.
+	BackgroundWattsPerChannel float64
+	// AccessEnergyPerByte is the marginal energy of moving one byte
+	// through the channel (activate/precharge amortized, read/write
+	// burst, and I/O), in joules per byte.
+	AccessEnergyPerByte float64
+}
+
+// DefaultDDR4 returns the DDR4-2400 calibration used in the reproduction:
+// 19.2 GB/s per x64 channel at 70% sustainable efficiency, 250 mW
+// background per channel (low-power mobile parts), and 150 pJ/B access
+// energy.
+func DefaultDDR4() Params {
+	return Params{
+		ChannelPeakBytesPerSec:    19.2e9,
+		ChannelEfficiency:         0.70,
+		BackgroundWattsPerChannel: 0.250,
+		AccessEnergyPerByte:       150e-12,
+	}
+}
+
+// Validate reports an error for non-physical parameter sets.
+func (p Params) Validate() error {
+	if p.ChannelPeakBytesPerSec <= 0 || p.ChannelEfficiency <= 0 || p.ChannelEfficiency > 1 ||
+		p.BackgroundWattsPerChannel < 0 || p.AccessEnergyPerByte < 0 {
+		return fmt.Errorf("dram: non-physical params %+v", p)
+	}
+	return nil
+}
+
+// SustainedBytesPerSec returns the usable per-channel bandwidth.
+func (p Params) SustainedBytesPerSec() float64 {
+	return p.ChannelPeakBytesPerSec * p.ChannelEfficiency
+}
+
+// ChannelsFor returns the number of channels needed to sustain the given
+// bandwidth demand in bytes per second. Every active chiplet needs at
+// least one channel.
+func (p Params) ChannelsFor(demandBytesPerSec float64) int {
+	if demandBytesPerSec <= 0 {
+		return 1
+	}
+	return int(math.Ceil(demandBytesPerSec / p.SustainedBytesPerSec()))
+}
+
+// Power returns the average DRAM power of a memory subsystem with the
+// given total channel count and aggregate traffic rate in bytes per
+// second.
+func (p Params) Power(channels int, trafficBytesPerSec float64) float64 {
+	if channels < 0 {
+		channels = 0
+	}
+	if trafficBytesPerSec < 0 {
+		trafficBytesPerSec = 0
+	}
+	return float64(channels)*p.BackgroundWattsPerChannel + trafficBytesPerSec*p.AccessEnergyPerByte
+}

@@ -1,0 +1,89 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := DefaultDDR4().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{},
+		{ChannelPeakBytesPerSec: 1e9, ChannelEfficiency: 1.5, BackgroundWattsPerChannel: 0.1},
+		{ChannelPeakBytesPerSec: 1e9, ChannelEfficiency: 0.5, AccessEnergyPerByte: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestChannelsFor(t *testing.T) {
+	p := DefaultDDR4()
+	sustained := p.SustainedBytesPerSec()
+	cases := []struct {
+		demand float64
+		want   int
+	}{
+		{0, 1},                // idle chiplet still owns a channel
+		{-5, 1},               // defensive
+		{sustained / 2, 1},    // fits one channel
+		{sustained, 1},        // exactly one channel
+		{sustained * 1.01, 2}, // just over
+		{sustained * 3.5, 4},
+	}
+	for _, c := range cases {
+		if got := p.ChannelsFor(c.demand); got != c.want {
+			t.Errorf("ChannelsFor(%.3g) = %d, want %d", c.demand, got, c.want)
+		}
+	}
+}
+
+func TestChannelsMonotone(t *testing.T) {
+	p := DefaultDDR4()
+	f := func(a, b uint32) bool {
+		da, db := float64(a)*1e6, float64(b)*1e6
+		if da > db {
+			da, db = db, da
+		}
+		return p.ChannelsFor(da) <= p.ChannelsFor(db)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerDecomposition(t *testing.T) {
+	p := DefaultDDR4()
+	// Background only.
+	if got := p.Power(4, 0); math.Abs(got-4*0.25) > 1e-12 {
+		t.Errorf("4 idle channels = %g W, want 1.0", got)
+	}
+	// Traffic term: 1 GB/s at 150 pJ/B = 0.15 W.
+	if got := p.Power(0, 1e9); math.Abs(got-0.15) > 1e-9 {
+		t.Errorf("1 GB/s traffic = %g W, want 0.15", got)
+	}
+	// Negative inputs clamp to zero.
+	if got := p.Power(-1, -1); got != 0 {
+		t.Errorf("negative inputs gave %g W, want 0", got)
+	}
+}
+
+// TestSC1VsTESAShape: the paper's 63% DRAM power saving comes from fewer
+// chiplets (fewer background channels) and bigger SRAMs (less refetch
+// traffic). Check the model expresses that: 6 chiplets with 2 channels
+// each and 3x the traffic of a 2-chiplet system costs far more than the
+// 2-chiplet system.
+func TestSC1VsTESAShape(t *testing.T) {
+	p := DefaultDDR4()
+	sc1 := p.Power(6*2, 6e9)
+	tesa := p.Power(2*1, 2e9)
+	saving := 1 - tesa/sc1
+	if saving < 0.5 {
+		t.Errorf("DRAM power saving = %.0f%%, want > 50%% for the SC1-shape scenario", saving*100)
+	}
+}

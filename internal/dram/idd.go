@@ -1,0 +1,120 @@
+package dram
+
+import "fmt"
+
+// IDD-based power derivation — the structure of the Micron DDR4 system
+// power calculator the paper cites. The calculator works from the
+// datasheet IDD currents; this file reproduces that derivation and shows
+// that the simple two-parameter channel model (background watts +
+// access energy per byte) used by the DSE follows from it. The tests pin
+// the consistency of DefaultDDR4 with representative DDR4-2400 datasheet
+// values.
+
+// IDDParams are per-device DDR4 datasheet currents (in milliamps) and
+// voltages, plus the channel organization.
+type IDDParams struct {
+	VDD float64 // core supply, volts (1.2 V for DDR4)
+	VPP float64 // activation pump supply (2.5 V)
+
+	// Datasheet currents in mA (x8 device class, DDR4-2400 typical).
+	IDD0  float64 // one-bank activate-precharge current
+	IDD2N float64 // precharge standby
+	IDD3N float64 // active standby
+	IDD4R float64 // burst read
+	IDD4W float64 // burst write
+	IDD5B float64 // burst refresh
+	IPP0  float64 // VPP activate current
+
+	// Timing, in nanoseconds.
+	TCK  float64 // clock period (0.833 ns at 1200 MHz for DDR4-2400)
+	TRC  float64 // activate-to-activate (row cycle)
+	TRFC float64 // refresh cycle time
+	TREF float64 // average refresh interval (7.8 us)
+
+	// Organization.
+	DevicesPerRank int // x8 devices forming a x64 channel: 8
+	BurstBytes     int // bytes a device transfers per column burst: 8 (BL8 x8)
+	RowBytes       int // bytes of one device row (page): 1024
+}
+
+// DefaultIDD returns representative DDR4-2400 x8 datasheet values.
+func DefaultIDD() IDDParams {
+	return IDDParams{
+		VDD:  1.2,
+		VPP:  2.5,
+		IDD0: 48, IDD2N: 34, IDD3N: 43,
+		IDD4R: 140, IDD4W: 130, IDD5B: 190,
+		IPP0: 3,
+		TCK:  0.833, TRC: 45.8, TRFC: 350, TREF: 7800,
+		DevicesPerRank: 8,
+		BurstBytes:     8,
+		RowBytes:       1024,
+	}
+}
+
+// Validate reports an error for non-physical parameter sets.
+func (p IDDParams) Validate() error {
+	if p.VDD <= 0 || p.TCK <= 0 || p.TRC <= 0 || p.TRFC <= 0 || p.TREF <= 0 {
+		return fmt.Errorf("dram: non-physical IDD params %+v", p)
+	}
+	if p.DevicesPerRank <= 0 || p.BurstBytes <= 0 || p.RowBytes <= 0 {
+		return fmt.Errorf("dram: non-physical organization %+v", p)
+	}
+	if p.IDD0 < 0 || p.IDD2N < 0 || p.IDD3N < 0 || p.IDD4R < 0 || p.IDD4W < 0 || p.IDD5B < 0 {
+		return fmt.Errorf("dram: negative currents %+v", p)
+	}
+	return nil
+}
+
+// BackgroundWatts returns the channel's always-on power: active-standby
+// core current plus refresh, per the Micron calculator's background
+// terms, over all devices of the rank.
+func (p IDDParams) BackgroundWatts() float64 {
+	standby := p.VDD * p.IDD3N * 1e-3
+	// Refresh: IDD5B flows for tRFC out of every tREFI.
+	refresh := p.VDD * (p.IDD5B - p.IDD3N) * 1e-3 * (p.TRFC / p.TREF)
+	return float64(p.DevicesPerRank) * (standby + refresh)
+}
+
+// ActivateEnergyJ returns the energy of one activate/precharge pair on
+// one device (the calculator's IDD0-based term plus the VPP pump).
+func (p IDDParams) ActivateEnergyJ() float64 {
+	core := p.VDD * (p.IDD0 - p.IDD3N) * 1e-3 * p.TRC * 1e-9
+	pump := p.VPP * p.IPP0 * 1e-3 * p.TRC * 1e-9
+	return core + pump
+}
+
+// ReadEnergyPerByteJ returns the marginal core energy of reading one byte
+// through the channel: the IDD4R burst current above standby, spread over
+// the bytes the rank moves per burst window, plus the amortized activate
+// energy assuming streaming accesses touch each row once.
+func (p IDDParams) ReadEnergyPerByteJ() float64 {
+	burstCycles := 4.0 // BL8 on a DDR interface
+	burstSec := burstCycles * p.TCK * 1e-9
+	burstEnergy := float64(p.DevicesPerRank) * p.VDD * (p.IDD4R - p.IDD3N) * 1e-3 * burstSec
+	bytesPerBurst := float64(p.DevicesPerRank * p.BurstBytes)
+	perByte := burstEnergy / bytesPerBurst
+	// Activate amortization: one row activate per RowBytes streamed, on
+	// every device of the rank.
+	perByte += float64(p.DevicesPerRank) * p.ActivateEnergyJ() / (float64(p.RowBytes) * float64(p.DevicesPerRank))
+	// I/O and termination: roughly comparable to the core burst energy
+	// on DDR4 single-rank point-to-point channels.
+	const ioPJPerByte = 40e-12
+	return perByte + ioPJPerByte
+}
+
+// DeriveChannel converts the IDD-level characterization into the
+// two-parameter channel model the DSE consumes, keeping the given peak
+// bandwidth and efficiency.
+func (p IDDParams) DeriveChannel(peakBytesPerSec, efficiency float64) (Params, error) {
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	out := Params{
+		ChannelPeakBytesPerSec:    peakBytesPerSec,
+		ChannelEfficiency:         efficiency,
+		BackgroundWattsPerChannel: p.BackgroundWatts(),
+		AccessEnergyPerByte:       p.ReadEnergyPerByteJ(),
+	}
+	return out, out.Validate()
+}

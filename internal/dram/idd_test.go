@@ -1,0 +1,84 @@
+package dram
+
+import (
+	"testing"
+)
+
+func TestIDDValidate(t *testing.T) {
+	if err := DefaultIDD().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultIDD()
+	bad.TCK = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero clock accepted")
+	}
+	neg := DefaultIDD()
+	neg.IDD4R = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative current accepted")
+	}
+}
+
+// TestBackgroundWattsBand: a DDR4-2400 x64 rank's standby+refresh power
+// lands in the few-hundred-milliwatt band the simple channel model uses.
+func TestBackgroundWattsBand(t *testing.T) {
+	bg := DefaultIDD().BackgroundWatts()
+	if bg < 0.2 || bg < 0 || bg > 0.8 {
+		t.Errorf("background = %.3f W, want 0.2..0.8 (model uses 0.25)", bg)
+	}
+}
+
+// TestReadEnergyBand: the derived per-byte energy sits in the published
+// DDR4 range (tens to ~200 pJ/B including I/O), consistent with the
+// simple model's 150 pJ/B.
+func TestReadEnergyBand(t *testing.T) {
+	e := DefaultIDD().ReadEnergyPerByteJ()
+	if e < 30e-12 || e > 300e-12 {
+		t.Errorf("read energy = %.1f pJ/B, want 30..300", e*1e12)
+	}
+}
+
+// TestDeriveChannelConsistentWithDefault: deriving the channel model from
+// IDD values lands within 2x of the hand-calibrated DefaultDDR4 on both
+// parameters — the two characterizations describe the same device class.
+func TestDeriveChannelConsistentWithDefault(t *testing.T) {
+	derived, err := DefaultIDD().DeriveChannel(19.2e9, 0.70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simple := DefaultDDR4()
+	if r := derived.BackgroundWattsPerChannel / simple.BackgroundWattsPerChannel; r < 0.5 || r > 2 {
+		t.Errorf("background ratio derived/simple = %.2f, want within 2x", r)
+	}
+	if r := derived.AccessEnergyPerByte / simple.AccessEnergyPerByte; r < 0.5 || r > 2 {
+		t.Errorf("access energy ratio derived/simple = %.2f, want within 2x", r)
+	}
+}
+
+// TestActivateEnergyPositive: the activate term contributes but does not
+// dominate streaming accesses (large pages amortize it).
+func TestActivateEnergyPositive(t *testing.T) {
+	p := DefaultIDD()
+	act := p.ActivateEnergyJ()
+	if act <= 0 {
+		t.Fatal("activate energy not positive")
+	}
+	perByteAct := act / float64(p.RowBytes)
+	total := p.ReadEnergyPerByteJ()
+	if perByteAct > total {
+		t.Errorf("activate share %.1f pJ/B exceeds the total %.1f pJ/B", perByteAct*1e12, total*1e12)
+	}
+}
+
+// TestDeriveChannelRejectsBad: invalid IDD params propagate.
+func TestDeriveChannelRejectsBad(t *testing.T) {
+	bad := DefaultIDD()
+	bad.DevicesPerRank = 0
+	if _, err := bad.DeriveChannel(19.2e9, 0.7); err == nil {
+		t.Error("invalid IDD params accepted")
+	}
+	if _, err := DefaultIDD().DeriveChannel(-1, 0.7); err == nil {
+		t.Error("negative peak bandwidth accepted")
+	}
+}

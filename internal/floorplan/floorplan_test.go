@@ -1,0 +1,322 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateMeshBasic(t *testing.T) {
+	cases := []struct {
+		side, ics float64
+		cap       int
+		want      Mesh
+	}{
+		// 2.8 mm chiplets at 1 mm ICS on 8 mm: 2*2.8+1 = 6.6 fits, 3 does not.
+		{2.8, 1.0, 6, Mesh{2, 2}},
+		// Tiny chiplets capped at 6: prefer squarer 2x3/3x2 over 1x6.
+		{1.0, 0.1, 6, Mesh{2, 3}},
+		// Single huge chiplet.
+		{7.5, 0.0, 6, Mesh{1, 1}},
+		// Cap of 1.
+		{1.0, 0.0, 1, Mesh{1, 1}},
+	}
+	for _, c := range cases {
+		m, err := EstimateMesh(8, c.side, c.side, c.ics, c.cap)
+		if err != nil {
+			t.Fatalf("EstimateMesh(8, %g, %g, %d): %v", c.side, c.ics, c.cap, err)
+		}
+		if m.Count() != c.want.Count() {
+			t.Errorf("EstimateMesh(8, %g, %g, %d) = %v, want count %d", c.side, c.ics, c.cap, m, c.want.Count())
+		}
+	}
+}
+
+func TestEstimateMeshErrors(t *testing.T) {
+	if _, err := EstimateMesh(8, 9, 9, 0, 6); err == nil {
+		t.Error("oversized chiplet accepted")
+	}
+	if _, err := EstimateMesh(8, 1, 1, -0.1, 6); err == nil {
+		t.Error("negative ICS accepted")
+	}
+	if _, err := EstimateMesh(8, 1, 1, 0, 0); err == nil {
+		t.Error("zero cap accepted")
+	}
+}
+
+// TestMeshMonotoneInICS: growing the spacing never lets more chiplets fit
+// (the paper's core spreading-vs-count trade-off).
+func TestMeshMonotoneInICS(t *testing.T) {
+	f := func(sideSel, icsA, icsB uint8) bool {
+		side := 1.0 + float64(sideSel%30)/10 // 1.0 .. 3.9 mm
+		a := float64(icsA%21) * 0.05
+		b := float64(icsB%21) * 0.05
+		if a > b {
+			a, b = b, a
+		}
+		ma, err1 := EstimateMesh(8, side, side, a, 36)
+		mb, err2 := EstimateMesh(8, side, side, b, 36)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ma.Count() >= mb.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeshMonotoneInSide: bigger chiplets never fit in greater numbers.
+func TestMeshMonotoneInSide(t *testing.T) {
+	f := func(a, b uint8) bool {
+		sa := 0.5 + float64(a%60)/10
+		sb := 0.5 + float64(b%60)/10
+		if sa > sb {
+			sa, sb = sb, sa
+		}
+		if sb > 8 {
+			return true
+		}
+		ma, err1 := EstimateMesh(8, sa, sa, 0.5, 36)
+		mb, err2 := EstimateMesh(8, sb, sb, 0.5, 36)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ma.Count() >= mb.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlaceGeometry(t *testing.T) {
+	p, err := Place(8, 2.8, 2.8, 1.0, Mesh{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Chiplets) != 4 {
+		t.Fatalf("placed %d chiplets, want 4", len(p.Chiplets))
+	}
+	// Centered: margins equal on both sides.
+	left := p.Chiplets[0].X
+	right := 8 - (p.Chiplets[1].X + p.Chiplets[1].W)
+	if math.Abs(left-right) > 1e-9 {
+		t.Errorf("not centered: left margin %g, right margin %g", left, right)
+	}
+	// Spacing exactly ICS.
+	gap := p.Chiplets[1].X - (p.Chiplets[0].X + p.Chiplets[0].W)
+	if math.Abs(gap-1.0) > 1e-9 {
+		t.Errorf("gap = %g, want 1.0", gap)
+	}
+	// No overlaps.
+	for i := 0; i < len(p.Chiplets); i++ {
+		for j := i + 1; j < len(p.Chiplets); j++ {
+			if p.Chiplets[i].Overlap(p.Chiplets[j]) > 0 {
+				t.Errorf("chiplets %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestPlaceRejectsOverflow(t *testing.T) {
+	if _, err := Place(8, 4.0, 4.0, 1.0, Mesh{2, 2}); err == nil {
+		t.Error("overflowing placement accepted")
+	}
+	if _, err := Place(8, 2, 2, 0, Mesh{}); err == nil {
+		t.Error("empty mesh accepted")
+	}
+}
+
+func TestCornerFirstOrder(t *testing.T) {
+	p, err := Place(8, 2.0, 2.0, 0.5, Mesh{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := p.CornerFirstOrder()
+	if len(order) != 6 {
+		t.Fatalf("order length %d, want 6", len(order))
+	}
+	// Every index exactly once.
+	seen := make(map[int]bool)
+	for _, i := range order {
+		if seen[i] {
+			t.Fatalf("index %d repeated", i)
+		}
+		seen[i] = true
+	}
+	// In a 3x2 mesh the four corners (indices 0,1,4,5) must precede the
+	// two middle chiplets (2,3).
+	pos := make(map[int]int)
+	for rank, i := range order {
+		pos[i] = rank
+	}
+	for _, corner := range []int{0, 1, 4, 5} {
+		for _, mid := range []int{2, 3} {
+			if pos[corner] > pos[mid] {
+				t.Errorf("corner chiplet %d ranked after middle chiplet %d", corner, mid)
+			}
+		}
+	}
+}
+
+// TestRasterizeConservesPower: the total power on the map equals the sum
+// of chiplet powers (property over grid sizes and layouts).
+func TestRasterizeConservesPower(t *testing.T) {
+	f := func(gridSel, meshSel uint8, threeD bool) bool {
+		grid := 16 << (gridSel % 3) // 16, 32, 64
+		meshes := []Mesh{{1, 1}, {1, 2}, {2, 2}, {2, 3}, {3, 2}, {1, 6}}
+		m := meshes[int(meshSel)%len(meshes)]
+		side := 1.8
+		p, err := Place(8, side, side, 0.25, m)
+		if err != nil {
+			return true // mesh does not fit this interposer; nothing to check
+		}
+		powers := make([]ChipletPower, m.Count())
+		var want float64
+		for i := range powers {
+			powers[i] = ChipletPower{ArrayWatts: 1.5 + float64(i)*0.3, SRAMWatts: 0.4}
+			want += powers[i].ArrayWatts + powers[i].SRAMWatts
+		}
+		pm, err := p.Rasterize(grid, powers, threeD, 0.55)
+		if err != nil {
+			return false
+		}
+		var got float64
+		for _, w := range pm.Array {
+			got += w
+		}
+		if threeD {
+			for _, w := range pm.SRAM {
+				got += w
+			}
+		}
+		return math.Abs(got-want) < 1e-6*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRasterizeValidation(t *testing.T) {
+	p, err := Place(8, 2, 2, 0.5, Mesh{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Rasterize(0, make([]ChipletPower, 2), false, 0.5); err == nil {
+		t.Error("zero grid accepted")
+	}
+	if _, err := p.Rasterize(32, make([]ChipletPower, 1), false, 0.5); err == nil {
+		t.Error("wrong power count accepted")
+	}
+	if _, err := p.Rasterize(32, make([]ChipletPower, 2), false, 1.5); err == nil {
+		t.Error("array fraction > 1 accepted")
+	}
+}
+
+// TestRasterize3DTierSplit: in 3-D, array power lands on the array map
+// and SRAM power on the SRAM map, both conserving totals independently.
+func TestRasterize3DTierSplit(t *testing.T) {
+	p, err := Place(8, 2.2, 2.2, 0.8, Mesh{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := []ChipletPower{{2, 1}, {2, 1}, {2, 1}, {2, 1}}
+	pm, err := p.Rasterize(64, powers, true, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(m []float64) float64 {
+		var s float64
+		for _, v := range m {
+			s += v
+		}
+		return s
+	}
+	if a := sum(pm.Array); math.Abs(a-8) > 1e-9 {
+		t.Errorf("array tier total %g, want 8", a)
+	}
+	if s := sum(pm.SRAM); math.Abs(s-4) > 1e-9 {
+		t.Errorf("SRAM tier total %g, want 4", s)
+	}
+}
+
+// TestWhitespaceHasNoPower: cells outside every chiplet carry zero power.
+func TestWhitespaceHasNoPower(t *testing.T) {
+	p, err := Place(8, 2.0, 2.0, 2.0, Mesh{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := p.Rasterize(64, []ChipletPower{{1, 1}, {1, 1}, {1, 1}, {1, 1}}, false, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := 8.0 / 64
+	for j := 0; j < 64; j++ {
+		for i := 0; i < 64; i++ {
+			c := Rect{X: float64(i) * cell, Y: float64(j) * cell, W: cell, H: cell}
+			inside := false
+			for _, ch := range p.Chiplets {
+				if ch.Overlap(c) > 0 {
+					inside = true
+					break
+				}
+			}
+			if !inside && pm.Array[j*64+i] != 0 {
+				t.Fatalf("whitespace cell (%d,%d) has power %g", i, j, pm.Array[j*64+i])
+			}
+		}
+	}
+}
+
+// TestInsetGeometry: Inset shrinks every rectangle by d per side,
+// preserving centers; non-positive d is the identity.
+func TestInsetGeometry(t *testing.T) {
+	p, err := Place(8, 2.5, 2.5, 0.5, Mesh{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Inset(0.2)
+	if len(q.Chiplets) != len(p.Chiplets) {
+		t.Fatal("Inset changed chiplet count")
+	}
+	for i := range p.Chiplets {
+		a, b := p.Chiplets[i], q.Chiplets[i]
+		if math.Abs(b.W-(a.W-0.4)) > 1e-12 || math.Abs(b.H-(a.H-0.4)) > 1e-12 {
+			t.Errorf("chiplet %d: inset dims %gx%g from %gx%g", i, b.W, b.H, a.W, a.H)
+		}
+		if math.Abs(a.CenterX()-b.CenterX()) > 1e-12 || math.Abs(a.CenterY()-b.CenterY()) > 1e-12 {
+			t.Errorf("chiplet %d: center moved", i)
+		}
+	}
+	if same := p.Inset(0); same != p {
+		t.Error("zero inset did not return the identical placement")
+	}
+	// The original placement is untouched.
+	if math.Abs(p.Chiplets[0].W-2.5) > 1e-12 {
+		t.Error("Inset mutated the source placement")
+	}
+}
+
+// TestCoverageConsistency: coverage sums to the chiplet area divided by
+// the cell area (property over grids).
+func TestCoverageConsistency(t *testing.T) {
+	p, err := Place(8, 3.1, 1.7, 1.3, Mesh{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grid := range []int{16, 32, 64} {
+		cov := p.Coverage(grid)
+		cell := 8.0 / float64(grid)
+		var sum float64
+		for _, c := range cov {
+			if c < 0 || c > 1+1e-12 {
+				t.Fatalf("grid %d: coverage %f out of [0,1]", grid, c)
+			}
+			sum += c * cell * cell
+		}
+		want := 2 * 3.1 * 1.7
+		if math.Abs(sum-want) > 1e-6 {
+			t.Errorf("grid %d: covered area %f, want %f", grid, sum, want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package nop models the network-on-package: the interposer-level links
+// that carry each chiplet's DRAM traffic to the PHYs at the interposer
+// edge. The paper lists integrating a network-on-package as future work
+// and justifies ignoring it with two assumptions: (i) the DNNs need no
+// inter-chiplet communication, and (ii) "the chiplets are placed along
+// the edges and have dedicated DRAM channels. Thus, ICS does not
+// significantly impact DRAM latency."
+//
+// This package quantifies assumption (ii): given a floorplan, it computes
+// each chiplet's wire distance to the nearest interposer edge and turns
+// it into link latency and wire energy using representative 2.5-D
+// interposer signaling parameters. The companion test (and the ablation
+// benchmark) verify that across the whole design space the added latency
+// stays far below one frame period and the wire power far below the DRAM
+// power it accompanies — i.e. the paper's assumption holds in this
+// model's regime.
+package nop
+
+import (
+	"fmt"
+	"math"
+
+	"tesa/internal/floorplan"
+)
+
+// Params are representative electrical parameters of repeatered
+// interposer wires (65 nm-class passive silicon interposer).
+type Params struct {
+	// WireDelayPSPerMM is the propagation delay of a repeatered
+	// interposer wire (~150 ps/mm).
+	WireDelayPSPerMM float64
+	// WireEnergyPJPerBitMM is the signaling energy (~0.10 pJ/bit/mm).
+	WireEnergyPJPerBitMM float64
+	// LinkWidthBits is the per-channel link width (matches a x64 DDR4
+	// channel's data path).
+	LinkWidthBits int
+	// SerDesLatencyNS is the fixed PHY serialization/deserialization
+	// latency per transfer direction.
+	SerDesLatencyNS float64
+}
+
+// DefaultParams returns the representative calibration.
+func DefaultParams() Params {
+	return Params{
+		WireDelayPSPerMM:     150,
+		WireEnergyPJPerBitMM: 0.10,
+		LinkWidthBits:        64,
+		SerDesLatencyNS:      2,
+	}
+}
+
+// Validate reports an error for non-physical parameters.
+func (p Params) Validate() error {
+	if p.WireDelayPSPerMM <= 0 || p.WireEnergyPJPerBitMM < 0 || p.LinkWidthBits <= 0 || p.SerDesLatencyNS < 0 {
+		return fmt.Errorf("nop: non-physical params %+v", p)
+	}
+	return nil
+}
+
+// LinkLatencySec returns the one-way link latency over the given
+// distance.
+func (p Params) LinkLatencySec(distMM float64) float64 {
+	return p.SerDesLatencyNS*1e-9 + distMM*p.WireDelayPSPerMM*1e-12
+}
+
+// WireEnergyJ returns the energy of moving the given bytes over the
+// distance.
+func (p Params) WireEnergyJ(bytes int64, distMM float64) float64 {
+	return float64(bytes) * 8 * p.WireEnergyPJPerBitMM * 1e-12 * distMM
+}
+
+// EdgeDistances returns, per chiplet, the distance from the chiplet
+// center to the nearest interposer edge — where the DRAM PHYs sit.
+func EdgeDistances(pl *floorplan.Placement) []float64 {
+	out := make([]float64, len(pl.Chiplets))
+	for i, r := range pl.Chiplets {
+		cx, cy := r.CenterX(), r.CenterY()
+		d := math.Min(
+			math.Min(cx, pl.InterposerMM-cx),
+			math.Min(cy, pl.InterposerMM-cy),
+		)
+		if d < 0 {
+			d = 0
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// ChipletLink summarizes one chiplet's DRAM-path overhead.
+type ChipletLink struct {
+	DistanceMM    float64
+	LatencySec    float64 // one-way link latency
+	WireEnergyJ   float64 // energy for this chiplet's traffic
+	WirePowerWatt float64 // averaged over the frame period
+}
+
+// Assessment quantifies the network-on-package overhead of one MCM.
+type Assessment struct {
+	PerChiplet []ChipletLink
+	// WirePowerW is the total interposer-wire power.
+	WirePowerW float64
+	// WorstLatencySec is the slowest chiplet-to-PHY link.
+	WorstLatencySec float64
+}
+
+// Assess computes the per-chiplet link overheads for the given per-chiplet
+// DRAM traffic (bytes per frame) at the given frame rate.
+func (p Params) Assess(pl *floorplan.Placement, trafficBytes []int64, fps float64) (*Assessment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(trafficBytes) != len(pl.Chiplets) {
+		return nil, fmt.Errorf("nop: %d traffic entries for %d chiplets", len(trafficBytes), len(pl.Chiplets))
+	}
+	if fps <= 0 {
+		return nil, fmt.Errorf("nop: non-positive frame rate %g", fps)
+	}
+	a := &Assessment{PerChiplet: make([]ChipletLink, len(pl.Chiplets))}
+	dists := EdgeDistances(pl)
+	for i, d := range dists {
+		lat := p.LinkLatencySec(d)
+		energy := p.WireEnergyJ(trafficBytes[i], d)
+		a.PerChiplet[i] = ChipletLink{
+			DistanceMM:    d,
+			LatencySec:    lat,
+			WireEnergyJ:   energy,
+			WirePowerWatt: energy * fps,
+		}
+		a.WirePowerW += energy * fps
+		if lat > a.WorstLatencySec {
+			a.WorstLatencySec = lat
+		}
+	}
+	return a, nil
+}

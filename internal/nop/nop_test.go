@@ -1,0 +1,134 @@
+package nop
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tesa/internal/floorplan"
+)
+
+func place(t *testing.T, w, h, ics float64, m floorplan.Mesh) *floorplan.Placement {
+	t.Helper()
+	p, err := floorplan.Place(8, w, h, ics, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.LinkWidthBits = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero link width accepted")
+	}
+}
+
+func TestLinkLatencyComposition(t *testing.T) {
+	p := DefaultParams()
+	// 4 mm: 2 ns SerDes + 4 * 150 ps = 2.6 ns.
+	want := 2e-9 + 4*150e-12
+	if got := p.LinkLatencySec(4); math.Abs(got-want) > 1e-15 {
+		t.Errorf("latency = %g, want %g", got, want)
+	}
+}
+
+func TestWireEnergyScales(t *testing.T) {
+	p := DefaultParams()
+	e1 := p.WireEnergyJ(1000, 2)
+	e2 := p.WireEnergyJ(2000, 2)
+	e3 := p.WireEnergyJ(1000, 4)
+	if math.Abs(e2-2*e1) > 1e-18 || math.Abs(e3-2*e1) > 1e-18 {
+		t.Error("wire energy not linear in bytes and distance")
+	}
+}
+
+func TestEdgeDistances(t *testing.T) {
+	// 2x1 mesh of 2x2 mm chiplets at 1 mm ICS on 8 mm: centered block
+	// spans y in [1.5, 6.5], x in [3, 5]. Chiplet centers at (4, 2.5) and
+	// (4, 5.5): nearest edges are y=0 and y=8, both 2.5 mm away.
+	pl := place(t, 2, 2, 1, floorplan.Mesh{Rows: 2, Cols: 1})
+	d := EdgeDistances(pl)
+	if len(d) != 2 {
+		t.Fatalf("distances = %d, want 2", len(d))
+	}
+	for i, dist := range d {
+		if math.Abs(dist-2.5) > 1e-9 {
+			t.Errorf("chiplet %d edge distance = %.3f, want 2.5", i, dist)
+		}
+	}
+}
+
+// TestEdgeChipletsCloserThanCenter: in a 3x1 column the middle chiplet is
+// no closer to an edge than the outer ones.
+func TestEdgeChipletsCloserThanCenter(t *testing.T) {
+	pl := place(t, 2, 1.7, 1.4, floorplan.Mesh{Rows: 3, Cols: 1})
+	d := EdgeDistances(pl)
+	if d[1] < d[0] || d[1] < d[2] {
+		t.Errorf("middle chiplet closer to an edge than outer ones: %v", d)
+	}
+}
+
+func TestAssessValidation(t *testing.T) {
+	pl := place(t, 2, 2, 1, floorplan.Mesh{Rows: 2, Cols: 1})
+	p := DefaultParams()
+	if _, err := p.Assess(pl, []int64{1}, 30); err == nil {
+		t.Error("wrong traffic length accepted")
+	}
+	if _, err := p.Assess(pl, []int64{1, 1}, 0); err == nil {
+		t.Error("zero fps accepted")
+	}
+}
+
+// TestPaperAssumptionHolds verifies the paper's Sec. III claim in this
+// model's regime: for a paper-scale MCM (2x1 of 200x200-class chiplets
+// moving ~100 MB per frame each), the chiplet-to-PHY link latency is
+// negligible against a 33 ms frame and the wire power is negligible
+// against watts of DRAM power.
+func TestPaperAssumptionHolds(t *testing.T) {
+	pl := place(t, 3.88, 1.72, 1.7, floorplan.Mesh{Rows: 2, Cols: 1})
+	p := DefaultParams()
+	a, err := p.Assess(pl, []int64{100e6, 100e6}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := 1.0 / 30
+	if a.WorstLatencySec > 1e-4*frame {
+		t.Errorf("link latency %.2g s is not negligible vs the %.2g s frame", a.WorstLatencySec, frame)
+	}
+	if a.WirePowerW > 0.5 {
+		t.Errorf("wire power %.3f W not negligible vs DRAM power (watts)", a.WirePowerW)
+	}
+	if a.WirePowerW <= 0 {
+		t.Error("wire power should be positive for nonzero traffic")
+	}
+}
+
+// TestAssessConsistency: totals equal the sum of per-chiplet values
+// (property over traffic splits).
+func TestAssessConsistency(t *testing.T) {
+	pl := place(t, 1.5, 1.5, 0.5, floorplan.Mesh{Rows: 2, Cols: 2})
+	p := DefaultParams()
+	f := func(a, b, c, d uint32) bool {
+		traffic := []int64{int64(a), int64(b), int64(c), int64(d)}
+		as, err := p.Assess(pl, traffic, 30)
+		if err != nil {
+			return false
+		}
+		var sum, worst float64
+		for _, cl := range as.PerChiplet {
+			sum += cl.WirePowerWatt
+			if cl.LatencySec > worst {
+				worst = cl.LatencySec
+			}
+		}
+		return math.Abs(sum-as.WirePowerW) < 1e-12 && worst == as.WorstLatencySec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package power implements TESA's power models: the chiplet dynamic power
+// of Eqs. (1)-(4), the TSV power of Eq. (5), and the leakage models — an
+// exponential temperature-dependent model for the systolic array (after
+// Shukla et al., ASPDAC 2021) and a CACTI-derived, temperature-scaled
+// model for the SRAMs.
+//
+// The paper argues that leakage modeling is what separates TESA from the
+// prior 2.5D floorplanners it compares against: W1 ignores leakage and W2
+// linearizes it, and both consequently miss thermal-runaway conditions in
+// 3-D stacks. The exponential model here reproduces that failure mode.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"tesa/internal/sram"
+	"tesa/internal/systolic"
+)
+
+// Params bundles the 22 nm technology constants used by the models. The
+// zero value is not valid; use Default22nm.
+type Params struct {
+	// MACDynamicWattsAt400MHz is the dynamic power of one 8-bit MAC unit
+	// (PE) at 400 MHz, representative of a 22 nm implementation [10].
+	// Dynamic power scales linearly with frequency.
+	MACDynamicWattsAt400MHz float64
+	// MACLeakWatts45C is one PE's leakage at the 45 C reference.
+	MACLeakWatts45C float64
+	// LeakTempCoeffPerC is the exponent k of the exponential leakage
+	// model P(T) = P(T0) * exp(k*(T-T0)).
+	LeakTempCoeffPerC float64
+	// RefTempC is T0 of the leakage model: the HotSpot ambient (45 C).
+	RefTempC float64
+	// TSVWattsPerBitAt400MHz is a TSV's dynamic power per bit at 400 MHz
+	// (1 uW, after Gong et al. [16]); it scales linearly with frequency.
+	TSVWattsPerBitAt400MHz float64
+}
+
+// Default22nm returns the calibration used throughout the reproduction
+// (see DESIGN.md section 5).
+func Default22nm() Params {
+	return Params{
+		MACDynamicWattsAt400MHz: 0.15e-3,
+		MACLeakWatts45C:         0.010e-3,
+		LeakTempCoeffPerC:       0.035,
+		RefTempC:                45,
+		TSVWattsPerBitAt400MHz:  1e-6,
+	}
+}
+
+// Validate reports an error for non-physical parameter sets.
+func (p Params) Validate() error {
+	if p.MACDynamicWattsAt400MHz <= 0 || p.MACLeakWatts45C < 0 ||
+		p.LeakTempCoeffPerC <= 0 || p.TSVWattsPerBitAt400MHz < 0 {
+		return fmt.Errorf("power: non-physical params %+v", p)
+	}
+	return nil
+}
+
+// MACDynamicWatts returns DP_MAC at the given frequency (Table I).
+func (p Params) MACDynamicWatts(freqHz float64) float64 {
+	return p.MACDynamicWattsAt400MHz * freqHz / 400e6
+}
+
+// Dynamic is the decomposition of one chiplet's dynamic power while
+// executing one DNN (Eq. 1).
+type Dynamic struct {
+	ArrayWatts float64 // SaDP_{i,j}, Eq. (2)
+	SRAMWatts  float64 // SrDP_{i,j}, Eq. (4)
+	TSVWatts   float64 // TsvDP_{i,j}, Eq. (5); zero for 2-D chiplets
+}
+
+// Total returns DP_{i,j} (Eq. 1), plus the TSV term for 3-D chiplets.
+func (d Dynamic) Total() float64 { return d.ArrayWatts + d.SRAMWatts + d.TSVWatts }
+
+// ChipletDynamic evaluates Eqs. (1)-(4) for a chiplet running one DNN:
+// the stats come from the performance model (utilization and average SRAM
+// bandwidths already cycle-weighted per Eq. 3), est characterizes each of
+// the three SRAM macros, and threeD adds the Eq. (5) TSV term.
+func (p Params) ChipletDynamic(st *systolic.NetworkStats, est sram.Estimate, freqHz float64, threeD bool) Dynamic {
+	var d Dynamic
+	// Eq. (2): SaDP = Util * DP_MAC(freq) * num_PEs.
+	d.ArrayWatts = st.Utilization * p.MACDynamicWatts(freqHz) * float64(st.Array.PEs())
+	// Eq. (4): SrDP = sum_m SrBw_avg,m * DP_per_byte. Bandwidths are in
+	// bytes per cycle; multiplying by frequency converts the per-access
+	// energy into power.
+	for m := 0; m < 3; m++ {
+		d.SRAMWatts += st.AvgSRAMBw[m] * est.EnergyPJPerByte * 1e-12 * freqHz
+	}
+	if threeD {
+		d.TSVWatts = p.TSVDynamic(st, freqHz)
+	}
+	return d
+}
+
+// TSVDynamic evaluates Eq. (5): every SRAM byte crossing the tier
+// boundary costs 8 bit-transfers through TSVs.
+func (p Params) TSVDynamic(st *systolic.NetworkStats, freqHz float64) float64 {
+	perBit := p.TSVWattsPerBitAt400MHz * freqHz / 400e6
+	var w float64
+	for m := 0; m < 3; m++ {
+		w += st.AvgSRAMBw[m] * 8 * perBit
+	}
+	return w
+}
+
+// leakScale returns exp(k*(T-T0)), the exponential temperature scaling
+// shared by the array and SRAM leakage models.
+func (p Params) leakScale(tempC float64) float64 {
+	return math.Exp(p.LeakTempCoeffPerC * (tempC - p.RefTempC))
+}
+
+// ArrayLeakage returns the systolic-array tier's leakage at the given
+// junction temperature for a chiplet with numPEs MACs.
+func (p Params) ArrayLeakage(numPEs int, tempC float64) float64 {
+	return float64(numPEs) * p.MACLeakWatts45C * p.leakScale(tempC)
+}
+
+// SRAMLeakage returns the leakage of the chiplet's three SRAM macros at
+// the given junction temperature.
+func (p Params) SRAMLeakage(est sram.Estimate, tempC float64) float64 {
+	return 3 * est.LeakWatts * p.leakScale(tempC)
+}
+
+// ChipletLeakage returns the total chiplet leakage (array + SRAMs) at the
+// given junction temperature. Leakage is dissipated whether or not a DNN
+// is executing, which is why temperature-unaware baselines that ignore it
+// (SC1/SC2) under-estimate total power.
+func (p Params) ChipletLeakage(numPEs int, est sram.Estimate, tempC float64) float64 {
+	return p.ArrayLeakage(numPEs, tempC) + p.SRAMLeakage(est, tempC)
+}

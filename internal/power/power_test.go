@@ -1,0 +1,176 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tesa/internal/dnn"
+	"tesa/internal/sram"
+	"tesa/internal/systolic"
+)
+
+func stats(t *testing.T, dim int, sramKB int64) *systolic.NetworkStats {
+	t.Helper()
+	a := systolic.Array{Rows: dim, Cols: dim, Dataflow: systolic.OutputStationary, SRAMBytes: sramKB * 1024}
+	n := dnn.ResNet50()
+	st, err := systolic.SimulateNetwork(a, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func est(t *testing.T, kb int64) sram.Estimate {
+	t.Helper()
+	e, err := sram.Estimate22nm(kb * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := Default22nm().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Params{}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestMACDynamicScalesWithFrequency(t *testing.T) {
+	p := Default22nm()
+	w400 := p.MACDynamicWatts(400e6)
+	w500 := p.MACDynamicWatts(500e6)
+	if math.Abs(w500/w400-1.25) > 1e-9 {
+		t.Errorf("500/400 MHz power ratio = %f, want 1.25", w500/w400)
+	}
+	if math.Abs(w400-0.15e-3) > 1e-12 {
+		t.Errorf("DP_MAC at 400 MHz = %g, want 1.5e-4 W", w400)
+	}
+}
+
+// TestEq2ArrayPower: SaDP = Util * DP_MAC * num_PEs exactly.
+func TestEq2ArrayPower(t *testing.T) {
+	p := Default22nm()
+	st := stats(t, 200, 1024)
+	d := p.ChipletDynamic(st, est(t, 1024), 400e6, false)
+	want := st.Utilization * 0.15e-3 * 200 * 200
+	if math.Abs(d.ArrayWatts-want) > 1e-12 {
+		t.Errorf("SaDP = %g, want %g", d.ArrayWatts, want)
+	}
+	if d.TSVWatts != 0 {
+		t.Errorf("2-D chiplet has TSV power %g", d.TSVWatts)
+	}
+}
+
+// TestPaperPowerMagnitudes: the winning 200x200 configuration at 400 MHz
+// must land in the single-digit-watt range per chiplet, consistent with a
+// 15 W MCM budget for 2-3 chiplets (Table II).
+func TestPaperPowerMagnitudes(t *testing.T) {
+	p := Default22nm()
+	st := stats(t, 200, 1024)
+	d := p.ChipletDynamic(st, est(t, 1024), 400e6, false)
+	if d.Total() < 0.5 || d.Total() > 8 {
+		t.Errorf("200x200 chiplet dynamic power = %.2f W, want 0.5..8 W", d.Total())
+	}
+	if d.SRAMWatts <= 0 || d.SRAMWatts > d.ArrayWatts {
+		t.Errorf("SRAM power %.3f W should be positive and below array power %.3f W", d.SRAMWatts, d.ArrayWatts)
+	}
+}
+
+// TestEq5TSVPower: 3-D adds a positive TSV term proportional to frequency.
+func TestEq5TSVPower(t *testing.T) {
+	p := Default22nm()
+	st := stats(t, 128, 512)
+	d400 := p.ChipletDynamic(st, est(t, 512), 400e6, true)
+	d500 := p.ChipletDynamic(st, est(t, 512), 500e6, true)
+	if d400.TSVWatts <= 0 {
+		t.Fatal("3-D chiplet TSV power not positive")
+	}
+	if math.Abs(d500.TSVWatts/d400.TSVWatts-1.25) > 1e-9 {
+		t.Errorf("TSV power freq ratio = %f, want 1.25", d500.TSVWatts/d400.TSVWatts)
+	}
+	// Eq. (5) spelled out.
+	var want float64
+	for m := 0; m < 3; m++ {
+		want += st.AvgSRAMBw[m] * 8 * 1e-6
+	}
+	if math.Abs(d400.TSVWatts-want) > 1e-12 {
+		t.Errorf("TSV power = %g, want %g", d400.TSVWatts, want)
+	}
+}
+
+// TestLeakageExponential: leakage follows P(T) = P0 * exp(k dT) exactly,
+// and is strictly increasing in temperature (property test).
+func TestLeakageExponential(t *testing.T) {
+	p := Default22nm()
+	base := p.ArrayLeakage(40000, 45)
+	if math.Abs(base-40000*0.010e-3) > 1e-9 {
+		t.Errorf("leakage at T0 = %g, want %g", base, 40000*0.010e-3)
+	}
+	at75 := p.ArrayLeakage(40000, 75)
+	if math.Abs(at75/base-math.Exp(0.035*30)) > 1e-9 {
+		t.Errorf("75C/45C leakage ratio = %f, want %f", at75/base, math.Exp(0.035*30))
+	}
+	f := func(t1, t2 uint8) bool {
+		a, b := 45+float64(t1%80), 45+float64(t2%80)
+		if a > b {
+			a, b = b, a
+		}
+		return p.ArrayLeakage(1000, a) <= p.ArrayLeakage(1000, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeakageRunawayCapable: the leakage model must be strong enough that
+// a hot, dense 3-D chiplet's leakage at ~100 C is several times its 45 C
+// value — the precondition for reproducing the paper's SC2 thermal
+// runaway rows.
+func TestLeakageRunawayCapable(t *testing.T) {
+	p := Default22nm()
+	ratio := p.ArrayLeakage(1, 100) / p.ArrayLeakage(1, 45)
+	if ratio < 5 {
+		t.Errorf("100C/45C leakage ratio = %.1f, want >= 5 for runaway reproduction", ratio)
+	}
+}
+
+func TestSRAMLeakageCountsAllThreeMacros(t *testing.T) {
+	p := Default22nm()
+	e := est(t, 1024)
+	got := p.SRAMLeakage(e, 45)
+	if math.Abs(got-3*e.LeakWatts) > 1e-12 {
+		t.Errorf("SRAM leakage at T0 = %g, want %g (3 macros)", got, 3*e.LeakWatts)
+	}
+}
+
+func TestChipletLeakageIsSum(t *testing.T) {
+	p := Default22nm()
+	e := est(t, 256)
+	total := p.ChipletLeakage(10000, e, 80)
+	parts := p.ArrayLeakage(10000, 80) + p.SRAMLeakage(e, 80)
+	if math.Abs(total-parts) > 1e-12 {
+		t.Errorf("chiplet leakage %g != array+sram %g", total, parts)
+	}
+}
+
+// TestUtilizationDrivesDensityInversion reproduces the mechanism behind
+// the paper's 240x240-at-75C result: a larger array runs at lower
+// utilization, so its power *density* (W per PE-area) drops even though
+// total power rises.
+func TestUtilizationDrivesDensityInversion(t *testing.T) {
+	p := Default22nm()
+	st200 := stats(t, 200, 1024)
+	st240 := stats(t, 240, 1024)
+	d200 := p.ChipletDynamic(st200, est(t, 1024), 500e6, false)
+	d240 := p.ChipletDynamic(st240, est(t, 1024), 500e6, false)
+	density200 := d200.ArrayWatts / (200 * 200)
+	density240 := d240.ArrayWatts / (240 * 240)
+	if density240 >= density200 {
+		t.Errorf("240x240 power density %.3g not below 200x200's %.3g", density240, density200)
+	}
+}

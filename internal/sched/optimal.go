@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// OptimalMakespan computes the true minimum makespan of assigning the
+// DNNs to numChiplets chiplets by exhaustive enumeration — tractable for
+// multi-DNN workloads of the paper's size (6 DNNs over up to 6 chiplets
+// is 6^6 assignments). It validates the greedy policy's quality: the
+// deterministic scheduler is a 2-approximation in theory, and the tests
+// pin that it stays within a few percent of optimal on the workload
+// sizes TESA sees.
+func OptimalMakespan(profiles []DNNProfile, numChiplets int) (float64, error) {
+	if len(profiles) == 0 {
+		return 0, fmt.Errorf("sched: no DNNs")
+	}
+	if numChiplets <= 0 {
+		return 0, fmt.Errorf("sched: non-positive chiplet count %d", numChiplets)
+	}
+	if len(profiles) > 12 {
+		return 0, fmt.Errorf("sched: exhaustive makespan limited to 12 DNNs, got %d", len(profiles))
+	}
+	for i, p := range profiles {
+		if p.LatencySec <= 0 {
+			return 0, fmt.Errorf("sched: DNN %d has non-positive latency", i)
+		}
+	}
+	loads := make([]float64, numChiplets)
+	best := math.Inf(1)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(profiles) {
+			worst := 0.0
+			for _, l := range loads {
+				if l > worst {
+					worst = l
+				}
+			}
+			if worst < best {
+				best = worst
+			}
+			return
+		}
+		for c := 0; c < numChiplets; c++ {
+			loads[c] += profiles[i].LatencySec
+			// Branch and bound: only descend if this chiplet's load can
+			// still beat the best makespan.
+			if loads[c] < best {
+				rec(i + 1)
+			}
+			loads[c] -= profiles[i].LatencySec
+			// Symmetry break: an empty chiplet is interchangeable with
+			// any other empty chiplet.
+			if loads[c] == 0 {
+				break
+			}
+		}
+	}
+	rec(0)
+	return best, nil
+}

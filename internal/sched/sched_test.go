@@ -1,0 +1,330 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func profiles6() []DNNProfile {
+	return []DNNProfile{
+		{Name: "HandposeNet", LatencySec: 0.002, PowerWatts: 1.5},
+		{Name: "U-Net", LatencySec: 0.012, PowerWatts: 3.2},
+		{Name: "MobileNet", LatencySec: 0.003, PowerWatts: 1.8},
+		{Name: "ResNet-50", LatencySec: 0.005, PowerWatts: 2.9},
+		{Name: "DNL", LatencySec: 0.006, PowerWatts: 2.4},
+		{Name: "Transformer", LatencySec: 0.004, PowerWatts: 2.0},
+	}
+}
+
+func identity(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 2, identity(2)); err == nil {
+		t.Error("empty profile list accepted")
+	}
+	if _, err := Build(profiles6(), 0, nil); err == nil {
+		t.Error("zero chiplets accepted")
+	}
+	if _, err := Build(profiles6(), 2, []int{0}); err == nil {
+		t.Error("short corner order accepted")
+	}
+	if _, err := Build(profiles6(), 2, []int{0, 0}); err == nil {
+		t.Error("non-permutation corner order accepted")
+	}
+	bad := profiles6()
+	bad[3].LatencySec = 0
+	if _, err := Build(bad, 2, identity(2)); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+// TestEveryDNNScheduledOnce: completeness — each DNN appears exactly once
+// across all chiplets (property over chiplet counts).
+func TestEveryDNNScheduledOnce(t *testing.T) {
+	f := func(nSel uint8) bool {
+		n := 1 + int(nSel%6)
+		s, err := Build(profiles6(), n, identity(n))
+		if err != nil {
+			return false
+		}
+		count := make(map[int]int)
+		for _, dnns := range s.ChipletDNNs {
+			for _, d := range dnns {
+				count[d]++
+			}
+		}
+		if len(count) != 6 {
+			return false
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOneDNNPerChipletWhenEnough: with six chiplets each DNN gets its own
+// chiplet (the paper's max-parallelism layout).
+func TestOneDNNPerChipletWhenEnough(t *testing.T) {
+	s, err := Build(profiles6(), 6, identity(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, dnns := range s.ChipletDNNs {
+		if len(dnns) != 1 {
+			t.Errorf("chiplet %d has %d DNNs, want 1", c, len(dnns))
+		}
+	}
+	// Makespan = slowest DNN.
+	if math.Abs(s.MakespanSec-0.012) > 1e-12 {
+		t.Errorf("makespan %g, want 0.012", s.MakespanSec)
+	}
+}
+
+// TestHottestDNNGoesToBestCorner: the power-density-aware rule — the
+// highest-power DNN (U-Net at 3.2 W) lands on the first chiplet of the
+// corner order.
+func TestHottestDNNGoesToBestCorner(t *testing.T) {
+	corner := []int{3, 1, 0, 2, 5, 4}
+	s, err := Build(profiles6(), 6, corner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ChipletDNNs[3]) != 1 || s.ChipletDNNs[3][0] != 1 {
+		t.Errorf("chiplet 3 (best corner) runs %v, want [1] (U-Net)", s.ChipletDNNs[3])
+	}
+}
+
+// TestMakespanIsMaxChipletLoad and not the sum over all chiplets.
+func TestMakespanIsMaxChipletLoad(t *testing.T) {
+	s, err := Build(profiles6(), 2, identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max float64
+	for _, dnns := range s.ChipletDNNs {
+		var load float64
+		for _, d := range dnns {
+			load += profiles6()[d].LatencySec
+		}
+		if load > max {
+			max = load
+		}
+	}
+	if math.Abs(s.MakespanSec-max) > 1e-12 {
+		t.Errorf("makespan %g, want max load %g", s.MakespanSec, max)
+	}
+}
+
+// TestGreedyBalancesLoad: on two chiplets the greedy rule must produce a
+// makespan within 2x of the lower bound (sum/2), a basic LPT-style
+// guarantee for this workload.
+func TestGreedyBalancesLoad(t *testing.T) {
+	s, err := Build(profiles6(), 2, identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range profiles6() {
+		total += p.LatencySec
+	}
+	if s.MakespanSec > total {
+		t.Errorf("makespan %g exceeds serial total %g", s.MakespanSec, total)
+	}
+	if s.MakespanSec < total/2 {
+		t.Errorf("makespan %g below the 2-chiplet lower bound %g", s.MakespanSec, total/2)
+	}
+	// U-Net (0.012) dominates: optimal is 0.020 vs 0.032 serial; greedy
+	// must not put everything on one chiplet.
+	if s.MakespanSec > 0.75*total {
+		t.Errorf("makespan %g suggests no balancing (serial %g)", s.MakespanSec, total)
+	}
+}
+
+// TestPhasesPartitionMakespan: phases tile [0, makespan) without gaps or
+// overlaps, and phase boundaries coincide with completion events.
+func TestPhasesPartitionMakespan(t *testing.T) {
+	f := func(nSel uint8) bool {
+		n := 1 + int(nSel%6)
+		s, err := Build(profiles6(), n, identity(n))
+		if err != nil {
+			return false
+		}
+		if len(s.Phases) == 0 {
+			return false
+		}
+		if s.Phases[0].StartSec != 0 {
+			return false
+		}
+		for i := 0; i+1 < len(s.Phases); i++ {
+			if math.Abs(s.Phases[i].EndSec-s.Phases[i+1].StartSec) > 1e-12 {
+				return false
+			}
+			if s.Phases[i].Duration() <= 0 {
+				return false
+			}
+		}
+		last := s.Phases[len(s.Phases)-1]
+		return math.Abs(last.EndSec-s.MakespanSec) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPhaseZeroAllBusy: at t=0 every chiplet with work is running its
+// first DNN; with 6 chiplets and 6 DNNs, none is idle.
+func TestPhaseZeroAllBusy(t *testing.T) {
+	s, err := Build(profiles6(), 6, identity(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, d := range s.Phases[0].Running {
+		if d == -1 {
+			t.Errorf("chiplet %d idle in phase 0", c)
+		}
+		if d != s.ChipletDNNs[c][0] {
+			t.Errorf("chiplet %d phase-0 DNN %d != first scheduled %d", c, d, s.ChipletDNNs[c][0])
+		}
+	}
+}
+
+// TestNonPreemption: within each chiplet, each DNN occupies one
+// contiguous run of phases (it never disappears and comes back).
+func TestNonPreemption(t *testing.T) {
+	s, err := Build(profiles6(), 2, identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range s.ChipletDNNs {
+		seenDone := make(map[int]bool)
+		prev := -2
+		for _, ph := range s.Phases {
+			d := ph.Running[c]
+			if d != prev && prev >= 0 {
+				seenDone[prev] = true
+			}
+			if d >= 0 && seenDone[d] {
+				t.Fatalf("chiplet %d: DNN %d resumed after completing", c, d)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestLastPhaseSingleChipletBusy: at the end only the makespan-defining
+// chiplet is still running.
+func TestLastPhaseSingleChipletBusy(t *testing.T) {
+	s, err := Build(profiles6(), 3, identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := s.Phases[len(s.Phases)-1]
+	busy := 0
+	for _, d := range last.Running {
+		if d >= 0 {
+			busy++
+		}
+	}
+	if busy < 1 {
+		t.Error("no chiplet busy in the final phase")
+	}
+}
+
+// TestRandomProfilesProperties fuzzes the scheduler with random DNN
+// profiles and checks structural invariants: completeness, phase
+// partitioning, makespan consistency, and per-chiplet load accounting.
+func TestRandomProfilesProperties(t *testing.T) {
+	f := func(seed int64, nSel, cSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nDNN := 1 + int(nSel%10)
+		nChip := 1 + int(cSel%6)
+		profiles := make([]DNNProfile, nDNN)
+		for i := range profiles {
+			profiles[i] = DNNProfile{
+				Name:       fmt.Sprintf("net%d", i),
+				LatencySec: 0.0005 + rng.Float64()*0.02,
+				PowerWatts: rng.Float64() * 4,
+			}
+		}
+		order := rng.Perm(nChip)
+		s, err := Build(profiles, nChip, order)
+		if err != nil {
+			return false
+		}
+		// Completeness.
+		count := 0
+		for _, dnns := range s.ChipletDNNs {
+			count += len(dnns)
+		}
+		if count != nDNN {
+			return false
+		}
+		// Makespan equals the max chiplet load.
+		var maxLoad float64
+		for _, dnns := range s.ChipletDNNs {
+			var load float64
+			for _, d := range dnns {
+				load += profiles[d].LatencySec
+			}
+			if load > maxLoad {
+				maxLoad = load
+			}
+		}
+		if math.Abs(maxLoad-s.MakespanSec) > 1e-12 {
+			return false
+		}
+		// Phases tile [0, makespan).
+		if len(s.Phases) == 0 || s.Phases[0].StartSec != 0 {
+			return false
+		}
+		end := 0.0
+		for _, ph := range s.Phases {
+			if math.Abs(ph.StartSec-end) > 1e-12 || ph.Duration() <= 0 {
+				return false
+			}
+			end = ph.EndSec
+		}
+		return math.Abs(end-s.MakespanSec) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPhaseBusyTimeAccounting: integrating each DNN's presence across
+// phases recovers exactly its latency (no DNN is dropped or stretched).
+func TestPhaseBusyTimeAccounting(t *testing.T) {
+	profiles := profiles6()
+	s, err := Build(profiles, 3, identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := make([]float64, len(profiles))
+	for _, ph := range s.Phases {
+		for _, d := range ph.Running {
+			if d >= 0 {
+				busy[d] += ph.Duration()
+			}
+		}
+	}
+	for i, p := range profiles {
+		if math.Abs(busy[i]-p.LatencySec) > 1e-12 {
+			t.Errorf("%s: phase presence %.6f != latency %.6f", p.Name, busy[i], p.LatencySec)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package sram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Banking organization — the CACTI-style structural model underneath the
+// fitted curves of Estimate22nm. CACTI searches bank/subarray
+// organizations to optimize access energy, delay, and area; this file
+// reproduces that search at the granularity TESA needs and the tests
+// check that the fitted curves used by the DSE are consistent with the
+// structural optimum across the whole Table II capacity range.
+
+// Org is one macro organization: the macro is split into equal banks,
+// one of which activates per access.
+type Org struct {
+	Bytes int64
+	Banks int
+	// BankBits is the bit count of one bank.
+	BankBits int64
+	// EnergyPJPerByte is the access energy: bank-internal (wordline +
+	// bitline swing over sqrt(bankBits)-long wires) plus the H-tree route
+	// from the macro port to the bank.
+	EnergyPJPerByte float64
+	// AreaMM2 includes the per-bank periphery overhead.
+	AreaMM2 float64
+	// LatencyNS is the access latency (route + bank decode + bitline).
+	LatencyNS float64
+}
+
+// 22 nm structural constants.
+const (
+	bitcellUM2 = 0.10 // 6T bitcell
+	// areaEffBase is the array efficiency of an unbanked macro; each bank
+	// adds fixed periphery.
+	areaEffBase   = 0.75
+	bankPeriphMM2 = 0.0035
+	// minBankBits floors the subarray size: banks below 8 KB stop making
+	// sense (periphery dominates).
+	minBankBits = 64 * 1024
+
+	// Energy coefficients (pJ per byte accessed).
+	eDecode    = 0.10   // decode + sense baseline
+	eBitlinePJ = 0.0006 // per sqrt(bank bits): bitline/wordline swing
+	eRoutePJ   = 0.5    // per mm of H-tree from port to bank
+	eBankOvPJ  = 0.012  // per bank: repeaters, bank decoders
+
+	tDecodeNS   = 0.25
+	tBitlineNS  = 0.0012 // per sqrt(bank bits)
+	tRouteNSpMM = 0.35
+)
+
+// organize computes the characteristics of one candidate banking.
+func organize(bytes int64, banks int) Org {
+	bits := bytes * 8
+	bankBits := bits / int64(banks)
+	cellArea := float64(bits) * bitcellUM2 * 1e-6 // mm^2
+	area := cellArea/areaEffBase + float64(banks)*bankPeriphMM2
+	// H-tree route: half the macro's diagonal on average.
+	routeMM := 0.5 * math.Sqrt(2*area)
+	sqb := math.Sqrt(float64(bankBits))
+	return Org{
+		Bytes:           bytes,
+		Banks:           banks,
+		BankBits:        bankBits,
+		EnergyPJPerByte: eDecode + eBitlinePJ*sqb + eRoutePJ*routeMM + eBankOvPJ*float64(banks),
+		AreaMM2:         area,
+		LatencyNS:       tDecodeNS + tBitlineNS*sqb + tRouteNSpMM*routeMM,
+	}
+}
+
+// Organize searches power-of-two bank counts and returns the organization
+// minimizing the energy-delay-area product — CACTI's balanced
+// optimization target family.
+func Organize(bytes int64) (Org, error) {
+	if bytes <= 0 {
+		return Org{}, fmt.Errorf("sram: non-positive capacity %d", bytes)
+	}
+	best := Org{}
+	bestEDAP := math.Inf(1)
+	for banks := 1; banks <= 64; banks *= 2 {
+		if bytes*8/int64(banks) < minBankBits {
+			break
+		}
+		o := organize(bytes, banks)
+		if edap := o.EnergyPJPerByte * o.LatencyNS * o.AreaMM2; edap < bestEDAP {
+			best, bestEDAP = o, edap
+		}
+	}
+	if best.Banks == 0 {
+		best = organize(bytes, 1)
+	}
+	return best, nil
+}

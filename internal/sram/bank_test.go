@@ -1,0 +1,97 @@
+package sram
+
+import (
+	"testing"
+)
+
+func TestOrganizeValidation(t *testing.T) {
+	if _, err := Organize(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Organize(-5); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+// TestBanksGrowWithCapacity: bigger macros split into more banks (the
+// structural reason access energy grows sublinearly).
+func TestBanksGrowWithCapacity(t *testing.T) {
+	small, err := Organize(8 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Organize(4096 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Banks < small.Banks {
+		t.Errorf("4 MB macro has %d banks, 8 KB has %d", big.Banks, small.Banks)
+	}
+	if big.Banks < 4 {
+		t.Errorf("4 MB macro uses only %d banks", big.Banks)
+	}
+}
+
+// TestStructuralModelTracksFittedCurves: across the Table II capacity
+// range, the structural optimum's energy and area stay within 2x of the
+// fitted curves Estimate22nm provides to the DSE — the two views of the
+// same macro must agree.
+func TestStructuralModelTracksFittedCurves(t *testing.T) {
+	for kb := int64(8); kb <= 4096; kb *= 2 {
+		bytes := kb * 1024
+		org, err := Organize(bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fit, err := Estimate22nm(bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := org.EnergyPJPerByte / fit.EnergyPJPerByte; r < 0.5 || r > 2.0 {
+			t.Errorf("%d KB: structural energy %.2f pJ/B vs fitted %.2f (ratio %.2f)", kb, org.EnergyPJPerByte, fit.EnergyPJPerByte, r)
+		}
+		if r := org.AreaMM2 / fit.AreaMM2; r < 0.5 || r > 2.0 {
+			t.Errorf("%d KB: structural area %.3f mm2 vs fitted %.3f (ratio %.2f)", kb, org.AreaMM2, fit.AreaMM2, r)
+		}
+	}
+}
+
+// TestOrganizeMonotone: energy, area, and latency grow with capacity.
+func TestOrganizeMonotone(t *testing.T) {
+	var prev Org
+	for kb := int64(8); kb <= 4096; kb *= 2 {
+		org, err := Organize(kb * 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev.Bytes > 0 {
+			if org.EnergyPJPerByte < prev.EnergyPJPerByte {
+				t.Errorf("%d KB: energy dropped vs smaller macro", kb)
+			}
+			if org.AreaMM2 <= prev.AreaMM2 {
+				t.Errorf("%d KB: area did not grow", kb)
+			}
+			if org.LatencyNS < prev.LatencyNS {
+				t.Errorf("%d KB: latency dropped", kb)
+			}
+		}
+		prev = org
+	}
+}
+
+// TestBankingBeatsUnbanked: for a large macro, the chosen organization
+// has strictly better energy-delay than the unbanked one.
+func TestBankingBeatsUnbanked(t *testing.T) {
+	bytes := int64(2048 * 1024)
+	best, err := Organize(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbanked := organize(bytes, 1)
+	if best.Banks == 1 {
+		t.Skip("optimizer picked the unbanked organization")
+	}
+	if best.EnergyPJPerByte*best.LatencyNS >= unbanked.EnergyPJPerByte*unbanked.LatencyNS {
+		t.Error("banked organization does not beat unbanked EDP")
+	}
+}

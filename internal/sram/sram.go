@@ -1,0 +1,64 @@
+// Package sram is the CACTI-7.0-equivalent substrate of TESA: an analytic
+// 22 nm SRAM model producing the three scalars the paper pulls from CACTI
+// for each candidate capacity — silicon area, dynamic energy per byte
+// accessed, and leakage power.
+//
+// The fits below follow published CACTI 22 nm trends: area is linear in
+// capacity with a fixed periphery floor, access energy grows with the
+// square root of capacity (bitline/wordline length under square banking),
+// and leakage is proportional to capacity. The model is monotone and
+// convex in capacity, which is the structural property TESA's sizing
+// trade-off (SRAM capacity vs DRAM refetch traffic vs chiplet area/cost)
+// depends on.
+package sram
+
+import (
+	"fmt"
+	"math"
+)
+
+// Technology constants for the 22 nm node used throughout the paper.
+const (
+	// areaPerByteMM2 is the effective macro area per byte including
+	// bitcells and amortized periphery (0.149 um^2 per bit). With this
+	// density the paper's area assumption holds: three 1,024 KB SRAMs
+	// (~3.7 mm^2) roughly match a 200x200 MAC array (~4.0 mm^2), i.e. an
+	// array:SRAM area ratio of ~1.
+	areaPerByteMM2 = 1.18e-6
+	// areaBaseMM2 is the capacity-independent periphery floor (decoders,
+	// IO) of one SRAM macro.
+	areaBaseMM2 = 0.010
+
+	// energyBasePJ and energyCoefPJ fit CACTI's pJ-per-byte access
+	// energy: E(pJ/B) = base + coef*sqrt(KB). 8 KB -> ~0.24 pJ/B,
+	// 1,024 KB -> ~1.17 pJ/B, 4,096 KB -> ~2.2 pJ/B.
+	energyBasePJ = 0.15
+	energyCoefPJ = 0.032
+
+	// leakWattsPerMB is the leakage of one megabyte of low-standby-power
+	// 22 nm SRAM at the 45 C reference temperature.
+	leakWattsPerMB = 0.030
+)
+
+// Estimate is the CACTI-style characterization of one SRAM macro.
+type Estimate struct {
+	Bytes           int64   // macro capacity
+	AreaMM2         float64 // silicon area in mm^2
+	EnergyPJPerByte float64 // dynamic energy per byte accessed, in pJ
+	LeakWatts       float64 // leakage power at the 45 C reference temperature
+}
+
+// Estimate22nm characterizes a single SRAM macro of the given capacity at
+// the 22 nm node. Capacity must be positive.
+func Estimate22nm(bytes int64) (Estimate, error) {
+	if bytes <= 0 {
+		return Estimate{}, fmt.Errorf("sram: non-positive capacity %d bytes", bytes)
+	}
+	kB := float64(bytes) / 1024
+	return Estimate{
+		Bytes:           bytes,
+		AreaMM2:         areaBaseMM2 + areaPerByteMM2*float64(bytes),
+		EnergyPJPerByte: energyBasePJ + energyCoefPJ*math.Sqrt(kB),
+		LeakWatts:       leakWattsPerMB * float64(bytes) / (1024 * 1024),
+	}, nil
+}

@@ -1,0 +1,92 @@
+package sram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustEstimate(t *testing.T, bytes int64) Estimate {
+	t.Helper()
+	e, err := Estimate22nm(bytes)
+	if err != nil {
+		t.Fatalf("Estimate22nm(%d): %v", bytes, err)
+	}
+	return e
+}
+
+func TestRejectsNonPositive(t *testing.T) {
+	for _, b := range []int64{0, -1, -1024} {
+		if _, err := Estimate22nm(b); err == nil {
+			t.Errorf("capacity %d accepted", b)
+		}
+	}
+}
+
+// TestPaperAreaRatio verifies the calibration anchor stated in DESIGN.md:
+// three 1,024 KB SRAMs occupy roughly the same silicon as a 200x200 MAC
+// array at 100 um^2 per MAC (the paper's area-ratio ~1 assumption).
+func TestPaperAreaRatio(t *testing.T) {
+	e := mustEstimate(t, 1024*1024)
+	sramArea := 3 * e.AreaMM2
+	arrayArea := 200.0 * 200.0 * 100e-6 // mm^2
+	ratio := arrayArea / sramArea
+	if ratio < 0.8 || ratio > 1.4 {
+		t.Errorf("array:SRAM area ratio = %.2f, want ~1 (array %.2f mm^2, SRAM %.2f mm^2)", ratio, arrayArea, sramArea)
+	}
+}
+
+func TestMonotoneInCapacity(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ba := int64(a)*1024 + 1024
+		bb := int64(b)*1024 + 1024
+		if ba > bb {
+			ba, bb = bb, ba
+		}
+		ea, err1 := Estimate22nm(ba)
+		eb, err2 := Estimate22nm(bb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ea.AreaMM2 <= eb.AreaMM2 &&
+			ea.EnergyPJPerByte <= eb.EnergyPJPerByte &&
+			ea.LeakWatts <= eb.LeakWatts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnergySublinear: energy per byte grows sublinearly with capacity
+// (banked macro), so a 4x capacity costs less than 2.2x the energy.
+func TestEnergySublinear(t *testing.T) {
+	small := mustEstimate(t, 256*1024)
+	big := mustEstimate(t, 1024*1024)
+	if big.EnergyPJPerByte >= 2.2*small.EnergyPJPerByte {
+		t.Errorf("4x capacity energy grew %fx, want < 2.2x", big.EnergyPJPerByte/small.EnergyPJPerByte)
+	}
+}
+
+func TestLeakageLinear(t *testing.T) {
+	oneMB := mustEstimate(t, 1024*1024)
+	twoMB := mustEstimate(t, 2*1024*1024)
+	if diff := twoMB.LeakWatts - 2*oneMB.LeakWatts; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("leakage not linear: 2MB=%g, 2x1MB=%g", twoMB.LeakWatts, 2*oneMB.LeakWatts)
+	}
+}
+
+// TestDesignSpaceRange: every per-SRAM capacity in the paper's design
+// space (8 KB .. 4,096 KB) characterizes to physically sensible values.
+func TestDesignSpaceRange(t *testing.T) {
+	for kb := int64(8); kb <= 4096; kb *= 2 {
+		e := mustEstimate(t, kb*1024)
+		if e.AreaMM2 <= 0 || e.AreaMM2 > 10 {
+			t.Errorf("%d KB: area %.3f mm^2 out of range", kb, e.AreaMM2)
+		}
+		if e.EnergyPJPerByte < 0.1 || e.EnergyPJPerByte > 5 {
+			t.Errorf("%d KB: energy %.3f pJ/B out of range", kb, e.EnergyPJPerByte)
+		}
+		if e.LeakWatts <= 0 || e.LeakWatts > 0.2 {
+			t.Errorf("%d KB: leakage %.4f W out of range", kb, e.LeakWatts)
+		}
+	}
+}

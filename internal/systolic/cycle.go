@@ -1,0 +1,211 @@
+package systolic
+
+import (
+	"fmt"
+	"math"
+
+	"tesa/internal/dnn"
+)
+
+// This file implements the fold-level cycle simulation mode — the
+// counterpart of SCALE-Sim's cycle-accurate mode to this package's
+// analytical mode. It walks every (row-fold, column-fold) tile of every
+// layer, tracks double-buffer prefetch timing against a finite DRAM
+// bandwidth, and charges stall cycles whenever the next tile's operands
+// cannot be staged before the current tile finishes computing.
+//
+// With unbounded bandwidth the simulation produces exactly the analytical
+// cycle counts (both use the same fold arithmetic) — the property the
+// tests pin — which is also SCALE-Sim's own relationship between its two
+// modes for stall-free execution. With a finite bandwidth it quantifies
+// where the paper's stall-free assumption (double-buffered SRAMs with
+// dedicated DRAM channels) actually holds.
+
+// CycleStats extends the analytical outputs with stall accounting.
+type CycleStats struct {
+	Name string
+	// ComputeCycles is the stall-free fold time (identical to the
+	// analytical model's cycles).
+	ComputeCycles int64
+	// StallCycles is the time the array waits for prefetches.
+	StallCycles int64
+	// DRAMBytes is the simulated off-chip traffic.
+	DRAMBytes int64
+	MACs      int64
+}
+
+// TotalCycles returns compute plus stall cycles.
+func (s CycleStats) TotalCycles() int64 { return s.ComputeCycles + s.StallCycles }
+
+// Utilization returns useful-MAC occupancy over the total (stalled)
+// execution, for an array with pes processing elements.
+func (s CycleStats) Utilization(pes int) float64 {
+	if s.TotalCycles() == 0 {
+		return 0
+	}
+	return float64(s.MACs) / (float64(pes) * float64(s.TotalCycles()))
+}
+
+// SimulateLayerCycles runs the fold-level simulation of one layer.
+// dramBytesPerCycle is the provisioned off-chip bandwidth in bytes per
+// array cycle; +Inf (or any value >= every tile's demand) reproduces the
+// stall-free analytical cycles exactly.
+func SimulateLayerCycles(a Array, l *dnn.Layer, dramBytesPerCycle float64) (CycleStats, error) {
+	if err := a.Validate(); err != nil {
+		return CycleStats{}, err
+	}
+	if dramBytesPerCycle <= 0 {
+		return CycleStats{}, fmt.Errorf("systolic: non-positive DRAM bandwidth %g", dramBytesPerCycle)
+	}
+	if a.Dataflow != OutputStationary {
+		return CycleStats{}, fmt.Errorf("systolic: cycle simulation implements the os dataflow only")
+	}
+	g := lower(l)
+	if g.sr == 0 || g.sc == 0 || g.k == 0 {
+		return CycleStats{}, fmt.Errorf("systolic: layer %s lowers to an empty GEMM", l.Name)
+	}
+	rows, cols := int64(a.Rows), int64(a.Cols)
+	rowFolds := ceilDiv(g.sr, rows)
+	colFolds := ceilDiv(g.sc, cols)
+	usable := a.usable()
+
+	// Operand slice sizes. The ifmap row-slice is its unique DRAM
+	// footprint when it fits the working buffer; otherwise the im2col
+	// stream must be refetched per fold.
+	ifSlice := ceilDiv(g.uniqueIfmap, rowFolds)
+	ifStreamPerFold := rows * g.k // im2col volume of one fold
+	ifResident := ifSlice <= usable
+	filterTotal := l.FilterBytes()
+	filterSlice := ceilDiv(filterTotal, colFolds)
+	// Number of filter slices that stay resident across row folds.
+	var filterCachecap int64
+	if filterSlice > 0 {
+		filterCachecap = usable / filterSlice
+	}
+
+	st := CycleStats{Name: l.Name, MACs: g.sr * g.sc * g.k}
+
+	// LRU set of resident filter slices (slice index -> last use); with
+	// row-major fold order the reuse pattern is cyclic, so a simple
+	// round-robin residency (the first filterCachecap slices stay) is
+	// optimal and cheap.
+	fold := func(r, c int64) int64 { return 2*r + c + g.k - 2 }
+
+	var pending int64 // bytes still to prefetch for the NEXT fold
+	for rf := int64(0); rf < rowFolds; rf++ {
+		rUsed := rows
+		if rf == rowFolds-1 {
+			rUsed = g.sr - (rowFolds-1)*rows
+		}
+		for cf := int64(0); cf < colFolds; cf++ {
+			cUsed := cols
+			if cf == colFolds-1 {
+				cUsed = g.sc - (colFolds-1)*cols
+			}
+			compute := fold(rUsed, cUsed)
+			if g.utilScale < 1 {
+				compute = int64(float64(compute) / g.utilScale)
+			}
+			// The pending prefetch from the previous fold overlaps this
+			// fold's compute; any excess is a stall.
+			fetchCycles := int64(math.Ceil(float64(pending) / dramBytesPerCycle))
+			if fetchCycles > compute {
+				st.StallCycles += fetchCycles - compute
+			}
+			st.ComputeCycles += compute
+
+			// Queue the NEXT fold's operand movement.
+			pending = 0
+			nrf, ncf := rf, cf+1
+			if ncf == colFolds {
+				nrf, ncf = rf+1, 0
+			}
+			if nrf < rowFolds {
+				// Filter slice for ncf: resident when within the cache
+				// capacity under cyclic reuse.
+				if ncf >= filterCachecap {
+					pending += filterSlice
+					st.DRAMBytes += filterSlice
+				} else if nrf == 0 && rf == 0 && ncf == cf+1 {
+					// First pass compulsory fill of the resident set.
+					pending += filterSlice
+					st.DRAMBytes += filterSlice
+				}
+				// Ifmap slice changes with the row fold.
+				if nrf != rf {
+					if ifResident {
+						pending += ifSlice
+						st.DRAMBytes += ifSlice
+					} else {
+						pending += ifStreamPerFold
+						st.DRAMBytes += ifStreamPerFold
+					}
+				} else if !ifResident {
+					pending += ifStreamPerFold
+					st.DRAMBytes += ifStreamPerFold
+				}
+			}
+			// Drain this fold's outputs (shares the channel).
+			drain := rUsed * cUsed
+			pending += drain
+			st.DRAMBytes += drain
+		}
+	}
+	// Compulsory first-fold fill happens before cycle zero in the
+	// double-buffered pipeline (ramp-up), charged as stall time.
+	first := filterSlice
+	if ifResident {
+		first += ifSlice
+	} else {
+		first += ifStreamPerFold
+	}
+	st.DRAMBytes += first
+	st.StallCycles += int64(math.Ceil(float64(first) / dramBytesPerCycle))
+	// Final pending drain.
+	if pending > 0 {
+		st.StallCycles += int64(math.Ceil(float64(pending) / dramBytesPerCycle))
+	}
+	return st, nil
+}
+
+// NetworkCycleStats aggregates the fold-level simulation over a network.
+type NetworkCycleStats struct {
+	Network       string
+	ComputeCycles int64
+	StallCycles   int64
+	DRAMBytes     int64
+	MACs          int64
+	Layers        []CycleStats
+}
+
+// TotalCycles returns compute plus stall cycles.
+func (s *NetworkCycleStats) TotalCycles() int64 { return s.ComputeCycles + s.StallCycles }
+
+// StallFraction returns the share of execution lost to stalls.
+func (s *NetworkCycleStats) StallFraction() float64 {
+	t := s.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.StallCycles) / float64(t)
+}
+
+// SimulateNetworkCycles runs the fold-level simulation over a network.
+func SimulateNetworkCycles(a Array, n *dnn.Network, dramBytesPerCycle float64) (*NetworkCycleStats, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	st := &NetworkCycleStats{Network: n.Name}
+	for i := range n.Layers {
+		ls, err := SimulateLayerCycles(a, &n.Layers[i], dramBytesPerCycle)
+		if err != nil {
+			return nil, err
+		}
+		st.ComputeCycles += ls.ComputeCycles
+		st.StallCycles += ls.StallCycles
+		st.DRAMBytes += ls.DRAMBytes
+		st.MACs += ls.MACs
+		st.Layers = append(st.Layers, ls)
+	}
+	return st, nil
+}

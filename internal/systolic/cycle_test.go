@@ -1,0 +1,175 @@
+package systolic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tesa/internal/dnn"
+)
+
+// TestCycleMatchesAnalyticUnbounded: with unbounded DRAM bandwidth the
+// fold-level simulation must reproduce the analytical compute cycles
+// exactly — SCALE-Sim's own relationship between its cycle-accurate and
+// analytical modes for stall-free execution.
+func TestCycleMatchesAnalyticUnbounded(t *testing.T) {
+	a := testArray(128, 128, OutputStationary, 512)
+	for _, n := range dnn.ARVRWorkload().Networks {
+		ana, err := SimulateNetwork(a, &n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cyc, err := SimulateNetworkCycles(a, &n, math.Inf(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cyc.ComputeCycles != ana.Cycles {
+			t.Errorf("%s: cycle-mode compute %d != analytical %d", n.Name, cyc.ComputeCycles, ana.Cycles)
+		}
+		if cyc.StallCycles != 0 {
+			t.Errorf("%s: %d stall cycles at unbounded bandwidth", n.Name, cyc.StallCycles)
+		}
+		if cyc.MACs != ana.MACs {
+			t.Errorf("%s: MACs %d != %d", n.Name, cyc.MACs, ana.MACs)
+		}
+	}
+}
+
+// TestCycleStallsMonotoneInBandwidth: lowering the DRAM bandwidth never
+// reduces stall cycles (property over bandwidth pairs).
+func TestCycleStallsMonotoneInBandwidth(t *testing.T) {
+	a := testArray(64, 64, OutputStationary, 64)
+	n := dnn.ResNet50()
+	f := func(b1, b2 uint8) bool {
+		lo := 1 + float64(b1%64)
+		hi := 1 + float64(b2%64)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		sLo, err1 := SimulateNetworkCycles(a, &n, lo)
+		sHi, err2 := SimulateNetworkCycles(a, &n, hi)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return sLo.StallCycles >= sHi.StallCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCycleTrafficTracksAnalytic: simulated off-chip traffic stays within
+// a factor of the analytical tiling model's traffic (they use the same
+// residency structure; the analytical model smooths refetch factors).
+func TestCycleTrafficTracksAnalytic(t *testing.T) {
+	for _, sramKB := range []int64{32, 256, 1024} {
+		a := testArray(128, 128, OutputStationary, sramKB)
+		for _, n := range dnn.ARVRWorkload().Networks {
+			ana, err := SimulateNetwork(a, &n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cyc, err := SimulateNetworkCycles(a, &n, math.Inf(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := float64(cyc.DRAMBytes) / float64(ana.DRAMBytes)
+			if ratio < 0.4 || ratio > 2.5 {
+				t.Errorf("%s @ %d KB: cycle traffic %.2fx the analytical traffic", n.Name, sramKB, ratio)
+			}
+		}
+	}
+}
+
+// TestStallFreeAssumptionWithProvisionedChannels: the paper assumes
+// stall-free execution given each chiplet's bandwidth-driven DRAM channel
+// allocation. Provisioning channels from the analytical model's peak
+// per-layer bandwidth (exactly what the evaluator does) must keep stalls
+// a small fraction of execution on the winning 200x200 / 3x1,024 KB
+// configuration — i.e. the provisioning rule and the stall-free
+// assumption are mutually consistent.
+func TestStallFreeAssumptionWithProvisionedChannels(t *testing.T) {
+	a := testArray(200, 200, OutputStationary, 1024)
+	const freqHz = 400e6
+	const sustainedChannelBps = 19.2e9 * 0.70
+	var worst float64
+	var worstName string
+	for _, n := range dnn.ARVRWorkload().Networks {
+		ana, err := SimulateNetwork(a, &n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		channels := math.Ceil(ana.PeakDRAMBw * freqHz / sustainedChannelBps)
+		if channels < 1 {
+			channels = 1
+		}
+		bytesPerCycle := channels * sustainedChannelBps / freqHz
+		st, err := SimulateNetworkCycles(a, &n, bytesPerCycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := st.StallFraction(); f > worst {
+			worst, worstName = f, n.Name
+		}
+	}
+	if worst > 0.20 {
+		t.Errorf("worst stall fraction %.1f%% (%s) — provisioning does not support the stall-free assumption", worst*100, worstName)
+	}
+}
+
+// TestTinySRAMStalls: starving the SRAM (8 KB) at low bandwidth produces
+// substantial stalls — the regime the paper's double-buffering avoids.
+func TestTinySRAMStalls(t *testing.T) {
+	a := testArray(128, 128, OutputStationary, 8)
+	n := dnn.ResNet50()
+	st, err := SimulateNetworkCycles(a, &n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StallCycles == 0 {
+		t.Error("no stalls with an 8 KB SRAM at 4 B/cycle")
+	}
+	if st.TotalCycles() <= st.ComputeCycles {
+		t.Error("total cycles not above compute cycles despite stalls")
+	}
+}
+
+// TestCycleValidation: error paths.
+func TestCycleValidation(t *testing.T) {
+	a := testArray(64, 64, OutputStationary, 64)
+	n := dnn.MobileNet()
+	if _, err := SimulateNetworkCycles(a, &n, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	ws := testArray(64, 64, WeightStationary, 64)
+	if _, err := SimulateNetworkCycles(ws, &n, 8); err == nil {
+		t.Error("ws dataflow accepted by the os-only cycle mode")
+	}
+	bad := Array{}
+	l := dnn.NewFC("f", 8, 8)
+	if _, err := SimulateLayerCycles(bad, &l, 8); err == nil {
+		t.Error("invalid array accepted")
+	}
+}
+
+// TestCycleUtilizationBounds: utilization is in (0, 1] and decreases as
+// stalls appear.
+func TestCycleUtilizationBounds(t *testing.T) {
+	a := testArray(64, 64, OutputStationary, 64)
+	l := dnn.NewConv("c", 56, 56, 64, 3, 3, 128, 1, 1)
+	free, err := SimulateLayerCycles(a, &l, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved, err := SimulateLayerCycles(a, &l, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uFree, uStarved := free.Utilization(a.PEs()), starved.Utilization(a.PEs())
+	if uFree <= 0 || uFree > 1 || uStarved <= 0 || uStarved > 1 {
+		t.Errorf("utilizations out of range: %f, %f", uFree, uStarved)
+	}
+	if uStarved >= uFree {
+		t.Errorf("starved utilization %f not below stall-free %f", uStarved, uFree)
+	}
+}

@@ -1,0 +1,136 @@
+package systolic
+
+import (
+	"fmt"
+	"sync"
+
+	"tesa/internal/dnn"
+)
+
+// NetworkStats aggregates the per-layer model outputs over a whole DNN —
+// the analogue of SCALE-Sim's end-of-run summary, in exactly the units
+// TESA's power and DRAM models consume.
+type NetworkStats struct {
+	Network string
+	Array   Array
+
+	Cycles      int64   // total compute cycles for one inference (batch 1)
+	Utilization float64 // cycle-weighted average utilization (paper Eq. 3)
+	MACs        int64
+
+	// Average SRAM bandwidths in bytes per cycle (SrBw_avg,m in Eq. 4),
+	// indexed IFMAP, FILTER, OFMAP.
+	AvgSRAMBw [3]float64
+	// PeakSRAMBytesPerCycle is the worst-case concurrent SRAM traffic in
+	// bytes per cycle; it sizes the TSV bundle of a 3-D chiplet.
+	PeakSRAMBytesPerCycle float64
+
+	DRAMBytes int64 // total off-chip traffic for one inference
+	// AvgDRAMBw is DRAM traffic averaged over the whole inference, in
+	// bytes per cycle.
+	AvgDRAMBw float64
+	// PeakDRAMBw is the highest per-layer average DRAM bandwidth in bytes
+	// per cycle; double buffering makes the per-layer average the
+	// sustained requirement, so the max over layers provisions channels.
+	PeakDRAMBw float64
+
+	Layers []LayerStats
+}
+
+// LatencySeconds returns the inference latency at the given operating
+// frequency in hertz.
+func (s *NetworkStats) LatencySeconds(freqHz float64) float64 {
+	return float64(s.Cycles) / freqHz
+}
+
+// SimulateNetwork runs the analytical model for every layer of the
+// network and aggregates per the paper's Eq. 3 (cycle-weighted
+// utilization).
+func SimulateNetwork(a Array, n *dnn.Network) (*NetworkStats, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	st := &NetworkStats{Network: n.Name, Array: a, Layers: make([]LayerStats, 0, len(n.Layers))}
+	var utilCycles float64
+	var sramBytes [3]int64
+	for i := range n.Layers {
+		ls := SimulateLayer(a, &n.Layers[i])
+		if ls.Cycles <= 0 {
+			return nil, fmt.Errorf("network %s: layer %s produced no cycles", n.Name, n.Layers[i].Name)
+		}
+		st.Cycles += ls.Cycles
+		st.MACs += ls.MACs
+		utilCycles += ls.Utilization * float64(ls.Cycles)
+		sramBytes[0] += ls.SRAMIfmap
+		sramBytes[1] += ls.SRAMFilter
+		sramBytes[2] += ls.SRAMOfmap
+		st.DRAMBytes += ls.DRAMBytes()
+		if bw := float64(ls.DRAMBytes()) / float64(ls.Cycles); bw > st.PeakDRAMBw {
+			st.PeakDRAMBw = bw
+		}
+		st.Layers = append(st.Layers, ls)
+	}
+	st.Utilization = utilCycles / float64(st.Cycles)
+	for m := 0; m < 3; m++ {
+		st.AvgSRAMBw[m] = float64(sramBytes[m]) / float64(st.Cycles)
+	}
+	// Worst-case concurrent SRAM traffic: every array row pulls an ifmap
+	// byte, every column pulls a filter byte, and every column drains an
+	// ofmap byte in the same cycle.
+	st.PeakSRAMBytesPerCycle = float64(a.Rows + 2*a.Cols)
+	st.AvgDRAMBw = float64(st.DRAMBytes) / float64(st.Cycles)
+	return st, nil
+}
+
+// Simulator memoizes network simulations. TESA's annealer revisits the
+// same (array, network) points constantly — the paper reports SCALE-Sim
+// runs of minutes to hours per point, which is exactly why its optimizer
+// caches and why exhaustive search is impractical.
+type Simulator struct {
+	mu    sync.Mutex
+	cache map[simKey]*NetworkStats
+}
+
+type simKey struct {
+	rows, cols int
+	dataflow   Dataflow
+	sramBytes  int64
+	network    string
+}
+
+// NewSimulator returns an empty memoizing simulator.
+func NewSimulator() *Simulator {
+	return &Simulator{cache: make(map[simKey]*NetworkStats)}
+}
+
+// Simulate returns the (possibly cached) stats for the network on the
+// array. Results are cached by network name, so distinct networks must
+// have distinct names (dnn.Workload.Validate enforces this).
+func (s *Simulator) Simulate(a Array, n *dnn.Network) (*NetworkStats, error) {
+	k := simKey{a.Rows, a.Cols, a.Dataflow, a.SRAMBytes, n.Name}
+	s.mu.Lock()
+	if st, ok := s.cache[k]; ok {
+		s.mu.Unlock()
+		return st, nil
+	}
+	s.mu.Unlock()
+	st, err := SimulateNetwork(a, n)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[k] = st
+	s.mu.Unlock()
+	return st, nil
+}
+
+// CacheSize reports the number of memoized simulations (for tests and
+// runtime diagnostics).
+func (s *Simulator) CacheSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}

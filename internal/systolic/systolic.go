@@ -1,0 +1,326 @@
+// Package systolic is the performance-model substrate of TESA: an
+// analytical reproduction of SCALE-Sim (Samajdar et al., ISPASS 2020) for
+// stall-free DNN inference on systolic arrays with double-buffered SRAMs.
+//
+// The model lowers every layer to a GEMM, folds it onto the array for the
+// selected dataflow, and derives exactly the aggregate outputs TESA
+// consumes: execution cycles, array utilization, and average/peak SRAM and
+// DRAM bandwidths, at 8-bit integer data and batch size 1.
+//
+// SCALE-Sim itself provides an analytical mode whose cycle counts match
+// its cycle-accurate mode for stall-free (double-buffered) execution; this
+// package implements the same fold arithmetic, so the substitution
+// preserves the quantities the DSE depends on (see DESIGN.md).
+package systolic
+
+import (
+	"fmt"
+
+	"tesa/internal/dnn"
+)
+
+// Dataflow selects the systolic-array mapping strategy.
+type Dataflow int
+
+const (
+	// OutputStationary keeps partial sums in the PEs while inputs and
+	// weights stream through (SCALE-Sim "os", the default here).
+	OutputStationary Dataflow = iota
+	// WeightStationary pins weights in the PEs and streams inputs
+	// (TPU-style, SCALE-Sim "ws").
+	WeightStationary
+)
+
+// String returns the SCALE-Sim-style short name of the dataflow.
+func (d Dataflow) String() string {
+	switch d {
+	case OutputStationary:
+		return "os"
+	case WeightStationary:
+		return "ws"
+	default:
+		return fmt.Sprintf("dataflow(%d)", int(d))
+	}
+}
+
+// Array describes one systolic-array chiplet's compute configuration.
+type Array struct {
+	Rows, Cols int      // PE grid dimensions
+	Dataflow   Dataflow // mapping strategy
+	// SRAMBytes is the capacity of EACH of the three on-chip SRAMs
+	// (IFMAP, FILTER, OFMAP) in bytes. SRAMs are double buffered, so only
+	// half of each capacity holds the working tile; the other half
+	// prefetches the next tile, which is what makes execution stall-free.
+	SRAMBytes int64
+}
+
+// Validate reports an error for non-physical array configurations.
+func (a Array) Validate() error {
+	if a.Rows <= 0 || a.Cols <= 0 {
+		return fmt.Errorf("array %dx%d: non-positive dimensions", a.Rows, a.Cols)
+	}
+	if a.SRAMBytes <= 0 {
+		return fmt.Errorf("array %dx%d: non-positive SRAM capacity %d", a.Rows, a.Cols, a.SRAMBytes)
+	}
+	if a.Dataflow != OutputStationary && a.Dataflow != WeightStationary {
+		return fmt.Errorf("array %dx%d: unknown dataflow %d", a.Rows, a.Cols, int(a.Dataflow))
+	}
+	return nil
+}
+
+// PEs returns the number of processing elements in the array.
+func (a Array) PEs() int { return a.Rows * a.Cols }
+
+// usable returns the working-tile capacity of one SRAM under double
+// buffering.
+func (a Array) usable() int64 { return a.SRAMBytes / 2 }
+
+// LayerStats is the per-layer output of the performance model — the
+// analogue of one row of a SCALE-Sim report.
+type LayerStats struct {
+	Name        string
+	Cycles      int64   // compute cycles (CC in the paper's Eq. 3)
+	Utilization float64 // average fraction of PEs doing useful MACs (Util in Eq. 3)
+	MACs        int64
+
+	// SRAM access volumes in bytes (reads plus fill writes), per SRAM.
+	SRAMIfmap, SRAMFilter, SRAMOfmap int64
+	// DRAM traffic in bytes, per stream.
+	DRAMIfmap, DRAMFilter, DRAMOfmap int64
+}
+
+// DRAMBytes returns the layer's total off-chip traffic.
+func (s LayerStats) DRAMBytes() int64 { return s.DRAMIfmap + s.DRAMFilter + s.DRAMOfmap }
+
+// gemmShape is the lowered matrix-multiply view of a layer: an SR x SC
+// output computed over inner depth K.
+type gemmShape struct {
+	sr, sc, k int64
+	// utilScale derates utilization for mappings that cannot use the
+	// array perfectly (depthwise convolutions).
+	utilScale float64
+	// uniqueIfmap is the unique input footprint in DRAM; the im2col
+	// operand (sr*k bytes) can be larger because convolution windows
+	// overlap.
+	uniqueIfmap int64
+}
+
+// lower maps a layer onto the array's GEMM view.
+func lower(l *dnn.Layer) gemmShape {
+	switch l.Kind {
+	case dnn.Conv:
+		oh, ow := l.OutDims()
+		return gemmShape{
+			sr: int64(oh) * int64(ow), sc: int64(l.OutC),
+			k:         int64(l.KH) * int64(l.KW) * int64(l.InC),
+			utilScale: 1, uniqueIfmap: l.IfmapBytes(),
+		}
+	case dnn.DWConv:
+		// Depthwise: channels map to array columns with per-column
+		// accumulation over the R*S window. The mapping cannot broadcast
+		// one input row to all columns (each column needs its own
+		// channel), which halves achievable utilization.
+		oh, ow := l.OutDims()
+		return gemmShape{
+			sr: int64(oh) * int64(ow), sc: int64(l.InC),
+			k:         int64(l.KH) * int64(l.KW),
+			utilScale: 0.5, uniqueIfmap: l.IfmapBytes(),
+		}
+	case dnn.FC, dnn.GEMM:
+		return gemmShape{
+			sr: int64(l.GemmM), sc: int64(l.GemmN), k: int64(l.GemmK),
+			utilScale: 1, uniqueIfmap: l.IfmapBytes(),
+		}
+	default:
+		return gemmShape{}
+	}
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// SimulateLayer runs the analytical model for one layer on the array.
+func SimulateLayer(a Array, l *dnn.Layer) LayerStats {
+	g := lower(l)
+	if g.sr == 0 || g.sc == 0 || g.k == 0 {
+		return LayerStats{Name: l.Name}
+	}
+	rows, cols := int64(a.Rows), int64(a.Cols)
+
+	var cycles int64
+	switch a.Dataflow {
+	case WeightStationary:
+		cycles = wsCycles(rows, cols, g)
+	default:
+		cycles = osCycles(rows, cols, g)
+	}
+	// Depthwise mapping inefficiency lengthens execution.
+	if g.utilScale < 1 {
+		cycles = int64(float64(cycles) / g.utilScale)
+	}
+
+	macs := g.sr * g.sc * g.k
+	util := float64(macs) / (float64(a.PEs()) * float64(cycles))
+	if util > 1 {
+		util = 1
+	}
+
+	st := LayerStats{
+		Name:        l.Name,
+		Cycles:      cycles,
+		Utilization: util,
+		MACs:        macs,
+	}
+	fillTraffic(a, g, l, &st)
+	return st
+}
+
+// osCycles implements the SCALE-Sim output-stationary fold arithmetic:
+// each (row-fold, col-fold) tile takes 2*r + c + K - 2 cycles, where r and
+// c are the rows/columns actually used by the (possibly partial) edge
+// folds.
+func osCycles(rows, cols int64, g gemmShape) int64 {
+	rowFolds := ceilDiv(g.sr, rows)
+	colFolds := ceilDiv(g.sc, cols)
+	lastR := g.sr - (rowFolds-1)*rows
+	lastC := g.sc - (colFolds-1)*cols
+
+	fold := func(r, c int64) int64 { return 2*r + c + g.k - 2 }
+
+	full := fold(rows, cols) * (rowFolds - 1) * (colFolds - 1)
+	edgeR := fold(lastR, cols) * (colFolds - 1)
+	edgeC := fold(rows, lastC) * (rowFolds - 1)
+	corner := fold(lastR, lastC)
+	return full + edgeR + edgeC + corner
+}
+
+// wsCycles implements the weight-stationary fold arithmetic: weights for a
+// (k-fold, col-fold) tile are preloaded over r cycles, then all SR input
+// rows stream through, draining over c cycles.
+func wsCycles(rows, cols int64, g gemmShape) int64 {
+	kFolds := ceilDiv(g.k, rows)
+	colFolds := ceilDiv(g.sc, cols)
+	lastK := g.k - (kFolds-1)*rows
+	lastC := g.sc - (colFolds-1)*cols
+
+	fold := func(r, c int64) int64 { return r + g.sr + c - 1 }
+
+	full := fold(rows, cols) * (kFolds - 1) * (colFolds - 1)
+	edgeK := fold(lastK, cols) * (colFolds - 1)
+	edgeC := fold(rows, lastC) * (kFolds - 1)
+	corner := fold(lastK, lastC)
+	return full + edgeK + edgeC + corner
+}
+
+// fillTraffic computes SRAM access volumes and DRAM traffic for the layer
+// under the double-buffered tiling model.
+func fillTraffic(a Array, g gemmShape, l *dnn.Layer, st *LayerStats) {
+	usable := a.usable()
+	rows, cols := int64(a.Rows), int64(a.Cols)
+	filterBytes := l.FilterBytes()
+	ofmapBytes := l.OfmapBytes()
+	im2col := g.sr * g.k
+
+	switch a.Dataflow {
+	case WeightStationary:
+		kFolds := ceilDiv(g.k, rows)
+		colFolds := ceilDiv(g.sc, cols)
+		// Weights visit the array exactly once.
+		st.DRAMFilter = filterBytes
+		// The ifmap k-slice is re-streamed for every column fold; slices
+		// that stay resident in the IFMAP SRAM avoid DRAM refetch.
+		st.DRAMIfmap = refetchTraffic(g.uniqueIfmap, im2col, kFolds, colFolds, usable)
+		// Partial sums spill per extra k-fold unless the OFMAP SRAM holds
+		// the accumulation tile.
+		spills := kFolds - 1
+		if ofmapBytes <= usable {
+			spills = 0
+		}
+		st.DRAMOfmap = ofmapBytes * (1 + 2*spills)
+		st.SRAMIfmap = colFolds*im2col + st.DRAMIfmap
+		st.SRAMFilter = filterBytes + st.DRAMFilter
+		st.SRAMOfmap = 2*ofmapBytes*kFolds + st.DRAMOfmap
+	default: // OutputStationary
+		rowFolds := ceilDiv(g.sr, rows)
+		colFolds := ceilDiv(g.sc, cols)
+		// Outputs leave the PEs once, fully accumulated.
+		st.DRAMOfmap = ofmapBytes
+		// Filter slices are re-streamed for every row fold; resident
+		// slices avoid refetch.
+		st.DRAMFilter = refetchTraffic(filterBytes, filterBytes, colFolds, rowFolds, usable)
+		// The ifmap row-slice is loaded once per row fold (the column
+		// loop is innermost, so it stays resident) provided its unique
+		// footprint fits; otherwise the im2col stream comes from DRAM.
+		st.DRAMIfmap = residentTraffic(g.uniqueIfmap, im2col, rowFolds, usable)
+		st.SRAMIfmap = colFolds*im2col + st.DRAMIfmap
+		st.SRAMFilter = rowFolds*filterBytes + st.DRAMFilter
+		st.SRAMOfmap = 2*ofmapBytes + st.DRAMOfmap
+	}
+}
+
+// refetchTraffic models an operand of `total` unique bytes, partitioned
+// into `slices` working slices, each of which must be visited once per
+// each of `passes` outer iterations. Slices that fit in the `usable` SRAM
+// capacity stay resident across passes and are fetched once; the rest are
+// refetched every pass. `streamTotal` is the (possibly larger) streamed
+// volume used when nothing is resident.
+func refetchTraffic(total, streamTotal, slices, passes, usable int64) int64 {
+	if total <= 0 {
+		return 0
+	}
+	if total <= usable {
+		return total // fully resident: one fetch
+	}
+	if slices <= 0 {
+		slices = 1
+	}
+	sliceBytes := ceilDiv(total, slices)
+	resident := int64(0)
+	if sliceBytes > 0 {
+		resident = usable / sliceBytes
+	}
+	if resident >= slices {
+		return total
+	}
+	// resident slices fetched once; the remainder refetched each pass.
+	residentBytes := resident * sliceBytes
+	if residentBytes > total {
+		residentBytes = total
+	}
+	nonResident := streamTotal - residentBytes
+	if nonResident < 0 {
+		nonResident = 0
+	}
+	if passes < 1 {
+		passes = 1
+	}
+	return residentBytes + nonResident*passes
+}
+
+// residentTraffic models an operand whose slices are each used by one
+// outer iteration only (no cross-pass reuse needed): the unique footprint
+// is fetched once when a slice fits in SRAM, degrading toward the streamed
+// im2col volume as the slice outgrows the SRAM.
+func residentTraffic(unique, stream, slices int64, usable int64) int64 {
+	if unique <= 0 {
+		return 0
+	}
+	if slices < 1 {
+		slices = 1
+	}
+	sliceBytes := ceilDiv(unique, slices)
+	if sliceBytes <= usable {
+		return unique
+	}
+	// Fraction of each slice that can be staged; the rest streams at
+	// im2col volume.
+	if stream < unique {
+		stream = unique
+	}
+	frac := float64(usable) / float64(sliceBytes)
+	return int64(frac*float64(unique) + (1-frac)*float64(stream))
+}

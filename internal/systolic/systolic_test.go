@@ -1,0 +1,339 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tesa/internal/dnn"
+)
+
+func kb(n int64) int64 { return n * 1024 }
+
+func testArray(rows, cols int, df Dataflow, sramKB int64) Array {
+	return Array{Rows: rows, Cols: cols, Dataflow: df, SRAMBytes: kb(sramKB)}
+}
+
+func TestArrayValidate(t *testing.T) {
+	good := testArray(16, 16, OutputStationary, 64)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid array rejected: %v", err)
+	}
+	bad := []Array{
+		{Rows: 0, Cols: 16, SRAMBytes: 1024},
+		{Rows: 16, Cols: -1, SRAMBytes: 1024},
+		{Rows: 16, Cols: 16, SRAMBytes: 0},
+		{Rows: 16, Cols: 16, SRAMBytes: 1024, Dataflow: Dataflow(9)},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d: invalid array accepted", i)
+		}
+	}
+}
+
+func TestDataflowString(t *testing.T) {
+	if OutputStationary.String() != "os" || WeightStationary.String() != "ws" {
+		t.Error("dataflow names wrong")
+	}
+}
+
+// TestOSCyclesSingleFold checks the canonical SCALE-Sim formula on a GEMM
+// that fits in one fold: cycles = 2R + C + K - 2.
+func TestOSCyclesSingleFold(t *testing.T) {
+	a := testArray(32, 32, OutputStationary, 1024)
+	l := dnn.NewGEMM("g", 32, 32, 100)
+	st := SimulateLayer(a, &l)
+	want := int64(2*32 + 32 + 100 - 2)
+	if st.Cycles != want {
+		t.Errorf("single-fold OS cycles = %d, want %d", st.Cycles, want)
+	}
+}
+
+// TestWSCyclesSingleFold: weight-stationary single fold takes
+// R + SR + C - 1 cycles.
+func TestWSCyclesSingleFold(t *testing.T) {
+	a := testArray(32, 32, WeightStationary, 1024)
+	l := dnn.NewGEMM("g", 100, 32, 32) // K=32 rows, C=32 cols, SR=100
+	st := SimulateLayer(a, &l)
+	want := int64(32 + 100 + 32 - 1)
+	if st.Cycles != want {
+		t.Errorf("single-fold WS cycles = %d, want %d", st.Cycles, want)
+	}
+}
+
+// TestOSFoldCount: a GEMM exactly 2x the array in both dims costs exactly
+// 4 full folds.
+func TestOSFoldCount(t *testing.T) {
+	a := testArray(16, 16, OutputStationary, 1024)
+	l := dnn.NewGEMM("g", 32, 32, 64)
+	st := SimulateLayer(a, &l)
+	want := 4 * int64(2*16+16+64-2)
+	if st.Cycles != want {
+		t.Errorf("4-fold OS cycles = %d, want %d", st.Cycles, want)
+	}
+}
+
+// TestUtilizationBounds: utilization is in (0, 1] for every layer of
+// every network in the workload.
+func TestUtilizationBounds(t *testing.T) {
+	a := testArray(64, 64, OutputStationary, 256)
+	for _, n := range dnn.ARVRWorkload().Networks {
+		st, err := SimulateNetwork(a, &n)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if st.Utilization <= 0 || st.Utilization > 1 {
+			t.Errorf("%s: utilization %f out of (0,1]", n.Name, st.Utilization)
+		}
+		for _, ls := range st.Layers {
+			if ls.Utilization <= 0 || ls.Utilization > 1 {
+				t.Errorf("%s/%s: layer utilization %f out of (0,1]", n.Name, ls.Name, ls.Utilization)
+			}
+		}
+	}
+}
+
+// TestCyclesLowerBound: cycles can never beat the ideal MACs/PEs bound.
+func TestCyclesLowerBound(t *testing.T) {
+	for _, df := range []Dataflow{OutputStationary, WeightStationary} {
+		a := testArray(128, 128, df, 1024)
+		for _, n := range dnn.ARVRWorkload().Networks {
+			st, err := SimulateNetwork(a, &n)
+			if err != nil {
+				t.Fatalf("%s: %v", n.Name, err)
+			}
+			ideal := st.MACs / int64(a.PEs())
+			if st.Cycles < ideal {
+				t.Errorf("%s df=%v: cycles %d below ideal bound %d", n.Name, df, st.Cycles, ideal)
+			}
+		}
+	}
+}
+
+// TestBiggerArrayNotSlower: growing the array never increases a
+// network's cycle count (property over array sizes).
+func TestBiggerArrayNotSlower(t *testing.T) {
+	net := dnn.ResNet50()
+	prev := int64(1 << 62)
+	for _, dim := range []int{16, 32, 64, 128, 256} {
+		a := testArray(dim, dim, OutputStationary, 1024)
+		st, err := SimulateNetwork(a, &net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Cycles > prev {
+			t.Errorf("array %dx%d: cycles %d > smaller array's %d", dim, dim, st.Cycles, prev)
+		}
+		prev = st.Cycles
+	}
+}
+
+// TestLargerSRAMReducesDRAMTraffic: the core TESA trade-off — growing the
+// SRAM can only reduce off-chip traffic, and strictly reduces it for
+// capacity-bound networks.
+func TestLargerSRAMReducesDRAMTraffic(t *testing.T) {
+	net := dnn.ResNet50()
+	prev := int64(1 << 62)
+	for _, s := range []int64{8, 32, 128, 512, 2048} {
+		a := testArray(128, 128, OutputStationary, s)
+		st, err := SimulateNetwork(a, &net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.DRAMBytes > prev {
+			t.Errorf("SRAM %d KB: DRAM traffic %d exceeds smaller SRAM's %d", s, st.DRAMBytes, prev)
+		}
+		prev = st.DRAMBytes
+	}
+	// With tiny SRAM, traffic must strictly exceed the compulsory volume.
+	small, _ := SimulateNetwork(testArray(128, 128, OutputStationary, 8), &net)
+	big, _ := SimulateNetwork(testArray(128, 128, OutputStationary, 4096), &net)
+	if small.DRAMBytes <= big.DRAMBytes {
+		t.Error("expected strictly more DRAM traffic with 8 KB SRAM than 4096 KB")
+	}
+}
+
+// TestDRAMTrafficAtLeastCompulsory: off-chip traffic is never below the
+// compulsory volume (weights + unique inputs of the first layer + final
+// outputs are all unavoidable; we check the per-layer lower bound:
+// filter + ofmap at minimum).
+func TestDRAMTrafficAtLeastCompulsory(t *testing.T) {
+	a := testArray(128, 128, OutputStationary, 4096)
+	for _, n := range dnn.ARVRWorkload().Networks {
+		st, err := SimulateNetwork(a, &n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ls := range st.Layers {
+			l := &n.Layers[i]
+			if ls.DRAMFilter < 0 || ls.DRAMIfmap < 0 || ls.DRAMOfmap < 0 {
+				t.Fatalf("%s/%s: negative traffic", n.Name, ls.Name)
+			}
+			if ls.DRAMFilter < l.FilterBytes() {
+				t.Errorf("%s/%s: filter traffic %d below compulsory %d", n.Name, ls.Name, ls.DRAMFilter, l.FilterBytes())
+			}
+			if ls.DRAMOfmap < l.OfmapBytes() {
+				t.Errorf("%s/%s: ofmap traffic %d below compulsory %d", n.Name, ls.Name, ls.DRAMOfmap, l.OfmapBytes())
+			}
+		}
+	}
+}
+
+// TestSRAMAccessesAtLeastDRAM: every DRAM byte transits an SRAM, so SRAM
+// access volume bounds DRAM traffic from above per stream.
+func TestSRAMAccessesAtLeastDRAM(t *testing.T) {
+	a := testArray(64, 64, OutputStationary, 128)
+	n := dnn.MobileNet()
+	st, err := SimulateNetwork(a, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ls := range st.Layers {
+		if ls.SRAMIfmap < ls.DRAMIfmap || ls.SRAMFilter < ls.DRAMFilter || ls.SRAMOfmap < ls.DRAMOfmap {
+			t.Errorf("%s: SRAM volume below DRAM traffic", ls.Name)
+		}
+	}
+}
+
+// TestMACsConserved: the lowered GEMMs perform exactly the layer MACs for
+// conv/FC/GEMM kinds regardless of array size (property test).
+func TestMACsConserved(t *testing.T) {
+	net := dnn.ResNet50()
+	f := func(dimSel uint8) bool {
+		dim := 16 + int(dimSel%121)*2
+		a := testArray(dim, dim, OutputStationary, 1024)
+		st, err := SimulateNetwork(a, &net)
+		if err != nil {
+			return false
+		}
+		return st.MACs == net.MACs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestW1PerformanceViolationShape reproduces the Table III observation
+// that a 16x16 array with 8 KB SRAMs is grossly too slow for 30 fps on
+// the AR/VR workload (the paper reports 36x over budget; we require at
+// least a 5x violation, since the shape, not the exact factor, is the
+// claim under test here).
+func TestW1PerformanceViolationShape(t *testing.T) {
+	a := testArray(16, 16, OutputStationary, kb(8)/1024)
+	a.SRAMBytes = kb(8)
+	worst := 0.0
+	for _, n := range dnn.ARVRWorkload().Networks {
+		st, err := SimulateNetwork(a, &n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat := st.LatencySeconds(500e6); lat > worst {
+			worst = lat
+		}
+	}
+	budget := 1.0 / 30
+	if worst < 5*budget {
+		t.Errorf("16x16/8KB worst latency %.3fs, want > %.3fs (5x 30fps budget)", worst, 5*budget)
+	}
+}
+
+// Test200x200LatencyStructure pins the workload/array sizing that drives
+// the paper's mesh results: on a 200x200 array at 400 MHz, (i) U-Net —
+// the heaviest DNN — fits one 30 fps frame on its own chiplet, (ii) the
+// serial sum of all six exceeds two frames (so two chiplets cannot meet
+// 30 fps and the optimizer must go to three), and (iii) the serial sum
+// stays under four frames (three chiplets suffice).
+func Test200x200LatencyStructure(t *testing.T) {
+	a := testArray(200, 200, OutputStationary, 1024)
+	frame := 1.0 / 30
+	var total, unet float64
+	for _, n := range dnn.ARVRWorkload().Networks {
+		st, err := SimulateNetwork(a, &n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := st.LatencySeconds(400e6)
+		total += lat
+		if n.Name == "U-Net" {
+			unet = lat
+		}
+	}
+	if unet >= frame {
+		t.Errorf("U-Net latency %.1f ms exceeds one 30 fps frame (%.1f ms)", unet*1e3, frame*1e3)
+	}
+	if total <= 2*frame {
+		t.Errorf("serial latency %.1f ms fits two frames; two chiplets would always suffice", total*1e3)
+	}
+	if total >= 4*frame {
+		t.Errorf("serial latency %.1f ms exceeds four frames; even wide meshes would miss 30 fps", total*1e3)
+	}
+}
+
+func TestSimulatorCaching(t *testing.T) {
+	sim := NewSimulator()
+	a := testArray(64, 64, OutputStationary, 256)
+	n := dnn.MobileNet()
+	st1, err := sim.Simulate(a, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := sim.Simulate(a, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Error("cache miss on identical simulation")
+	}
+	if sim.CacheSize() != 1 {
+		t.Errorf("cache size %d, want 1", sim.CacheSize())
+	}
+	b := testArray(65, 65, OutputStationary, 256)
+	if _, err := sim.Simulate(b, &n); err != nil {
+		t.Fatal(err)
+	}
+	if sim.CacheSize() != 2 {
+		t.Errorf("cache size %d, want 2", sim.CacheSize())
+	}
+}
+
+func TestSimulateNetworkRejectsInvalid(t *testing.T) {
+	n := dnn.MobileNet()
+	if _, err := SimulateNetwork(Array{}, &n); err == nil {
+		t.Error("invalid array accepted")
+	}
+	bad := dnn.Network{Name: "bad"}
+	if _, err := SimulateNetwork(testArray(16, 16, OutputStationary, 64), &bad); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestPeakBandwidths(t *testing.T) {
+	a := testArray(100, 100, OutputStationary, 512)
+	n := dnn.ResNet50()
+	st, err := SimulateNetwork(a, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeakSRAMBytesPerCycle != float64(100+200) {
+		t.Errorf("peak SRAM bytes/cycle = %f, want 300", st.PeakSRAMBytesPerCycle)
+	}
+	if st.PeakDRAMBw < st.AvgDRAMBw {
+		t.Errorf("peak DRAM bw %f below average %f", st.PeakDRAMBw, st.AvgDRAMBw)
+	}
+	if st.AvgDRAMBw <= 0 {
+		t.Error("average DRAM bandwidth not positive")
+	}
+}
+
+// TestDepthwiseUtilizationPenalty: depthwise layers utilize the array
+// worse than a standard conv of equal MACs.
+func TestDepthwiseUtilizationPenalty(t *testing.T) {
+	a := testArray(64, 64, OutputStationary, 512)
+	dw := dnn.NewDWConv("dw", 56, 56, 128, 3, 3, 1, 1)
+	cv := dnn.NewConv("cv", 56, 56, 128, 3, 3, 128, 1, 1)
+	dws := SimulateLayer(a, &dw)
+	cvs := SimulateLayer(a, &cv)
+	if dws.Utilization >= cvs.Utilization {
+		t.Errorf("depthwise util %f not below conv util %f", dws.Utilization, cvs.Utilization)
+	}
+}

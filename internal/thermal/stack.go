@@ -1,0 +1,117 @@
+package thermal
+
+import "fmt"
+
+// Materials bundles the package's material properties and layer
+// thicknesses (after Narayan et al. [20], as the paper does) plus the
+// boundary conditions (HotSpot ambient 45 C and 0.4 K/W convection for
+// edge devices [19]).
+type Materials struct {
+	// Conductivities in W/(m*K).
+	SiliconK   float64 // bulk silicon (dies, interposer)
+	CopperK    float64 // TSV copper
+	UnderfillK float64 // epoxy underfill / gap fill between chiplets
+	BondK      float64 // face-to-back bond layer (ILD + microbumps) of 3-D chiplets
+	TIMK       float64 // thermal interface material under the lid
+	GapTIMK    float64 // TIM-layer fill over whitespace (no die below)
+	LidK       float64 // heat-spreader lid
+
+	// Thicknesses in meters.
+	InterposerThk float64
+	DieThk        float64 // 2-D chiplet die / 3-D array tier
+	SRAMTierThk   float64 // 3-D SRAM tier
+	BondThk       float64
+	TIMThk        float64
+	LidThk        float64
+
+	AmbientC        float64
+	ConvectionKPerW float64
+}
+
+// DefaultMaterials returns the calibration used throughout the
+// reproduction. The TIM dominates the vertical resistance (edge devices
+// have no bulky heat sink), which is what puts the paper's design points
+// into the 72-85 C band at 6-15 W.
+func DefaultMaterials() Materials {
+	return Materials{
+		SiliconK:   110,
+		CopperK:    390,
+		UnderfillK: 1.0,
+		BondK:      2.0,
+		TIMK:       2.0,
+		GapTIMK:    0.8,
+		LidK:       390,
+
+		InterposerThk: 100e-6,
+		DieThk:        150e-6,
+		SRAMTierThk:   100e-6,
+		BondThk:       20e-6,
+		TIMThk:        58e-6,
+		LidThk:        3000e-6,
+
+		AmbientC:        45,
+		ConvectionKPerW: 0.4,
+	}
+}
+
+// blend builds a per-cell conductivity map interpolating between outside
+// (coverage 0) and inside (coverage 1) values.
+func blend(coverage []float64, outside, inside float64) []float64 {
+	k := make([]float64, len(coverage))
+	for i, c := range coverage {
+		k[i] = outside + c*(inside-outside)
+	}
+	return k
+}
+
+// BuildStack2D assembles the 2-D MCM stack of the paper's Fig. 3
+// cross-section (2-D variant): interposer, chiplet die layer (power map),
+// TIM, lid. coverage is the per-cell chiplet-silicon fraction; power is
+// the die-layer power map (array + SRAM regions already merged by the
+// floorplanner).
+func BuildStack2D(grid int, cellM float64, coverage, power []float64, m Materials) (*Stack, error) {
+	if len(coverage) != grid*grid || len(power) != grid*grid {
+		return nil, fmt.Errorf("thermal: coverage/power maps must have %d cells", grid*grid)
+	}
+	s := &Stack{
+		Grid: grid, CellM: cellM,
+		AmbientC: m.AmbientC, ConvectionKPerW: m.ConvectionKPerW,
+		Layers: []Layer{
+			{Name: "interposer", ThicknessM: m.InterposerThk, K: Uniform(grid, m.SiliconK)},
+			{Name: "die", ThicknessM: m.DieThk, K: blend(coverage, m.UnderfillK, m.SiliconK), Power: power},
+			{Name: "tim", ThicknessM: m.TIMThk, K: blend(coverage, m.GapTIMK, m.TIMK)},
+			{Name: "lid", ThicknessM: m.LidThk, K: Uniform(grid, m.LidK)},
+		},
+	}
+	return s, s.Validate()
+}
+
+// BuildStack3D assembles the 3-D MCM stack of Fig. 3: interposer, SRAM
+// tier (TSV-adjusted conductivity, SRAM power), face-to-back bond layer,
+// array tier (array power), TIM, lid. tsvCuFraction is the copper
+// fraction of the SRAM tier inside chiplet footprints; the tier's
+// effective conductivity combines copper and silicon in parallel, the
+// paper's joint-resistivity treatment.
+func BuildStack3D(grid int, cellM float64, coverage, sramPower, arrayPower []float64, tsvCuFraction float64, m Materials) (*Stack, error) {
+	n := grid * grid
+	if len(coverage) != n || len(sramPower) != n || len(arrayPower) != n {
+		return nil, fmt.Errorf("thermal: coverage/power maps must have %d cells", n)
+	}
+	if tsvCuFraction < 0 || tsvCuFraction >= 1 {
+		return nil, fmt.Errorf("thermal: TSV copper fraction %g out of [0,1)", tsvCuFraction)
+	}
+	sramK := m.SiliconK*(1-tsvCuFraction) + m.CopperK*tsvCuFraction
+	s := &Stack{
+		Grid: grid, CellM: cellM,
+		AmbientC: m.AmbientC, ConvectionKPerW: m.ConvectionKPerW,
+		Layers: []Layer{
+			{Name: "interposer", ThicknessM: m.InterposerThk, K: Uniform(grid, m.SiliconK)},
+			{Name: "sram", ThicknessM: m.SRAMTierThk, K: blend(coverage, m.UnderfillK, sramK), Power: sramPower},
+			{Name: "bond", ThicknessM: m.BondThk, K: blend(coverage, m.UnderfillK, m.BondK)},
+			{Name: "array", ThicknessM: m.DieThk, K: blend(coverage, m.UnderfillK, m.SiliconK), Power: arrayPower},
+			{Name: "tim", ThicknessM: m.TIMThk, K: blend(coverage, m.GapTIMK, m.TIMK)},
+			{Name: "lid", ThicknessM: m.LidThk, K: Uniform(grid, m.LidK)},
+		},
+	}
+	return s, s.Validate()
+}

@@ -1,0 +1,393 @@
+// Package thermal is the HotSpot-6.0-equivalent substrate of TESA: a
+// steady-state, grid-based 3-D thermal solver for chiplet stacks on a
+// silicon interposer.
+//
+// The model is HotSpot's detailed_3D formulation: each material layer is
+// discretized into grid x grid cells; adjacent cells are connected by
+// lateral thermal conductances, adjacent layers by vertical conductances
+// (series half-thickness resistances), and the top layer reaches the
+// 45 C ambient through a lumped convection resistance (0.4 K/W in the
+// paper, representing the limited cooling of edge/mobile devices). The
+// bottom face is adiabatic, as in HotSpot's default single-path package.
+//
+// Per-cell conductivities support heterogeneous layers: silicon inside
+// chiplet footprints vs underfill in the whitespace, and the
+// TSV-perforated SRAM tier of 3-D chiplets, whose copper fraction raises
+// its effective vertical conductivity (the paper's joint copper/silicon
+// resistivity treatment).
+//
+// The resulting linear system is symmetric positive definite and is
+// solved matrix-free with Jacobi-preconditioned conjugate gradients.
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Layer is one material layer of the stack, bottom to top.
+type Layer struct {
+	Name string
+	// ThicknessM is the layer thickness in meters.
+	ThicknessM float64
+	// K is the per-cell thermal conductivity in W/(m*K), row-major,
+	// length grid*grid.
+	K []float64
+	// Power is the per-cell dissipation in watts; nil means no power.
+	Power []float64
+}
+
+// Stack is a complete thermal problem.
+type Stack struct {
+	// Grid is the number of cells per side (the paper uses 125 um cells
+	// on an 8 mm interposer, i.e. Grid=64).
+	Grid int
+	// CellM is the cell edge length in meters.
+	CellM float64
+	// AmbientC is the ambient temperature in Celsius (HotSpot default 45).
+	AmbientC float64
+	// ConvectionKPerW is the lumped convection resistance from the top
+	// layer to ambient (0.4 K/W for edge devices).
+	ConvectionKPerW float64
+	// Layers, bottom to top.
+	Layers []Layer
+}
+
+// Uniform returns a grid*grid conductivity map with a single value.
+func Uniform(grid int, k float64) []float64 {
+	m := make([]float64, grid*grid)
+	for i := range m {
+		m[i] = k
+	}
+	return m
+}
+
+// Validate reports an error for inconsistent stacks.
+func (s *Stack) Validate() error {
+	if s.Grid <= 0 {
+		return fmt.Errorf("thermal: non-positive grid %d", s.Grid)
+	}
+	if s.CellM <= 0 {
+		return fmt.Errorf("thermal: non-positive cell size %g", s.CellM)
+	}
+	if s.ConvectionKPerW <= 0 {
+		return fmt.Errorf("thermal: non-positive convection resistance %g", s.ConvectionKPerW)
+	}
+	if len(s.Layers) == 0 {
+		return fmt.Errorf("thermal: no layers")
+	}
+	n := s.Grid * s.Grid
+	for li, l := range s.Layers {
+		if l.ThicknessM <= 0 {
+			return fmt.Errorf("thermal: layer %d (%s): non-positive thickness %g", li, l.Name, l.ThicknessM)
+		}
+		if len(l.K) != n {
+			return fmt.Errorf("thermal: layer %d (%s): conductivity map has %d cells, want %d", li, l.Name, len(l.K), n)
+		}
+		for ci, k := range l.K {
+			if k <= 0 || math.IsNaN(k) {
+				return fmt.Errorf("thermal: layer %d (%s): non-physical conductivity %g at cell %d", li, l.Name, k, ci)
+			}
+		}
+		if l.Power != nil && len(l.Power) != n {
+			return fmt.Errorf("thermal: layer %d (%s): power map has %d cells, want %d", li, l.Name, len(l.Power), n)
+		}
+		for ci, p := range l.Power {
+			if p < 0 || math.IsNaN(p) {
+				return fmt.Errorf("thermal: layer %d (%s): negative power %g at cell %d", li, l.Name, p, ci)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalPower returns the stack's total dissipation in watts.
+func (s *Stack) TotalPower() float64 {
+	var total float64
+	for _, l := range s.Layers {
+		for _, p := range l.Power {
+			total += p
+		}
+	}
+	return total
+}
+
+// Result is a solved temperature field.
+type Result struct {
+	// Temps[l] is layer l's row-major temperature map in Celsius.
+	Temps [][]float64
+	// PeakC is the maximum junction temperature over all layers.
+	PeakC float64
+	// PeakLayer and PeakCell locate the hot spot.
+	PeakLayer, PeakCell int
+	// MeanC is the average temperature of the topmost power-bearing
+	// layer (informational).
+	MeanC float64
+	// Iterations is the conjugate-gradient iteration count.
+	Iterations int
+	// Rises is the raw temperature-rise vector (all layers, row-major),
+	// usable as the warm-start guess of a subsequent SolveWithGuess.
+	Rises []float64
+}
+
+// LayerTemps returns the temperature map of the named layer, or nil.
+func (r *Result) LayerTemps(s *Stack, name string) []float64 {
+	for i, l := range s.Layers {
+		if l.Name == name {
+			return r.Temps[i]
+		}
+	}
+	return nil
+}
+
+// harm is the harmonic mean used to combine the conductivities of two
+// adjacent half-cells in series.
+func harm(a, b float64) float64 { return 2 * a * b / (a + b) }
+
+// Solve computes the steady-state temperature field.
+func (s *Stack) Solve() (*Result, error) {
+	return s.SolveWithGuess(nil)
+}
+
+// SolveWithGuess computes the steady-state temperature field starting the
+// conjugate-gradient iteration from a previous solution's temperature
+// rises (Result.Rises). The guess only affects the iteration count, never
+// the fixed point; callers iterating a leakage-temperature loop converge
+// substantially faster by chaining solutions.
+func (s *Stack) SolveWithGuess(guess []float64) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := s.Grid
+	nc := g * g
+	nl := len(s.Layers)
+	q := make([]float64, nl*nc)
+	for l := 0; l < nl; l++ {
+		if p := s.Layers[l].Power; p != nil {
+			base := l * nc
+			for idx := 0; idx < nc; idx++ {
+				q[base+idx] = p[idx]
+			}
+		}
+	}
+	x, iters, err := s.solveSystem(nil, q, guess)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Temps: make([][]float64, nl), Iterations: iters, Rises: x}
+	res.PeakC = math.Inf(-1)
+	for l := 0; l < nl; l++ {
+		res.Temps[l] = make([]float64, nc)
+		base := l * nc
+		for idx := 0; idx < nc; idx++ {
+			t := s.AmbientC + x[base+idx]
+			res.Temps[l][idx] = t
+			if t > res.PeakC {
+				res.PeakC = t
+				res.PeakLayer = l
+				res.PeakCell = idx
+			}
+		}
+	}
+	// Mean of the topmost power-bearing layer.
+	for l := nl - 1; l >= 0; l-- {
+		if s.Layers[l].Power == nil {
+			continue
+		}
+		var sum float64
+		for _, t := range res.Temps[l] {
+			sum += t
+		}
+		res.MeanC = sum / float64(nc)
+		break
+	}
+	return res, nil
+}
+
+// solveSystem assembles the thermal conductance network and solves
+// (A + diag(diagExtra)) x = q with Jacobi-preconditioned conjugate
+// gradients, where x is the temperature-rise vector. diagExtra may be nil
+// (pure steady state) or a per-node addition (the implicit-Euler C/dt
+// term of the transient solver).
+func (s *Stack) solveSystem(diagExtra, q, guess []float64) ([]float64, int, error) {
+	g := s.Grid
+	nc := g * g
+	nl := len(s.Layers)
+	n := nl * nc
+
+	// Precompute conductances.
+	// gx[l*nc+idx]: between (i,j) and (i+1,j); gy: between (i,j) and (i,j+1).
+	gx := make([]float64, n)
+	gy := make([]float64, n)
+	// gz[l*nc+idx]: between layer l and l+1 at idx.
+	gz := make([]float64, (nl-1)*nc)
+	cell := s.CellM
+	for l := 0; l < nl; l++ {
+		t := s.Layers[l].ThicknessM
+		k := s.Layers[l].K
+		base := l * nc
+		for j := 0; j < g; j++ {
+			for i := 0; i < g; i++ {
+				idx := j*g + i
+				if i+1 < g {
+					gx[base+idx] = t * harm(k[idx], k[idx+1])
+				}
+				if j+1 < g {
+					gy[base+idx] = t * harm(k[idx], k[idx+g])
+				}
+			}
+		}
+	}
+	area := cell * cell
+	for l := 0; l+1 < nl; l++ {
+		tl, tu := s.Layers[l].ThicknessM, s.Layers[l+1].ThicknessM
+		kl, ku := s.Layers[l].K, s.Layers[l+1].K
+		base := l * nc
+		for idx := 0; idx < nc; idx++ {
+			r := tl/(2*kl[idx]) + tu/(2*ku[idx])
+			gz[base+idx] = area / r
+		}
+	}
+	// Uniform film: the lumped convection resistance splits evenly over
+	// the top layer's cells.
+	gamb := 1 / (s.ConvectionKPerW * float64(nc))
+
+	// Diagonal of A (temperatures relative to ambient: the ambient
+	// coupling appears only in the diagonal), plus any caller-supplied
+	// per-node addition.
+	diag := make([]float64, n)
+	for l := 0; l < nl; l++ {
+		base := l * nc
+		for idx := 0; idx < nc; idx++ {
+			node := base + idx
+			i, j := idx%g, idx/g
+			var d float64
+			if i+1 < g {
+				d += gx[node]
+			}
+			if i > 0 {
+				d += gx[node-1]
+			}
+			if j+1 < g {
+				d += gy[node]
+			}
+			if j > 0 {
+				d += gy[node-g]
+			}
+			if l+1 < nl {
+				d += gz[node]
+			}
+			if l > 0 {
+				d += gz[node-nc]
+			}
+			if l == nl-1 {
+				d += gamb
+			}
+			if diagExtra != nil {
+				d += diagExtra[node]
+			}
+			diag[node] = d
+		}
+	}
+
+	// matvec computes y = A*x for the 7-point stencil.
+	matvec := func(x, y []float64) {
+		for l := 0; l < nl; l++ {
+			base := l * nc
+			for j := 0; j < g; j++ {
+				row := base + j*g
+				for i := 0; i < g; i++ {
+					node := row + i
+					v := diag[node] * x[node]
+					if i+1 < g {
+						v -= gx[node] * x[node+1]
+					}
+					if i > 0 {
+						v -= gx[node-1] * x[node-1]
+					}
+					if j+1 < g {
+						v -= gy[node] * x[node+g]
+					}
+					if j > 0 {
+						v -= gy[node-g] * x[node-g]
+					}
+					if l+1 < nl {
+						v -= gz[node] * x[node+nc]
+					}
+					if l > 0 {
+						v -= gz[node-nc] * x[node-nc]
+					}
+					y[node] = v
+				}
+			}
+		}
+	}
+
+	// Jacobi-preconditioned conjugate gradients.
+	x := make([]float64, n) // temperature rise above ambient
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	var qnorm float64
+	for _, v := range q {
+		qnorm += v * v
+	}
+	qnorm = math.Sqrt(qnorm)
+	if qnorm > 0 && len(guess) == n {
+		copy(x, guess)
+		matvec(x, ap)
+		for i := range r {
+			r[i] = q[i] - ap[i]
+		}
+	} else {
+		copy(r, q)
+	}
+	iters := 0
+	if qnorm > 0 {
+		for i := range z {
+			z[i] = r[i] / diag[i]
+		}
+		copy(p, z)
+		rz := dot(r, z)
+		tol := 3e-8 * qnorm
+		maxIter := 20 * n
+		for ; iters < maxIter; iters++ {
+			matvec(p, ap)
+			alpha := rz / dot(p, ap)
+			for i := range x {
+				x[i] += alpha * p[i]
+				r[i] -= alpha * ap[i]
+			}
+			if norm2(r) < tol {
+				break
+			}
+			for i := range z {
+				z[i] = r[i] / diag[i]
+			}
+			rzNew := dot(r, z)
+			beta := rzNew / rz
+			rz = rzNew
+			for i := range p {
+				p[i] = z[i] + beta*p[i]
+			}
+		}
+		if iters >= maxIter {
+			return nil, 0, fmt.Errorf("thermal: CG failed to converge in %d iterations (residual %g, target %g)", maxIter, norm2(r), tol)
+		}
+	}
+	return x, iters, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(a []float64) float64 {
+	return math.Sqrt(dot(a, a))
+}

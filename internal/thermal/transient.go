@@ -1,0 +1,149 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transient analysis — the counterpart of HotSpot's transient mode to
+// this package's steady-state mode. The paper's DSE only needs steady
+// state (its workloads run continuously), but the transient solver lets
+// users check how quickly an MCM approaches its steady temperature after
+// a workload starts, and verifies that steady state is indeed the
+// long-run limit (pinned by tests).
+//
+// Discretization: backward (implicit) Euler on the same thermal network,
+//
+//	(C/dt + A) T_{n+1} = (C/dt) T_n + q,
+//
+// where C is the per-cell heat capacity. The stepping matrix is SPD like
+// A, so the same Jacobi-preconditioned CG solves each step, warm-started
+// from the previous one.
+
+// Volumetric heat capacities in J/(m^3 K).
+const (
+	SiliconVolHeatCapacity = 1.63e6
+	CopperVolHeatCapacity  = 3.45e6
+	// PolymerVolHeatCapacity covers underfill, TIM, and bond layers.
+	PolymerVolHeatCapacity = 2.0e6
+)
+
+// TransientResult is a step-response trace.
+type TransientResult struct {
+	// TimesSec[i] is the time after power-on of sample i.
+	TimesSec []float64
+	// PeakC[i] is the peak temperature at sample i.
+	PeakC []float64
+	// Final is the full field at the last step.
+	Final *Result
+}
+
+// TimeToFractionSec returns the first sampled time at which the peak
+// temperature rise reaches the given fraction of the final rise, or
+// ok=false if it never does within the trace.
+func (tr *TransientResult) TimeToFractionSec(ambientC, frac float64) (float64, bool) {
+	if len(tr.PeakC) == 0 {
+		return 0, false
+	}
+	target := ambientC + frac*(tr.PeakC[len(tr.PeakC)-1]-ambientC)
+	for i, p := range tr.PeakC {
+		if p >= target {
+			return tr.TimesSec[i], true
+		}
+	}
+	return 0, false
+}
+
+// volHeatCapacity returns the volumetric heat capacity for a layer,
+// inferred from its conductivity class when not meaningful to ask the
+// caller: metals (k > 150) get copper's, semiconductors (k > 20) get
+// silicon's, everything else polymer's.
+func volHeatCapacity(k float64) float64 {
+	switch {
+	case k > 150:
+		return CopperVolHeatCapacity
+	case k > 20:
+		return SiliconVolHeatCapacity
+	default:
+		return PolymerVolHeatCapacity
+	}
+}
+
+// SolveTransient computes the step response: the stack starts at ambient
+// everywhere, the power maps switch on at t=0, and the field is stepped
+// with the implicit-Euler scheme. steps samples are taken dt apart.
+func (s *Stack) SolveTransient(dt float64, steps int) (*TransientResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if dt <= 0 || steps <= 0 {
+		return nil, fmt.Errorf("thermal: transient needs positive dt and steps, got %g and %d", dt, steps)
+	}
+	g := s.Grid
+	nc := g * g
+	nl := len(s.Layers)
+	n := nl * nc
+
+	// Per-node heat capacity over dt.
+	cOverDt := make([]float64, n)
+	cellArea := s.CellM * s.CellM
+	for l := 0; l < nl; l++ {
+		cap := volHeatCapacity(s.Layers[l].K[0]) * cellArea * s.Layers[l].ThicknessM / dt
+		base := l * nc
+		for idx := 0; idx < nc; idx++ {
+			cOverDt[base+idx] = cap
+		}
+	}
+
+	// Each implicit step is a solve of the augmented SPD system
+	// (A + C/dt) x_{n+1} = q + (C/dt) x_n, warm-started from x_n.
+	tr := &TransientResult{}
+	x := make([]float64, n) // rise above ambient
+	rhs := make([]float64, n)
+	q := make([]float64, n)
+	for l := 0; l < nl; l++ {
+		if p := s.Layers[l].Power; p != nil {
+			base := l * nc
+			for idx := 0; idx < nc; idx++ {
+				q[base+idx] = p[idx]
+			}
+		}
+	}
+	for step := 1; step <= steps; step++ {
+		for i := range rhs {
+			rhs[i] = q[i] + cOverDt[i]*x[i]
+		}
+		next, _, err := s.solveSystem(cOverDt, rhs, x)
+		if err != nil {
+			return nil, err
+		}
+		x = next
+		peak := math.Inf(-1)
+		for _, v := range x {
+			if v > peak {
+				peak = v
+			}
+		}
+		tr.TimesSec = append(tr.TimesSec, float64(step)*dt)
+		tr.PeakC = append(tr.PeakC, s.AmbientC+peak)
+	}
+
+	// Package the final field like a steady solve.
+	res := &Result{Temps: make([][]float64, nl), Rises: x}
+	res.PeakC = math.Inf(-1)
+	for l := 0; l < nl; l++ {
+		res.Temps[l] = make([]float64, nc)
+		base := l * nc
+		for idx := 0; idx < nc; idx++ {
+			t := s.AmbientC + x[base+idx]
+			res.Temps[l][idx] = t
+			if t > res.PeakC {
+				res.PeakC = t
+				res.PeakLayer = l
+				res.PeakCell = idx
+			}
+		}
+	}
+	tr.Final = res
+	return tr, nil
+}

@@ -1,0 +1,128 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTransientConvergesToSteadyState: the implicit-Euler step response
+// approaches the steady-state solution for long times.
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	grid := 12
+	s := singleLayer(grid, 5)
+	steady, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thermal time constant of one cell ~ C/g; run far past it.
+	tr, err := s.SolveTransient(0.5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Final.PeakC-steady.PeakC) > 0.05 {
+		t.Errorf("transient limit %.3f C != steady %.3f C", tr.Final.PeakC, steady.PeakC)
+	}
+}
+
+// TestTransientMonotoneRise: under constant power from ambient, the peak
+// temperature rises monotonically toward steady state (implicit Euler is
+// unconditionally stable and monotone for this system).
+func TestTransientMonotoneRise(t *testing.T) {
+	s := singleLayer(10, 4)
+	tr, err := s.SolveTransient(0.05, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.AmbientC
+	for i, p := range tr.PeakC {
+		// Tolerance at the CG residual level.
+		if p < prev-1e-3 {
+			t.Fatalf("step %d: peak %.4f dropped below %.4f", i, p, prev)
+		}
+		prev = p
+	}
+	steady, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := tr.PeakC[len(tr.PeakC)-1]; last > steady.PeakC+1e-6 {
+		t.Errorf("transient overshot steady state: %.4f > %.4f", last, steady.PeakC)
+	}
+}
+
+// TestTransientStartsNearAmbient: the first small step barely heats the
+// stack (large C/dt dominates).
+func TestTransientStartsNearAmbient(t *testing.T) {
+	s := singleLayer(10, 4)
+	tr, err := s.SolveTransient(1e-5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rise := tr.PeakC[0] - s.AmbientC; rise > 1.0 {
+		t.Errorf("first 10 us step rose %.3f C; expected a small fraction of the steady rise", rise)
+	}
+}
+
+// TestTimeToFraction: the 63% time is positive and below the 95% time.
+func TestTimeToFraction(t *testing.T) {
+	s := singleLayer(10, 6)
+	tr, err := s.SolveTransient(0.05, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t63, ok63 := tr.TimeToFractionSec(s.AmbientC, 0.63)
+	t95, ok95 := tr.TimeToFractionSec(s.AmbientC, 0.95)
+	if !ok63 || !ok95 {
+		t.Fatal("fraction times not reached within the trace")
+	}
+	if t63 <= 0 || t95 < t63 {
+		t.Errorf("t63=%.3f t95=%.3f inconsistent", t63, t95)
+	}
+}
+
+// TestTransientValidation: error paths.
+func TestTransientValidation(t *testing.T) {
+	s := singleLayer(8, 1)
+	if _, err := s.SolveTransient(0, 10); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := s.SolveTransient(0.1, 0); err == nil {
+		t.Error("zero steps accepted")
+	}
+	bad := singleLayer(8, 1)
+	bad.CellM = -1
+	if _, err := bad.SolveTransient(0.1, 5); err == nil {
+		t.Error("invalid stack accepted")
+	}
+}
+
+// TestTransientMCMStack: the composed 2-D MCM stack steps without error
+// and heats toward its steady state.
+func TestTransientMCMStack(t *testing.T) {
+	grid := 16
+	m := DefaultMaterials()
+	cov := make([]float64, grid*grid)
+	power := make([]float64, grid*grid)
+	for j := 5; j < 11; j++ {
+		for i := 5; i < 11; i++ {
+			cov[j*grid+i] = 1
+			power[j*grid+i] = 6.0 / 36
+		}
+	}
+	s, err := BuildStack2D(grid, 8e-3/float64(grid), cov, power, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.SolveTransient(0.02, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tr.PeakC[len(tr.PeakC)-1]
+	if last <= s.AmbientC || last > steady.PeakC+1e-6 {
+		t.Errorf("transient peak %.2f outside (ambient, steady %.2f]", last, steady.PeakC)
+	}
+}

@@ -1,0 +1,93 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWarmStartSameFixedPoint: a solve warm-started from another
+// solution's rises reaches the same temperatures (the guess affects only
+// the iteration count).
+func TestWarmStartSameFixedPoint(t *testing.T) {
+	grid := 24
+	s := singleLayer(grid, 0)
+	s.Layers[0].Power[5*grid+7] = 3
+	s.Layers[0].Power[15*grid+18] = 2
+	cold, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb the power slightly and solve cold vs warm.
+	s2 := singleLayer(grid, 0)
+	s2.Layers[0].Power[5*grid+7] = 3.3
+	s2.Layers[0].Power[15*grid+18] = 2.1
+	coldRef, err := s2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s2.SolveWithGuess(cold.Rises)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm.Temps[0] {
+		if math.Abs(warm.Temps[0][i]-coldRef.Temps[0][i]) > 1e-4 {
+			t.Fatalf("cell %d: warm %.6f != cold %.6f", i, warm.Temps[0][i], coldRef.Temps[0][i])
+		}
+	}
+	if warm.Iterations > coldRef.Iterations {
+		t.Errorf("warm start took %d iterations, cold %d — no speedup", warm.Iterations, coldRef.Iterations)
+	}
+}
+
+// TestWarmStartWrongLengthIgnored: a malformed guess falls back to the
+// cold start instead of corrupting the solve.
+func TestWarmStartWrongLengthIgnored(t *testing.T) {
+	s := singleLayer(8, 2)
+	ref, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.SolveWithGuess([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.PeakC-ref.PeakC) > 1e-9 {
+		t.Errorf("short guess changed the solution: %f vs %f", got.PeakC, ref.PeakC)
+	}
+}
+
+// TestWarmStartZeroPower: with no power, the result is ambient even when
+// a stale nonzero guess is supplied.
+func TestWarmStartZeroPower(t *testing.T) {
+	s := singleLayer(8, 0)
+	stale := make([]float64, 8*8)
+	for i := range stale {
+		stale[i] = 25
+	}
+	r, err := s.SolveWithGuess(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.PeakC-45) > 1e-9 {
+		t.Errorf("zero-power peak %f, want ambient 45", r.PeakC)
+	}
+}
+
+// TestRisesExposed: Result.Rises matches Temps minus ambient.
+func TestRisesExposed(t *testing.T) {
+	grid := 8
+	s := singleLayer(grid, 4)
+	r, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rises) != grid*grid {
+		t.Fatalf("rises length %d, want %d", len(r.Rises), grid*grid)
+	}
+	for i := range r.Rises {
+		if math.Abs(r.Rises[i]-(r.Temps[0][i]-45)) > 1e-9 {
+			t.Fatalf("cell %d: rise %.6f != temp-ambient %.6f", i, r.Rises[i], r.Temps[0][i]-45)
+		}
+	}
+}
