@@ -38,9 +38,12 @@
 package tesa
 
 import (
+	"io"
+
 	"tesa/internal/core"
 	"tesa/internal/dnn"
 	"tesa/internal/systolic"
+	"tesa/internal/telemetry"
 )
 
 // Core design-space exploration types.
@@ -155,6 +158,32 @@ func ThermalMapCSV(ev *Evaluation) string { return core.ThermalMapCSV(ev) }
 
 // FloorplanASCII renders an evaluated MCM's floorplan as ASCII art.
 func FloorplanASCII(ev *Evaluation) string { return core.FloorplanASCII(ev) }
+
+// Observability (internal/telemetry). Attach a hub to an evaluator with
+// Evaluator.Instrument; a nil *Telemetry disables everything at ~zero
+// cost, so library users can plumb one unconditionally:
+//
+//	tel := tesa.NewTelemetry(tesa.NewJSONLSink(traceFile)) // or NewTelemetry(nil)
+//	ev.Instrument(tel)
+//	res, _ := ev.Optimize(tesa.DefaultSpace(), 1)
+//	fmt.Print(tel.Summary())
+type (
+	// Telemetry is the observability hub: metrics registry, optional
+	// trace sink, Span/Hook API. The nil hub is the disabled state.
+	Telemetry = telemetry.Telemetry
+	// EventSink receives structured trace events.
+	EventSink = telemetry.EventSink
+	// JSONLSink writes one JSON object per trace event.
+	JSONLSink = telemetry.JSONLSink
+)
+
+// NewTelemetry returns an enabled hub; sink may be nil for
+// metrics-only collection.
+func NewTelemetry(sink EventSink) *Telemetry { return telemetry.New(sink) }
+
+// NewJSONLSink wraps w in a buffered JSONL trace sink; call Flush (or
+// Telemetry.Flush) before exiting.
+func NewJSONLSink(w io.Writer) *JSONLSink { return telemetry.NewJSONLSink(w) }
 
 // MarshalWorkload serializes a workload to the JSON schema documented in
 // internal/dnn (TESA's layer-wise workload description input).

@@ -14,6 +14,7 @@
 package tesa_test
 
 import (
+	"io"
 	"sync"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"tesa/internal/core"
 	"tesa/internal/dnn"
 	"tesa/internal/systolic"
+	"tesa/internal/telemetry"
 	"tesa/internal/thermal"
 )
 
@@ -277,4 +279,42 @@ func BenchmarkFig1(b *testing.B) {
 		}
 		b.Logf("\n%s", core.FormatFig1(ss, tesa.DefaultConstraints()))
 	}
+}
+
+// benchOptimizeTelemetry runs a full validation-space optimization with
+// the given hub attached (nil = the disabled fast path).
+func benchOptimizeTelemetry(b *testing.B, tel *telemetry.Telemetry) {
+	opts := tesa.DefaultOptions()
+	opts.Grid = 24
+	cons := tesa.DefaultConstraints()
+	cons.FPS = 15
+	cons.TempBudgetC = 85
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev, err := tesa.NewEvaluator(tesa.ARVRWorkload(), opts, cons, tesa.Models{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev.Instrument(tel)
+		if _, err := ev.Optimize(tesa.ValidationSpace(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeTelemetryOff is the overhead guard for the
+// instrumented pipeline with telemetry DISABLED (nil hub): every probe
+// must reduce to a nil check, so this should stay within noise (<2%) of
+// the pre-instrumentation optimizer. Compare against ...On to price the
+// enabled path:
+//
+//	go test -bench 'OptimizeTelemetry' -count 5 .
+func BenchmarkOptimizeTelemetryOff(b *testing.B) {
+	benchOptimizeTelemetry(b, nil)
+}
+
+// BenchmarkOptimizeTelemetryOn prices full observability: metrics
+// registry plus a JSONL trace sink swallowing every annealer event.
+func BenchmarkOptimizeTelemetryOn(b *testing.B) {
+	benchOptimizeTelemetry(b, telemetry.New(telemetry.NewJSONLSink(io.Discard)))
 }

@@ -6,6 +6,11 @@
 //
 //	tesa-pareto [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
 //	            [-points 9] [-grid 32] [-seed 1]
+//	            [-metrics] [-trace out.jsonl] [-pprof addr]
+//
+// With the telemetry flags, all weight settings share one hub, so the
+// -metrics summary aggregates stage timings across the whole front and
+// the -trace events interleave the per-weight optimizer runs.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"strings"
 
 	"tesa"
+	"tesa/internal/telemetry"
 )
 
 func main() {
@@ -24,13 +30,22 @@ func main() {
 		fps     = flag.Float64("fps", 30, "latency constraint in frames per second")
 		tempC   = flag.Float64("temp", 75, "thermal budget in Celsius")
 		points  = flag.Int("points", 9, "number of weight settings to sweep")
-		grid    = flag.Int("grid", 32, "thermal grid cells per side")
-		seed    = flag.Int64("seed", 1, "optimizer seed")
+		grid      = flag.Int("grid", 32, "thermal grid cells per side")
+		seed      = flag.Int64("seed", 1, "optimizer seed")
+		metrics   = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
+		trace     = flag.String("trace", "", "write a JSONL event trace to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *points < 2 {
 		fmt.Fprintln(os.Stderr, "need at least 2 sweep points")
 		os.Exit(2)
+	}
+
+	tel, telDone, err := telemetry.Setup(*trace, *pprofAddr, *metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	base := tesa.DefaultOptions()
@@ -64,6 +79,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		ev.Instrument(tel)
 		res, err := ev.Optimize(space, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -82,5 +98,12 @@ func main() {
 		fmt.Printf("%.3f,%.3f,%d,%d,%d,%d,%d,%.2f,%.2f,%.2f,%.2f%s\n",
 			opts.Alpha, opts.Beta, b.Point.ArrayDim, b.Point.SRAMKB(), b.Point.ICSUM,
 			b.Mesh.Rows, b.Mesh.Cols, b.PeakTempC, b.TotalPowerW, b.MCMCost.Total, b.DRAMPowerW, marker)
+	}
+	if *metrics {
+		// The summary goes to stderr so the CSV on stdout stays clean.
+		fmt.Fprint(os.Stderr, tel.Summary())
+	}
+	if err := telDone(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }

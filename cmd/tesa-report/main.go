@@ -144,8 +144,8 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			fmt.Printf("%v: space=%d feasible=%d explored=%.1f%% agreement=%v\n",
-				c, v.SpaceSize, v.FeasibleCount, 100*v.ExploredFraction, v.Agreement)
+			fmt.Printf("%v: space=%d feasible=%d explored=%.1f%% cache-hits=%.1f%% agreement=%v\n",
+				c, v.SpaceSize, v.FeasibleCount, 100*v.ExploredFraction, 100*v.CacheHitRate, v.Agreement)
 			if v.ExhaustiveFound {
 				fmt.Printf("  global optimum: %v (objective %.4f)\n", v.ExhaustiveBest.Point, v.ExhaustiveBest.Objective)
 			}

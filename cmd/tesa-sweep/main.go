@@ -7,9 +7,13 @@
 //
 //	tesa-sweep [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
 //	           [-full] [-grid 32] [-seed 1]
+//	           [-metrics] [-trace out.jsonl] [-pprof addr]
 //
 // By default the small validation space (64x64..128x128 arrays, coarse
-// ICS) is swept; -full sweeps the whole Table II space.
+// ICS) is swept; -full sweeps the whole Table II space. The telemetry
+// flags instrument both the exhaustive and the annealer evaluator, so
+// the -metrics summary contrasts the sweep's pure pipeline throughput
+// with the annealer's cache-amplified one.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"time"
 
 	"tesa"
+	"tesa/internal/telemetry"
 )
 
 func main() {
@@ -29,10 +34,27 @@ func main() {
 		fps     = flag.Float64("fps", 15, "latency constraint in frames per second")
 		tempC   = flag.Float64("temp", 85, "thermal budget in Celsius")
 		full    = flag.Bool("full", false, "sweep the full Table II space instead of the validation space")
-		grid    = flag.Int("grid", 32, "thermal grid cells per side")
-		seed    = flag.Int64("seed", 1, "optimizer seed")
+		grid      = flag.Int("grid", 32, "thermal grid cells per side")
+		seed      = flag.Int64("seed", 1, "optimizer seed")
+		metrics   = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
+		trace     = flag.String("trace", "", "write a JSONL event trace to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	tel, telDone, err := telemetry.Setup(*trace, *pprofAddr, *metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	finish := func() {
+		if *metrics {
+			fmt.Print(tel.Summary())
+		}
+		if err := telDone(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 
 	opts := tesa.DefaultOptions()
 	if strings.EqualFold(*tech, "3d") {
@@ -55,6 +77,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	ex.Instrument(tel)
 	fmt.Printf("exhaustive sweep: %d design vectors (%s, %.0f MHz, %.0f fps, %.0f C)\n",
 		space.Size(), opts.Tech, *freqMHz, cons.FPS, cons.TempBudgetC)
 	start := time.Now()
@@ -78,14 +101,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	op.Instrument(tel)
 	start = time.Now()
 	opRes, err := op.Optimize(space, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nmulti-start annealer: explored %d points (%.1f%% of the space), %.1fs\n",
-		opRes.Explored, 100*float64(opRes.Explored)/float64(space.Size()), time.Since(start).Seconds())
+	fmt.Printf("\nmulti-start annealer: explored %d points (%.1f%% of the space, %.1f%% cache hits), %.1fs\n",
+		opRes.Explored, 100*float64(opRes.Explored)/float64(space.Size()),
+		100*opRes.CacheHitRate, time.Since(start).Seconds())
+	exit := 0
 	switch {
 	case !opRes.Found && exRes.Best == nil:
 		fmt.Println("  agreement: both report no feasible configuration")
@@ -95,10 +121,14 @@ func main() {
 			fmt.Println("  agreement: 100% — the annealer matched the global optimum")
 		} else {
 			fmt.Printf("  DISAGREEMENT: annealer %.4f vs global %.4f\n", opRes.Best.Objective, exRes.Best.Objective)
-			os.Exit(3)
+			exit = 3
 		}
 	default:
 		fmt.Println("  DISAGREEMENT: one side found a solution, the other did not")
-		os.Exit(3)
+		exit = 3
+	}
+	finish()
+	if exit != 0 {
+		os.Exit(exit)
 	}
 }

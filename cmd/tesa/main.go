@@ -5,10 +5,15 @@
 //
 //	tesa [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75] [-power 15]
 //	     [-interposer 8] [-grid 32] [-seed 1] [-alpha 1] [-beta 1]
+//	     [-metrics] [-trace out.jsonl] [-pprof addr]
 //
 // The output reports the winning design point, its derived mesh and SRAM
 // capacity, and the full evaluation (peak temperature, power, cost, DRAM
 // power, per-chiplet schedule).
+//
+// Observability: -metrics prints an end-of-run summary (per-stage
+// latency percentiles, evals/sec, cache hit rate), -trace streams
+// annealer-level JSONL events, and -pprof serves net/http/pprof.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"tesa"
+	"tesa/internal/telemetry"
 )
 
 func main() {
@@ -35,8 +41,27 @@ func main() {
 		beta       = flag.Float64("beta", 1, "Eq. 6 weight on DRAM power")
 		dataflow   = flag.String("dataflow", "os", "systolic dataflow: os or ws")
 		workload   = flag.String("workload", "", "JSON workload file (default: the built-in AR/VR workload)")
+		metrics    = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
+		trace      = flag.String("trace", "", "write a JSONL event trace to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	tel, telDone, err := telemetry.Setup(*trace, *pprofAddr, *metrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// finish flushes telemetry before any exit path (os.Exit skips
+	// defers).
+	finish := func() {
+		if *metrics {
+			fmt.Print(tel.Summary())
+		}
+		if err := telDone(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 
 	opts := tesa.DefaultOptions()
 	switch strings.ToLower(*tech) {
@@ -79,6 +104,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	ev.Instrument(tel)
 
 	fmt.Printf("TESA: %s MCM at %.0f MHz for the %d-DNN %s workload\n", opts.Tech, *freqMHz, len(w.Networks), w.Name)
 	fmt.Printf("constraints: %.0f fps, %.0f W, %.0f C, %.0fx%.0f mm interposer\n\n",
@@ -96,6 +122,7 @@ func main() {
 		fmt.Printf("SOLUTION DOES NOT EXIST under these constraints\n")
 		fmt.Printf("(explored %d of %d design vectors in %.1fs)\n", res.Explored, tesa.DefaultSpace().Size(), elapsed.Seconds())
 		fmt.Println("remedial options: relax the thermal budget, reduce frequency, or enlarge the interposer")
+		finish()
 		os.Exit(3)
 	}
 
@@ -123,7 +150,9 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\nsearch: %d evaluations, %d distinct points (%.1f%% of the space), %.1fs\n\n",
-		res.Evaluations, res.Explored, 100*float64(res.Explored)/float64(tesa.DefaultSpace().Size()), elapsed.Seconds())
+	fmt.Printf("\nsearch: %d evaluations, %d distinct points (%.1f%% of the space, %.1f%% cache hits), %.1fs\n\n",
+		res.Evaluations, res.Explored, 100*float64(res.Explored)/float64(tesa.DefaultSpace().Size()),
+		100*res.CacheHitRate, elapsed.Seconds())
 	fmt.Print(tesa.FloorplanASCII(best))
+	finish()
 }

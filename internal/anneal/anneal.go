@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // Config parameterizes one annealer. The paper's validated settings are
@@ -28,6 +29,65 @@ type Config struct {
 	Decay                 float64 // temperature multiplier per level (delta)
 	PerturbationsPerLevel int     // N
 	Seed                  int64   // deterministic PRNG seed
+
+	// Start labels this annealer within a multi-start ensemble; it is
+	// echoed in every Observer event (DefaultStarts numbers 0, 1, 2).
+	Start int
+	// Observer, when non-nil, receives lifecycle and per-temperature-
+	// level events. Observers never influence the search: they see the
+	// PRNG stream's results, not the PRNG. A shared Observer must be
+	// safe for concurrent use — MultiStart runs annealers in parallel.
+	Observer Observer
+}
+
+// Observer receives annealer progress. All callbacks run synchronously
+// on the annealer's goroutine, so they must be cheap; expensive sinks
+// should buffer.
+type Observer interface {
+	// AnnealStart fires once before the first temperature level.
+	AnnealStart(StartEvent)
+	// AnnealLevel fires after each completed temperature level.
+	AnnealLevel(LevelEvent)
+	// AnnealDone fires once per annealer, after convergence or when no
+	// feasible start was found.
+	AnnealDone(DoneEvent)
+}
+
+// StartEvent announces one annealer's configuration.
+type StartEvent struct {
+	Start  int
+	TInit  float64
+	TFinal float64
+	Decay  float64
+	Seed   int64
+}
+
+// LevelEvent reports one completed temperature level. The move counts
+// are per-level (Accepted+Rejected == perturbations at this level);
+// Evaluations is cumulative across the run.
+type LevelEvent struct {
+	Start       int
+	Level       int     // 0-based temperature-level index
+	Temperature float64 // T_a at this level
+	CurObj      float64 // objective of the current state after the level
+	BestObj     float64 // best objective so far
+	Accepted    int     // moves accepted at this level
+	Uphill      int     // accepted worsening moves at this level
+	Rejected    int     // rejected moves at this level (incl. infeasible)
+	Infeasible  int     // rejections due to constraint violations
+	Evaluations int     // cumulative evaluations so far
+}
+
+// DoneEvent summarizes one annealer's run.
+type DoneEvent struct {
+	Start       int
+	Found       bool
+	BestObj     float64 // meaningless when !Found
+	Levels      int
+	Evaluations int
+	Accepted    int
+	Uphill      int
+	Duration    time.Duration
 }
 
 // Validate reports an error for unusable annealer settings.
@@ -46,13 +106,13 @@ func (c Config) Validate() error {
 
 // DefaultStarts returns the paper's three-start configuration.
 func DefaultStarts(seed int64) []Config {
-	mk := func(delta float64, s int64) Config {
-		return Config{TInit: 19, TFinal: 0.5, Decay: delta, PerturbationsPerLevel: 10, Seed: s}
+	mk := func(i int, delta float64, s int64) Config {
+		return Config{TInit: 19, TFinal: 0.5, Decay: delta, PerturbationsPerLevel: 10, Seed: s, Start: i}
 	}
 	return []Config{
-		mk(0.89, seed),
-		mk(0.87, seed+1),
-		mk(0.85, seed+2),
+		mk(0, 0.89, seed),
+		mk(1, 0.87, seed+1),
+		mk(2, 0.85, seed+2),
 	}
 }
 
@@ -76,15 +136,36 @@ type Result[S any] struct {
 	Evaluations int  // perturbations evaluated
 	Accepted    int  // accepted moves (better or Metropolis)
 	Uphill      int  // accepted worsening moves
+	// Levels is the number of temperature levels completed; for a
+	// MultiStart ensemble it is the maximum over its starts.
+	Levels int
+	// Duration is the annealer's wall-clock time; for a MultiStart
+	// ensemble it is the wall-clock time of the whole parallel run (not
+	// the sum of its starts).
+	Duration time.Duration
 }
 
 // Minimize runs a single annealer per Fig. 4.
-func Minimize[S any](cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S]) (Result[S], error) {
+func Minimize[S any](cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S]) (res Result[S], err error) {
 	if err := cfg.Validate(); err != nil {
 		return Result[S]{}, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	var res Result[S]
+	began := time.Now()
+	if obs := cfg.Observer; obs != nil {
+		obs.AnnealStart(StartEvent{
+			Start: cfg.Start, TInit: cfg.TInit, TFinal: cfg.TFinal,
+			Decay: cfg.Decay, Seed: cfg.Seed,
+		})
+		defer func() {
+			obs.AnnealDone(DoneEvent{
+				Start: cfg.Start, Found: res.Found, BestObj: res.BestObj,
+				Levels: res.Levels, Evaluations: res.Evaluations,
+				Accepted: res.Accepted, Uphill: res.Uphill, Duration: res.Duration,
+			})
+		}()
+	}
+	defer func() { res.Duration = time.Since(began) }()
 
 	cur, ok := init(rng)
 	if !ok {
@@ -101,11 +182,13 @@ func Minimize[S any](cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S
 	res.Best, res.BestObj, res.Found = cur, curObj, true
 
 	for ta := cfg.TInit; ta > cfg.TFinal; ta *= cfg.Decay {
+		prevAcc, prevUp, infeasible := res.Accepted, res.Uphill, 0
 		for i := 0; i < cfg.PerturbationsPerLevel; i++ {
 			cand := neighbor(cur, rng)
 			obj, feas := eval(cand)
 			res.Evaluations++
 			if !feas {
+				infeasible++
 				continue // constraint violation: reject, next iteration
 			}
 			accept := false
@@ -128,6 +211,22 @@ func Minimize[S any](cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S
 				}
 			}
 		}
+		res.Levels++
+		if obs := cfg.Observer; obs != nil {
+			acc := res.Accepted - prevAcc
+			obs.AnnealLevel(LevelEvent{
+				Start:       cfg.Start,
+				Level:       res.Levels - 1,
+				Temperature: ta,
+				CurObj:      curObj,
+				BestObj:     res.BestObj,
+				Accepted:    acc,
+				Uphill:      res.Uphill - prevUp,
+				Rejected:    cfg.PerturbationsPerLevel - acc,
+				Infeasible:  infeasible,
+				Evaluations: res.Evaluations,
+			})
+		}
 	}
 	return res, nil
 }
@@ -138,6 +237,7 @@ func MultiStart[S any](cfgs []Config, init Init[S], neighbor Neighbor[S], eval E
 	if len(cfgs) == 0 {
 		return Result[S]{}, nil, fmt.Errorf("anneal: no starts configured")
 	}
+	began := time.Now()
 	results := make([]Result[S], len(cfgs))
 	errs := make([]error, len(cfgs))
 	var wg sync.WaitGroup
@@ -155,10 +255,14 @@ func MultiStart[S any](cfgs []Config, init Init[S], neighbor Neighbor[S], eval E
 		}
 	}
 	var best Result[S]
+	best.Duration = time.Since(began)
 	for _, r := range results {
 		best.Evaluations += r.Evaluations
 		best.Accepted += r.Accepted
 		best.Uphill += r.Uphill
+		if r.Levels > best.Levels {
+			best.Levels = r.Levels
+		}
 		if r.Found && (!best.Found || r.BestObj < best.BestObj) {
 			best.Best, best.BestObj, best.Found = r.Best, r.BestObj, true
 		}

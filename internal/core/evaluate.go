@@ -14,6 +14,7 @@ import (
 	"tesa/internal/sched"
 	"tesa/internal/sram"
 	"tesa/internal/systolic"
+	"tesa/internal/telemetry"
 	"tesa/internal/thermal"
 )
 
@@ -99,9 +100,27 @@ type Evaluator struct {
 
 	sim *systolic.Simulator
 
-	mu    sync.Mutex
-	cache map[DesignPoint]*Evaluation
+	// tel is the optional observability hub (nil = disabled fast path);
+	// see Instrument.
+	tel *telemetry.Telemetry
+
+	mu     sync.Mutex
+	cache  map[DesignPoint]*Evaluation
+	hits   int // Evaluate calls served from the memo cache
+	misses int // Evaluate calls that ran the pipeline
 }
+
+// Instrument attaches an observability hub: the pipeline records
+// per-stage wall time into tel's timing histograms and counts cache
+// hits/misses, and Optimize forwards annealer progress as trace events.
+// A nil tel (the default) disables all of it at the cost of a nil check
+// per probe. Call before the first Evaluate; the hub may be shared
+// across evaluators.
+func (e *Evaluator) Instrument(tel *telemetry.Telemetry) { e.tel = tel }
+
+// Telemetry returns the hub attached with Instrument (nil when
+// uninstrumented).
+func (e *Evaluator) Telemetry() *telemetry.Telemetry { return e.tel }
 
 // NewEvaluator builds an evaluator; zero fields of models are filled with
 // defaults.
@@ -149,6 +168,27 @@ func (e *Evaluator) Explored() int {
 	return len(e.cache)
 }
 
+// Evaluations returns the total number of Evaluate/EvaluateFull calls,
+// including the ones served from the memo cache. The gap between
+// Evaluations and Explored is the annealers' revisit traffic.
+func (e *Evaluator) Evaluations() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits + e.misses
+}
+
+// CacheHitRate returns the fraction of Evaluate calls served from the
+// memo cache (0 before the first call) — the single source of truth the
+// CLIs report instead of re-deriving it from Evaluations and Explored.
+func (e *Evaluator) CacheHitRate() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.hits+e.misses == 0 {
+		return 0
+	}
+	return float64(e.hits) / float64(e.hits+e.misses)
+}
+
 // Evaluate runs the pipeline, short-circuiting the expensive thermal
 // stage once a cheaper constraint already fails (DSE mode).
 func (e *Evaluator) Evaluate(p DesignPoint) (*Evaluation, error) {
@@ -165,14 +205,23 @@ func (e *Evaluator) EvaluateFull(p DesignPoint) (*Evaluation, error) {
 func (e *Evaluator) evaluate(p DesignPoint, full bool) (*Evaluation, error) {
 	e.mu.Lock()
 	if ev, ok := e.cache[p]; ok && (ev.Full || !full) {
+		e.hits++
 		e.mu.Unlock()
+		e.tel.Registry().Counter("evaluator.cache.hit").Inc()
 		return ev, nil
 	}
+	e.misses++
 	e.mu.Unlock()
+	e.tel.Registry().Counter("evaluator.cache.miss").Inc()
 
 	ev, err := e.pipeline(p, full)
 	if err != nil {
 		return nil, err
+	}
+	if ev.Feasible {
+		e.tel.Registry().Counter("evaluator.feasible").Inc()
+	} else {
+		e.tel.Registry().Counter("evaluator.infeasible").Inc()
 	}
 	e.mu.Lock()
 	e.cache[p] = ev
@@ -194,12 +243,15 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 	if p.ArrayDim <= 0 || p.ICSUM < 0 {
 		return nil, fmt.Errorf("core: invalid design point %+v", p)
 	}
+	total := e.tel.StartSpan("pipeline.total")
+	defer total.End()
 	ev := &Evaluation{Point: p, PeakTempC: math.NaN(), Full: full}
 	threeD := e.Opts.Tech == Tech3D
 	sramKB := p.SRAMKB()
 
 	// Performance model (SCALE-Sim equivalent), memoized per
 	// (array, network).
+	span := e.tel.StartSpan("stage.systolic")
 	arr := systolic.Array{
 		Rows: p.ArrayDim, Cols: p.ArrayDim,
 		Dataflow:  e.Opts.Dataflow,
@@ -224,8 +276,10 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 			peakSRAMBw = st.PeakSRAMBytesPerCycle
 		}
 	}
+	span.End()
 
 	// Area model and mesh estimator.
+	span = e.tel.StartSpan("stage.floorplan")
 	chip, err := area.Build(p.ArrayDim*p.ArrayDim, est, threeD, peakSRAMBw)
 	if err != nil {
 		return nil, err
@@ -236,6 +290,7 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 	// controls the chiplet count.
 	mesh, err := floorplan.EstimateMesh(e.Cons.InterposerMM, chip.WidthMM, chip.HeightMM, float64(p.ICSUM)/1000, e.Opts.MaxChiplets)
 	if err != nil {
+		span.End()
 		ev.Violations = append(ev.Violations, "area")
 		ev.Objective = math.Inf(1)
 		return ev, nil
@@ -252,9 +307,11 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 		// in parallel on distinct chiplets.
 		ev.Violations = append(ev.Violations, "mesh")
 	}
+	span.End()
 
 	// Scheduler: latency-, power-, and power-density-aware static
 	// assignment.
+	span = e.tel.StartSpan("stage.sched")
 	sp := make([]sched.DNNProfile, len(profiles))
 	var totalMACs int64
 	for i, pr := range profiles {
@@ -277,9 +334,11 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 	if ev.LatencyFactor > 1+1e-9 {
 		ev.Violations = append(ev.Violations, "latency")
 	}
+	span.End()
 
 	// DRAM power: per-chiplet channel provisioning by peak bandwidth
 	// (max over the chiplet's DNNs), traffic averaged over the frame.
+	span = e.tel.StartSpan("stage.dram")
 	var channels int
 	var frameBytes float64
 	ev.ChipletTraffic = make([]int64, mesh.Count())
@@ -300,8 +359,10 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 	}
 	ev.DRAMChannels = channels
 	ev.DRAMPowerW = e.Models.DRAM.Power(channels, frameBytes*e.Cons.FPS)
+	span.End()
 
 	// MCM cost.
+	span = e.tel.StartSpan("stage.cost")
 	spec := cost.ChipletSpec{ThreeD: threeD}
 	if threeD {
 		spec.ArrayDieMM2 = chip.ArrayTierMM2()
@@ -314,6 +375,7 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 		return nil, err
 	}
 	ev.MCMCost = bd
+	span.End()
 
 	// Objective, Eq. (6).
 	ev.Objective = e.Opts.Alpha*bd.Total/e.Opts.RefCostUSD + e.Opts.Beta*ev.DRAMPowerW/e.Opts.RefDRAMWatts
@@ -373,7 +435,10 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 		}
 	}
 
-	if err := e.thermalAnalysis(ev, profiles, place, est); err != nil {
+	span = e.tel.StartSpan("stage.thermal")
+	err = e.thermalAnalysis(ev, profiles, place, est)
+	span.End()
+	if err != nil {
 		return nil, err
 	}
 

@@ -425,8 +425,11 @@ type ValidationResult struct {
 	// ExploredFraction is the share of the space the annealers touched
 	// (the paper reports <15%).
 	ExploredFraction float64
-	FeasibleCount    int
-	SpaceSize        int
+	// CacheHitRate is the optimizer evaluator's memo-cache hit rate —
+	// how much of the annealers' revisit traffic the cache absorbed.
+	CacheHitRate  float64
+	FeasibleCount int
+	SpaceSize     int
 }
 
 // ValidateOptimizer reproduces the paper's Sec. IV-A study: exhaustively
@@ -465,6 +468,7 @@ func (cfg *ExperimentConfig) ValidateOptimizer(c Corner) (*ValidationResult, err
 		FeasibleCount:    exRes.Feasible,
 		SpaceSize:        exRes.Total,
 		ExploredFraction: float64(opRes.Explored) / float64(exRes.Total),
+		CacheHitRate:     op.CacheHitRate(),
 	}
 	res.ExhaustiveBest = exRes.Best
 	if opRes.Found {

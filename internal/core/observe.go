@@ -1,0 +1,64 @@
+package core
+
+import (
+	"tesa/internal/anneal"
+	"tesa/internal/telemetry"
+)
+
+// annealObserver bridges annealer progress into the telemetry hub:
+// move-outcome counters always, plus one trace event per temperature
+// level and per annealer lifecycle edge when a sink is attached. It is
+// shared by the three parallel starts, which is safe because both the
+// registry and the sink serialize internally.
+type annealObserver struct {
+	tel *telemetry.Telemetry
+}
+
+func (o *annealObserver) AnnealStart(e anneal.StartEvent) {
+	o.tel.Emit("anneal.start", map[string]any{
+		"start": e.Start,
+		"tinit": e.TInit,
+		"tfinal": e.TFinal,
+		"decay": e.Decay,
+		"seed":  e.Seed,
+	})
+}
+
+func (o *annealObserver) AnnealLevel(e anneal.LevelEvent) {
+	reg := o.tel.Registry()
+	reg.Counter("anneal.accepted").Add(int64(e.Accepted))
+	reg.Counter("anneal.uphill").Add(int64(e.Uphill))
+	reg.Counter("anneal.rejected").Add(int64(e.Rejected))
+	reg.Counter("anneal.infeasible").Add(int64(e.Infeasible))
+	if !o.tel.Tracing() {
+		return // skip the field-map allocation when nothing consumes it
+	}
+	o.tel.Emit("anneal.level", map[string]any{
+		"start":       e.Start,
+		"level":       e.Level,
+		"temp":        e.Temperature,
+		"cur_obj":     e.CurObj,
+		"best_obj":    e.BestObj,
+		"accepted":    e.Accepted,
+		"uphill":      e.Uphill,
+		"rejected":    e.Rejected,
+		"infeasible":  e.Infeasible,
+		"evaluations": e.Evaluations,
+	})
+}
+
+func (o *annealObserver) AnnealDone(e anneal.DoneEvent) {
+	if !o.tel.Tracing() {
+		return
+	}
+	o.tel.Emit("anneal.done", map[string]any{
+		"start":       e.Start,
+		"found":       e.Found,
+		"best_obj":    e.BestObj,
+		"levels":      e.Levels,
+		"evaluations": e.Evaluations,
+		"accepted":    e.Accepted,
+		"uphill":      e.Uphill,
+		"duration_ms": float64(e.Duration.Microseconds()) / 1e3,
+	})
+}

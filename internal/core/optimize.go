@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"tesa/internal/anneal"
 )
@@ -21,7 +22,12 @@ type OptimizeResult struct {
 	// Explored counts distinct design points actually evaluated.
 	Evaluations int
 	Explored    int
-	// PerStart reports each annealer's own best.
+	// CacheHitRate is the evaluator's memo-cache hit rate over the run.
+	CacheHitRate float64
+	// Duration is the wall-clock time of the multi-start ensemble.
+	Duration time.Duration
+	// PerStart reports each annealer's own best; each entry carries its
+	// own Duration and Levels, so per-start summaries are self-contained.
 	PerStart []anneal.Result[DesignPoint]
 }
 
@@ -82,7 +88,19 @@ func (e *Evaluator) Optimize(space Space, seed int64) (*OptimizeResult, error) {
 		}
 		return ev.Objective, ev.Feasible
 	}
-	best, per, err := anneal.MultiStart(anneal.DefaultStarts(seed), init, space.Neighbor, eval)
+	cfgs := anneal.DefaultStarts(seed)
+	if e.tel.Enabled() {
+		// Bridge annealer progress (per-level events, move counters)
+		// into the hub; the observer is shared across the parallel
+		// starts and each event carries its Start index.
+		obs := &annealObserver{tel: e.tel}
+		for i := range cfgs {
+			cfgs[i].Observer = obs
+		}
+	}
+	span := e.tel.StartSpan("optimize.total")
+	best, per, err := anneal.MultiStart(cfgs, init, space.Neighbor, eval)
+	span.End()
 	if err != nil {
 		return nil, err
 	}
@@ -90,10 +108,12 @@ func (e *Evaluator) Optimize(space Space, seed int64) (*OptimizeResult, error) {
 		return nil, evalErr
 	}
 	res := &OptimizeResult{
-		Found:       best.Found,
-		Evaluations: best.Evaluations,
-		Explored:    e.Explored(),
-		PerStart:    per,
+		Found:        best.Found,
+		Evaluations:  best.Evaluations,
+		Explored:     e.Explored(),
+		CacheHitRate: e.CacheHitRate(),
+		Duration:     best.Duration,
+		PerStart:     per,
 	}
 	if best.Found {
 		ev, err := e.Evaluate(best.Best)
@@ -101,6 +121,21 @@ func (e *Evaluator) Optimize(space Space, seed int64) (*OptimizeResult, error) {
 			return nil, err
 		}
 		res.Best = ev
+	}
+	if e.tel.Tracing() {
+		// Aggregate per-start progress into one run-level trace record.
+		fields := map[string]any{
+			"found":       res.Found,
+			"evaluations": res.Evaluations,
+			"explored":    res.Explored,
+			"hit_rate":    res.CacheHitRate,
+			"duration_ms": float64(best.Duration.Microseconds()) / 1e3,
+			"starts":      len(per),
+		}
+		if res.Found {
+			fields["best_obj"] = res.Best.Objective
+		}
+		e.tel.Emit("optimize.done", fields)
 	}
 	return res, nil
 }

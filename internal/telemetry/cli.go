@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+)
+
+// Setup wires the standard CLI observability flags:
+//
+//	-trace out.jsonl   tracePath: JSONL event trace (""=off)
+//	-metrics           metrics:   collect + print the summary table
+//	-pprof addr        pprofAddr: serve net/http/pprof (""=off)
+//
+// It returns the hub (nil when neither tracing nor metrics was
+// requested, preserving the disabled fast path) and a cleanup that
+// flushes and closes the trace file. The pprof server, if requested,
+// binds synchronously — a bad address fails here, not in a goroutine —
+// and serves for the life of the process.
+func Setup(tracePath, pprofAddr string, metrics bool) (*Telemetry, func() error, error) {
+	cleanup := func() error { return nil }
+	if pprofAddr != "" {
+		ln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return nil, cleanup, fmt.Errorf("telemetry: pprof listen: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+	}
+	var sink EventSink
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, cleanup, fmt.Errorf("telemetry: trace: %w", err)
+		}
+		js := NewJSONLSink(f)
+		sink = js
+		cleanup = func() error {
+			if err := js.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+	if sink == nil && !metrics {
+		return nil, cleanup, nil
+	}
+	return New(sink), cleanup, nil
+}

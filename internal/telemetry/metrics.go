@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter is a
+// valid no-op, so callers holding a counter from a disabled registry pay
+// only a nil check on the hot path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins metric (e.g. the current annealing
+// temperature). A nil *Gauge is a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// reservoirSize bounds a histogram's sample memory; beyond it, samples
+// are admitted by uniform reservoir sampling so the quantile estimates
+// stay representative of the whole stream.
+const reservoirSize = 4096
+
+// Histogram accumulates a stream of observations (span durations in
+// seconds, by convention) and reports count, sum, min/max, and
+// reservoir-estimated quantiles. It is safe for concurrent use; a nil
+// *Histogram is a valid no-op.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64
+	rng     uint64 // splitmix64 state for reservoir admission
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if len(h.samples) < reservoirSize {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Vitter's algorithm R: replace a random slot with probability
+	// reservoirSize/count.
+	h.rng += 0x9e3779b97f4a7c15
+	z := h.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if idx := z % uint64(h.count); idx < reservoirSize {
+		h.samples[idx] = v
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a consistent copy of a histogram's state.
+type HistogramSnapshot struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	sorted   []float64
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) estimated from the
+// sample reservoir; 0 when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	n := len(s.sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return s.sorted[idx]
+}
+
+// Snapshot returns a consistent copy for reporting (zero value for a
+// nil histogram).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	h.mu.Lock()
+	snap := HistogramSnapshot{
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+		sorted: append([]float64(nil), h.samples...),
+	}
+	h.mu.Unlock()
+	sort.Float64s(snap.sorted)
+	return snap
+}
+
+// Registry names and owns a process's metrics. Metric handles are
+// created on first use and shared by name afterwards; all accessors are
+// safe for concurrent use. A nil *Registry hands out nil metric
+// handles, which are themselves no-ops — the disabled fast path.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	start    time.Time
+}
+
+// NewRegistry returns an empty registry; its creation time anchors the
+// rate computations of Summary.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		start:    time.Now(),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Elapsed is the time since the registry was created.
+func (r *Registry) Elapsed() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// names returns the sorted keys of a metric map.
+func names[M any](m map[string]M) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

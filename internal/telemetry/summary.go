@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Summary renders the end-of-run metrics table behind the CLIs'
+// -metrics flag: one row per timing histogram (count, total, mean,
+// p50/p95/p99), the counters and gauges, and derived throughput lines
+// (evals/sec, cache hit rate) when the standard evaluator metrics are
+// present. Returns "" for a disabled hub.
+func (t *Telemetry) Summary() string {
+	if t == nil {
+		return ""
+	}
+	return t.reg.Summary()
+}
+
+// Summary renders the registry's metrics as a fixed-width table.
+func (r *Registry) Summary() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("== telemetry summary ==\n")
+	if len(hists) > 0 {
+		fmt.Fprintf(&b, "%-24s %9s %10s %10s %10s %10s %10s\n",
+			"timing", "count", "total", "mean", "p50", "p95", "p99")
+		for _, name := range names(hists) {
+			s := hists[name].Snapshot()
+			fmt.Fprintf(&b, "%-24s %9d %10s %10s %10s %10s %10s\n",
+				name, s.Count,
+				fmtSec(s.Sum), fmtSec(s.Mean()),
+				fmtSec(s.Quantile(0.50)), fmtSec(s.Quantile(0.95)), fmtSec(s.Quantile(0.99)))
+		}
+	}
+	if len(counters) > 0 {
+		fmt.Fprintf(&b, "%-24s %9s\n", "counter", "value")
+		for _, name := range names(counters) {
+			fmt.Fprintf(&b, "%-24s %9d\n", name, counters[name].Value())
+		}
+	}
+	if len(gauges) > 0 {
+		fmt.Fprintf(&b, "%-24s %9s\n", "gauge", "value")
+		for _, name := range names(gauges) {
+			fmt.Fprintf(&b, "%-24s %9.4g\n", name, gauges[name].Value())
+		}
+	}
+
+	// Derived lines from the standard evaluator metrics.
+	elapsed := time.Since(r.start)
+	fmt.Fprintf(&b, "elapsed %s", fmtSec(elapsed.Seconds()))
+	if h, ok := hists["pipeline.total"]; ok {
+		n := h.Snapshot().Count
+		fmt.Fprintf(&b, " | %d pipeline evals (%.1f evals/sec)", n, float64(n)/elapsed.Seconds())
+	}
+	hit := counters["evaluator.cache.hit"].Value()
+	miss := counters["evaluator.cache.miss"].Value()
+	if hit+miss > 0 {
+		fmt.Fprintf(&b, " | cache hit rate %.1f%% (%d of %d lookups)",
+			100*float64(hit)/float64(hit+miss), hit, hit+miss)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// fmtSec renders seconds with a unit that keeps 3-4 significant digits
+// across the ns..hours range the pipeline spans.
+func fmtSec(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d == 0:
+		return "0s"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fus", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	case d < time.Minute:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return d.Round(time.Second).String()
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTelemetryFastPath: every entry point on a nil hub is a no-op
+// that neither panics nor allocates observable state.
+func TestNilTelemetryFastPath(t *testing.T) {
+	var tel *Telemetry
+	if tel.Enabled() || tel.Tracing() {
+		t.Error("nil hub claims to be enabled")
+	}
+	sp := tel.StartSpan("stage.x")
+	sp.End() // must not panic
+	tel.Emit("event", nil)
+	tel.AddHook(func(string, time.Duration) { t.Error("hook on nil hub fired") })
+	if tel.Registry() != nil {
+		t.Error("nil hub returned a registry")
+	}
+	if err := tel.Flush(); err != nil {
+		t.Errorf("nil flush: %v", err)
+	}
+}
+
+func TestSpanRecordsHistogram(t *testing.T) {
+	tel := New(nil)
+	sp := tel.StartSpan("stage.test")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	s := tel.Registry().Histogram("stage.test").Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if s.Sum <= 0 {
+		t.Errorf("sum = %g, want > 0", s.Sum)
+	}
+}
+
+func TestHooksObserveSpans(t *testing.T) {
+	tel := New(nil)
+	var mu sync.Mutex
+	var got []string
+	tel.AddHook(func(name string, d time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		if d < 0 {
+			t.Errorf("negative duration %v", d)
+		}
+		got = append(got, name)
+	})
+	tel.StartSpan("a").End()
+	tel.StartSpan("b").End()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("hooks saw %v, want [a b]", got)
+	}
+}
+
+// TestEmitReachesSink: a hub with a sink forwards events; one without
+// discards them.
+func TestEmitReachesSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tel := New(sink)
+	if !tel.Tracing() {
+		t.Fatal("hub with sink reports Tracing()=false")
+	}
+	tel.Emit("hello", map[string]any{"x": 1})
+	if err := tel.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("event never reached the sink")
+	}
+
+	metricsOnly := New(nil)
+	if metricsOnly.Tracing() {
+		t.Error("sinkless hub reports Tracing()=true")
+	}
+	metricsOnly.Emit("dropped", nil) // must not panic
+}
