@@ -35,6 +35,21 @@
 //	if res.Found {
 //	    fmt.Println(res.Best.Point, res.Best.PeakTempC)
 //	}
+//
+// # Long-running searches
+//
+// Exhaustive sweeps of the Table II space can run for hours, so the
+// search layer is built around context-first entrypoints:
+// Evaluator.OptimizeContext and Evaluator.ExhaustiveContext observe
+// cancellation and deadlines between evaluations, ExhaustiveContext
+// shards the space and can checkpoint each completed shard to a JSONL
+// stream (SweepOptions.Checkpoint) and resume a killed run
+// (LoadCheckpoint + SweepOptions.ResumeFrom), and both stream
+// incremental incumbents through a ProgressFunc. Failures use the
+// exported sentinel errors (ErrInvalidSpace, ErrNoFeasibleStart,
+// ErrCheckpointCorrupt) and support errors.Is. The legacy Optimize and
+// Exhaustive methods remain as context.Background() wrappers with their
+// historical semantics.
 package tesa
 
 import (
@@ -70,8 +85,25 @@ type (
 	Tech = core.Tech
 	// OptimizeResult is a TESA optimization outcome.
 	OptimizeResult = core.OptimizeResult
+	// OptimizeOptions tunes Evaluator.OptimizeContext (progress
+	// streaming); nil reproduces the legacy behavior.
+	OptimizeOptions = core.OptimizeOptions
 	// ExhaustiveResult is a full-space sweep outcome.
 	ExhaustiveResult = core.ExhaustiveResult
+	// SweepOptions tunes Evaluator.ExhaustiveContext: shard size,
+	// checkpointing, resume, and progress streaming.
+	SweepOptions = core.SweepOptions
+	// CheckpointState is the resumable state recovered from a sweep
+	// checkpoint (see LoadCheckpoint and SweepOptions.ResumeFrom).
+	CheckpointState = core.CheckpointState
+	// ShardCheckpoint is one completed shard's record inside a
+	// CheckpointState.
+	ShardCheckpoint = core.ShardCheckpoint
+	// Progress is one incremental update from a long-running search.
+	Progress = core.Progress
+	// ProgressFunc receives Progress updates; see the core type for the
+	// synchronization contract.
+	ProgressFunc = core.ProgressFunc
 	// BaselineResult pairs a baseline's pick with its ground truth.
 	BaselineResult = core.BaselineResult
 	// ExperimentConfig parameterizes the paper's experiment drivers.
@@ -136,6 +168,26 @@ func SRAMKBForArray(arrayDim int) int { return core.SRAMKBForArray(arrayDim) }
 // DefaultExperimentConfig returns the configuration that regenerates the
 // paper's tables and figures.
 func DefaultExperimentConfig() ExperimentConfig { return core.DefaultExperimentConfig() }
+
+// Sentinel errors of the search layer, matched with errors.Is. The
+// context-first entrypoints (Evaluator.OptimizeContext,
+// Evaluator.ExhaustiveContext) return them; the legacy Optimize and
+// Exhaustive wrappers preserve their historical results instead.
+var (
+	// ErrInvalidSpace marks an unsearchable design space or an
+	// off-space design point.
+	ErrInvalidSpace = core.ErrInvalidSpace
+	// ErrNoFeasibleStart is OptimizeContext's "solution does not exist"
+	// outcome: no feasible starting configuration was found.
+	ErrNoFeasibleStart = core.ErrNoFeasibleStart
+	// ErrCheckpointCorrupt marks an unreadable sweep checkpoint or one
+	// that does not match the space being swept.
+	ErrCheckpointCorrupt = core.ErrCheckpointCorrupt
+)
+
+// LoadCheckpoint parses a sweep checkpoint stream written through
+// SweepOptions.Checkpoint, for resuming via SweepOptions.ResumeFrom.
+func LoadCheckpoint(r io.Reader) (*CheckpointState, error) { return core.LoadCheckpoint(r) }
 
 // Baselines.
 var (

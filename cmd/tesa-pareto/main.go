@@ -14,10 +14,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"tesa"
 	"tesa/internal/telemetry"
@@ -25,13 +29,14 @@ import (
 
 func main() {
 	var (
-		tech    = flag.String("tech", "2d", "integration technology: 2d or 3d")
-		freqMHz = flag.Float64("freq", 400, "operating frequency in MHz")
-		fps     = flag.Float64("fps", 30, "latency constraint in frames per second")
-		tempC   = flag.Float64("temp", 75, "thermal budget in Celsius")
-		points  = flag.Int("points", 9, "number of weight settings to sweep")
+		tech      = flag.String("tech", "2d", "integration technology: 2d or 3d")
+		freqMHz   = flag.Float64("freq", 400, "operating frequency in MHz")
+		fps       = flag.Float64("fps", 30, "latency constraint in frames per second")
+		tempC     = flag.Float64("temp", 75, "thermal budget in Celsius")
+		points    = flag.Int("points", 9, "number of weight settings to sweep")
 		grid      = flag.Int("grid", 32, "thermal grid cells per side")
 		seed      = flag.Int64("seed", 1, "optimizer seed")
+		progress  = flag.Bool("progress", false, "stream per-weight incumbents to stderr")
 		metrics   = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
 		trace     = flag.String("trace", "", "write a JSONL event trace to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -41,6 +46,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need at least 2 sweep points")
 		os.Exit(2)
 	}
+
+	// SIGINT/SIGTERM cancel the front trace; the CSV printed so far
+	// remains valid, so a killed run loses only the unswept weights.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	tel, telDone, err := telemetry.Setup(*trace, *pprofAddr, *metrics)
 	if err != nil {
@@ -80,14 +90,34 @@ func main() {
 			os.Exit(1)
 		}
 		ev.Instrument(tel)
-		res, err := ev.Optimize(space, *seed)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var optOpt *tesa.OptimizeOptions
+		if *progress {
+			alpha, beta := opts.Alpha, opts.Beta
+			optOpt = &tesa.OptimizeOptions{Progress: func(p tesa.Progress) {
+				if p.Improved && p.Incumbent != nil {
+					fmt.Fprintf(os.Stderr, "alpha=%.3f beta=%.3f: incumbent %v obj %.4f after %d evaluations\n",
+						alpha, beta, p.Incumbent.Point, p.Incumbent.Objective, p.Done)
+				}
+			}}
 		}
-		if !res.Found {
+		res, err := ev.OptimizeContext(ctx, space, *seed, optOpt)
+		switch {
+		case errors.Is(err, tesa.ErrNoFeasibleStart):
 			fmt.Fprintf(os.Stderr, "alpha=%.2f beta=%.2f: no solution\n", opts.Alpha, opts.Beta)
 			continue
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintf(os.Stderr, "interrupted at weight %d of %d; CSV above is complete for the swept weights\n",
+				i, *points)
+			if *metrics {
+				fmt.Fprint(os.Stderr, tel.Summary())
+			}
+			if err := telDone(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			os.Exit(130)
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		b := res.Best
 		marker := ""

@@ -6,21 +6,33 @@
 // Usage:
 //
 //	tesa-sweep [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
-//	           [-full] [-grid 32] [-seed 1]
+//	           [-full] [-grid 32] [-seed 1] [-shard 0]
+//	           [-checkpoint sweep.ckpt] [-resume sweep.ckpt] [-progress]
 //	           [-metrics] [-trace out.jsonl] [-pprof addr]
 //
 // By default the small validation space (64x64..128x128 arrays, coarse
-// ICS) is swept; -full sweeps the whole Table II space. The telemetry
-// flags instrument both the exhaustive and the annealer evaluator, so
-// the -metrics summary contrasts the sweep's pure pipeline throughput
-// with the annealer's cache-amplified one.
+// ICS) is swept; -full sweeps the whole Table II space — the
+// "multiple days" regime the checkpointing exists for. The sweep is
+// sharded; -checkpoint appends one JSONL record per completed shard, so
+// a run killed by SIGINT/SIGTERM (or a crash) restarts where it left
+// off with -resume pointing at the same file. Both flags may name the
+// same path: resume reads it, then new shard records append to it.
+// -progress streams live status lines to stderr.
+//
+// The telemetry flags instrument both the exhaustive and the annealer
+// evaluator, so the -metrics summary contrasts the sweep's pure
+// pipeline throughput with the annealer's cache-amplified one.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tesa"
@@ -29,18 +41,28 @@ import (
 
 func main() {
 	var (
-		tech    = flag.String("tech", "2d", "integration technology: 2d or 3d")
-		freqMHz = flag.Float64("freq", 400, "operating frequency in MHz")
-		fps     = flag.Float64("fps", 15, "latency constraint in frames per second")
-		tempC   = flag.Float64("temp", 85, "thermal budget in Celsius")
-		full    = flag.Bool("full", false, "sweep the full Table II space instead of the validation space")
-		grid      = flag.Int("grid", 32, "thermal grid cells per side")
-		seed      = flag.Int64("seed", 1, "optimizer seed")
-		metrics   = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
-		trace     = flag.String("trace", "", "write a JSONL event trace to this file")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		tech       = flag.String("tech", "2d", "integration technology: 2d or 3d")
+		freqMHz    = flag.Float64("freq", 400, "operating frequency in MHz")
+		fps        = flag.Float64("fps", 15, "latency constraint in frames per second")
+		tempC      = flag.Float64("temp", 85, "thermal budget in Celsius")
+		full       = flag.Bool("full", false, "sweep the full Table II space instead of the validation space")
+		grid       = flag.Int("grid", 32, "thermal grid cells per side")
+		seed       = flag.Int64("seed", 1, "optimizer seed")
+		shard      = flag.Int("shard", 0, "points per sweep shard (0 = automatic)")
+		ckptPath   = flag.String("checkpoint", "", "append sweep checkpoint records to this JSONL file")
+		resumePath = flag.String("resume", "", "resume the sweep from this checkpoint file")
+		progress   = flag.Bool("progress", false, "stream live progress to stderr")
+		metrics    = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
+		trace      = flag.String("trace", "", "write a JSONL event trace to this file")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context; the engines observe it between
+	// evaluations, checkpoint state stays consistent, and we exit with
+	// the conventional 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	tel, telDone, err := telemetry.Setup(*trace, *pprofAddr, *metrics)
 	if err != nil {
@@ -72,6 +94,36 @@ func main() {
 	}
 	w := tesa.ARVRWorkload()
 
+	sweepOpt := &tesa.SweepOptions{ShardSize: *shard}
+	if *resumePath != "" {
+		f, err := os.Open(*resumePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		state, err := tesa.LoadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sweepOpt.ResumeFrom = state
+		fmt.Printf("resuming: %d of %d shards (%d of %d points) from %s\n",
+			state.Completed(), state.Shards, state.CompletedPoints(), state.Total, *resumePath)
+	}
+	if *ckptPath != "" {
+		f, err := os.OpenFile(*ckptPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sweepOpt.Checkpoint = tesa.NewJSONLSink(f)
+	}
+	if *progress {
+		sweepOpt.Progress = progressPrinter("sweep")
+	}
+
 	ex, err := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -81,14 +133,28 @@ func main() {
 	fmt.Printf("exhaustive sweep: %d design vectors (%s, %.0f MHz, %.0f fps, %.0f C)\n",
 		space.Size(), opts.Tech, *freqMHz, cons.FPS, cons.TempBudgetC)
 	start := time.Now()
-	exRes, err := ex.Exhaustive(space)
+	exRes, err := ex.ExhaustiveContext(ctx, space, sweepOpt)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "\ninterrupted")
+			if *ckptPath != "" {
+				fmt.Fprintf(os.Stderr, "resume with: tesa-sweep -resume %s -checkpoint %s [same flags]\n",
+					*ckptPath, *ckptPath)
+			}
+			finish()
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, err)
+		finish()
 		os.Exit(1)
 	}
 	exElapsed := time.Since(start)
-	fmt.Printf("  %d feasible of %d (%.1f%%), %.1fs\n", exRes.Feasible, exRes.Total,
+	fmt.Printf("  %d feasible of %d (%.1f%%), %.1fs", exRes.Feasible, exRes.Total,
 		100*float64(exRes.Feasible)/float64(exRes.Total), exElapsed.Seconds())
+	if exRes.Resumed > 0 {
+		fmt.Printf(" (%d points evaluated, %d resumed)", exRes.Evaluated, exRes.Resumed)
+	}
+	fmt.Println()
 	if exRes.Best != nil {
 		fmt.Printf("  global optimum: %v, %v grid, objective %.4f\n",
 			exRes.Best.Point, exRes.Best.Mesh, exRes.Best.Objective)
@@ -102,10 +168,23 @@ func main() {
 		os.Exit(1)
 	}
 	op.Instrument(tel)
+	var optOpt *tesa.OptimizeOptions
+	if *progress {
+		optOpt = &tesa.OptimizeOptions{Progress: progressPrinter("anneal")}
+	}
 	start = time.Now()
-	opRes, err := op.Optimize(space, *seed)
-	if err != nil {
+	opRes, err := op.OptimizeContext(ctx, space, *seed, optOpt)
+	switch {
+	case errors.Is(err, tesa.ErrNoFeasibleStart):
+		// Valid outcome: the annealer agrees or disagrees with the
+		// sweep below, via opRes.Found == false.
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "\ninterrupted during annealer run")
+		finish()
+		os.Exit(130)
+	case err != nil:
 		fmt.Fprintln(os.Stderr, err)
+		finish()
 		os.Exit(1)
 	}
 	fmt.Printf("\nmulti-start annealer: explored %d points (%.1f%% of the space, %.1f%% cache hits), %.1fs\n",
@@ -130,5 +209,32 @@ func main() {
 	finish()
 	if exit != 0 {
 		os.Exit(exit)
+	}
+}
+
+// progressPrinter renders Progress updates as stderr status lines:
+// every new incumbent, plus completion ticks at ~5% steps for sweeps.
+func progressPrinter(label string) tesa.ProgressFunc {
+	lastTick := -1
+	return func(p tesa.Progress) {
+		tick := -1
+		pct := ""
+		if p.Total > 0 {
+			tick = 20 * p.Done / p.Total // 5% buckets
+			pct = fmt.Sprintf(" (%.0f%%)", 100*float64(p.Done)/float64(p.Total))
+		}
+		if !p.Improved && tick == lastTick {
+			return
+		}
+		lastTick = tick
+		line := fmt.Sprintf("%s: %d", label, p.Done)
+		if p.Total > 0 {
+			line += fmt.Sprintf("/%d", p.Total)
+		}
+		line += pct
+		if p.Incumbent != nil {
+			line += fmt.Sprintf("  best %v obj %.4f", p.Incumbent.Point, p.Incumbent.Objective)
+		}
+		fmt.Fprintf(os.Stderr, "%s  [%.1fs]\n", line, p.Elapsed.Seconds())
 	}
 }

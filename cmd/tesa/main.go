@@ -17,10 +17,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tesa"
@@ -41,11 +45,23 @@ func main() {
 		beta       = flag.Float64("beta", 1, "Eq. 6 weight on DRAM power")
 		dataflow   = flag.String("dataflow", "os", "systolic dataflow: os or ws")
 		workload   = flag.String("workload", "", "JSON workload file (default: the built-in AR/VR workload)")
+		progress   = flag.Bool("progress", false, "stream incumbent improvements to stderr")
+		deadline   = flag.Duration("deadline", 0, "abort the search after this duration (0 = none)")
 		metrics    = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
 		trace      = flag.String("trace", "", "write a JSONL event trace to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM (and -deadline) cancel the context; the annealers
+	// observe it between evaluations and wind down promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	tel, telDone, err := telemetry.Setup(*trace, *pprofAddr, *metrics)
 	if err != nil {
@@ -110,10 +126,28 @@ func main() {
 	fmt.Printf("constraints: %.0f fps, %.0f W, %.0f C, %.0fx%.0f mm interposer\n\n",
 		cons.FPS, cons.PowerBudgetW, cons.TempBudgetC, cons.InterposerMM, cons.InterposerMM)
 
+	var optOpt *tesa.OptimizeOptions
+	if *progress {
+		optOpt = &tesa.OptimizeOptions{Progress: func(p tesa.Progress) {
+			if p.Improved && p.Incumbent != nil {
+				fmt.Fprintf(os.Stderr, "incumbent after %d evaluations: %v, objective %.4f  [%.1fs]\n",
+					p.Done, p.Incumbent.Point, p.Incumbent.Objective, p.Elapsed.Seconds())
+			}
+		}}
+	}
+
 	start := time.Now()
-	res, err := ev.Optimize(tesa.DefaultSpace(), *seed)
-	if err != nil {
+	res, err := ev.OptimizeContext(ctx, tesa.DefaultSpace(), *seed, optOpt)
+	switch {
+	case errors.Is(err, tesa.ErrNoFeasibleStart):
+		// res carries the exploration counters; reported below.
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "search aborted: %v\n", err)
+		finish()
+		os.Exit(130)
+	case err != nil:
 		fmt.Fprintln(os.Stderr, err)
+		finish()
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)

@@ -13,6 +13,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -145,8 +146,19 @@ type Result[S any] struct {
 	Duration time.Duration
 }
 
-// Minimize runs a single annealer per Fig. 4.
-func Minimize[S any](cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S]) (res Result[S], err error) {
+// Minimize runs a single annealer per Fig. 4 without cancellation (a
+// context.Background() wrapper over MinimizeContext).
+func Minimize[S any](cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S]) (Result[S], error) {
+	return MinimizeContext(context.Background(), cfg, init, neighbor, eval)
+}
+
+// MinimizeContext runs a single annealer per Fig. 4, observing ctx
+// between evaluations: when ctx is cancelled or its deadline passes, the
+// annealer stops within one evaluation's latency and returns ctx.Err()
+// alongside the partial result gathered so far. The init function should
+// itself observe ctx (it runs its own sampling loop); a ctx failure
+// during init is still reported as ctx.Err() here.
+func MinimizeContext[S any](ctx context.Context, cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S]) (res Result[S], err error) {
 	if err := cfg.Validate(); err != nil {
 		return Result[S]{}, err
 	}
@@ -167,7 +179,13 @@ func Minimize[S any](cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S
 	}
 	defer func() { res.Duration = time.Since(began) }()
 
+	if cerr := ctx.Err(); cerr != nil {
+		return res, cerr
+	}
 	cur, ok := init(rng)
+	if cerr := ctx.Err(); cerr != nil {
+		return res, cerr
+	}
 	if !ok {
 		return res, nil
 	}
@@ -184,6 +202,9 @@ func Minimize[S any](cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S
 	for ta := cfg.TInit; ta > cfg.TFinal; ta *= cfg.Decay {
 		prevAcc, prevUp, infeasible := res.Accepted, res.Uphill, 0
 		for i := 0; i < cfg.PerturbationsPerLevel; i++ {
+			if cerr := ctx.Err(); cerr != nil {
+				return res, cerr
+			}
 			cand := neighbor(cur, rng)
 			obj, feas := eval(cand)
 			res.Evaluations++
@@ -232,8 +253,19 @@ func Minimize[S any](cfg Config, init Init[S], neighbor Neighbor[S], eval Eval[S
 }
 
 // MultiStart runs one annealer per config in parallel and returns the
-// best result plus the per-start results.
+// best result plus the per-start results (a context.Background() wrapper
+// over MultiStartContext).
 func MultiStart[S any](cfgs []Config, init Init[S], neighbor Neighbor[S], eval Eval[S]) (Result[S], []Result[S], error) {
+	return MultiStartContext(context.Background(), cfgs, init, neighbor, eval)
+}
+
+// MultiStartContext runs one annealer per config in parallel, each
+// observing ctx between evaluations (see MinimizeContext), and returns
+// the best result plus the per-start results. On cancellation every
+// start winds down within one evaluation's latency, the goroutines are
+// joined (no leaks), and the first error — ctx.Err() in the
+// cancellation case — is returned.
+func MultiStartContext[S any](ctx context.Context, cfgs []Config, init Init[S], neighbor Neighbor[S], eval Eval[S]) (Result[S], []Result[S], error) {
 	if len(cfgs) == 0 {
 		return Result[S]{}, nil, fmt.Errorf("anneal: no starts configured")
 	}
@@ -245,7 +277,7 @@ func MultiStart[S any](cfgs []Config, init Init[S], neighbor Neighbor[S], eval E
 		wg.Add(1)
 		go func(i int, cfg Config) {
 			defer wg.Done()
-			results[i], errs[i] = Minimize(cfg, init, neighbor, eval)
+			results[i], errs[i] = MinimizeContext(ctx, cfg, init, neighbor, eval)
 		}(i, cfg)
 	}
 	wg.Wait()

@@ -1,0 +1,107 @@
+package anneal
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// cancellingEval wraps the quadratic test problem and cancels after n
+// evaluations — a deterministic "mid-run" cancellation edge.
+func cancellingEval(cancel context.CancelFunc, n int64) Eval[int] {
+	var seen int64
+	return func(x int) (float64, bool) {
+		if atomic.AddInt64(&seen, 1) == n {
+			cancel()
+		}
+		return quadratic(x)
+	}
+}
+
+func TestMinimizeContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{TInit: 19, TFinal: 0.5, Decay: 0.87, PerturbationsPerLevel: 10, Seed: 1}
+	res, err := MinimizeContext(ctx, cfg, func(*rand.Rand) (int, bool) { return 40, true }, stepNeighbor, Eval[int](func(x int) (float64, bool) { return quadratic(x) }))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Evaluations != 0 {
+		t.Errorf("evaluated %d states under a pre-cancelled context", res.Evaluations)
+	}
+}
+
+func TestMinimizeContextCancelMid(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := Config{TInit: 19, TFinal: 0.5, Decay: 0.87, PerturbationsPerLevel: 10, Seed: 1}
+	res, err := MinimizeContext(ctx, cfg, func(*rand.Rand) (int, bool) { return 40, true },
+		stepNeighbor, cancellingEval(cancel, 5))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// One evaluation may complete between the cancelling one and the
+	// next ctx poll, but the run must stop immediately after that.
+	if res.Evaluations < 5 || res.Evaluations > 6 {
+		t.Errorf("evaluations = %d, want 5 (or 6 for the in-flight one)", res.Evaluations)
+	}
+	if !res.Found {
+		t.Error("partial result lost the feasible start")
+	}
+}
+
+func TestMinimizeContextMatchesMinimize(t *testing.T) {
+	cfg := Config{TInit: 19, TFinal: 0.5, Decay: 0.87, PerturbationsPerLevel: 10, Seed: 9}
+	init := func(rng *rand.Rand) (int, bool) { return 80, true }
+	eval := Eval[int](func(x int) (float64, bool) { return quadratic(x) })
+	plain, err := Minimize(cfg, init, stepNeighbor, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := MinimizeContext(context.Background(), cfg, init, stepNeighbor, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Best != withCtx.Best || plain.BestObj != withCtx.BestObj || plain.Evaluations != withCtx.Evaluations {
+		t.Errorf("context plumbing changed the search: %+v vs %+v", plain, withCtx)
+	}
+}
+
+func TestMultiStartContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel once the parallel starts have together burned 10
+	// evaluations; every start must wind down and join.
+	_, _, err := MultiStartContext(ctx, DefaultStarts(3),
+		func(rng *rand.Rand) (int, bool) { return 60, true },
+		stepNeighbor, cancellingEval(cancel, 10))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMultiStartContextMatchesMultiStart(t *testing.T) {
+	init := func(rng *rand.Rand) (int, bool) { return 70, true }
+	eval := Eval[int](func(x int) (float64, bool) { return quadratic(x) })
+	plain, plainPer, err := MultiStart(DefaultStarts(5), init, stepNeighbor, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, ctxPer, err := MultiStartContext(context.Background(), DefaultStarts(5), init, stepNeighbor, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Best != withCtx.Best || plain.BestObj != withCtx.BestObj {
+		t.Errorf("context plumbing changed the ensemble: %+v vs %+v", plain, withCtx)
+	}
+	if len(plainPer) != len(ctxPer) {
+		t.Fatalf("per-start counts differ: %d vs %d", len(plainPer), len(ctxPer))
+	}
+	for i := range plainPer {
+		if plainPer[i].Best != ctxPer[i].Best || plainPer[i].Evaluations != ctxPer[i].Evaluations {
+			t.Errorf("start %d diverged: %+v vs %+v", i, plainPer[i], ctxPer[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -43,23 +44,12 @@ func (e *Evaluator) optimizeObjective(space Space, seed int64, full bool, obj ob
 		}
 		return e.Evaluate(p)
 	}
-	// Start from the best feasible sample (see Optimize: the feasible
-	// set can be fragmented, making the starting basin decisive).
+	// Start from the best feasible sample (see sampleFeasibleStart: the
+	// feasible set can be fragmented, making the starting basin
+	// decisive).
 	budget := initBudget(space)
 	init := func(rng *rand.Rand) (DesignPoint, bool) {
-		var best DesignPoint
-		bestObj, found := 0.0, false
-		for i := 0; i < budget; i++ {
-			p := space.Random(rng)
-			ev, err := eval(p)
-			if err != nil || !feas(ev) {
-				continue
-			}
-			if o := obj(ev); !found || o < bestObj {
-				best, bestObj, found = p, o, true
-			}
-		}
-		return best, found
+		return sampleFeasibleStart(context.Background(), space, rng, budget, eval, obj, feas)
 	}
 	var evalErr error
 	var once sync.Once

@@ -1,0 +1,27 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the search layer. Callers match them with
+// errors.Is; every error the engines return that represents one of these
+// conditions wraps the corresponding sentinel (possibly with detail
+// appended), so substring matching is never needed.
+var (
+	// ErrInvalidSpace marks a design space that cannot be searched:
+	// empty axes, non-positive array dimensions, negative spacings, or a
+	// design point off the space's axes.
+	ErrInvalidSpace = errors.New("core: invalid design space")
+
+	// ErrNoFeasibleStart is returned by the context-first optimizer
+	// entrypoints when the initialization sampling (Fig. 4's "initialize
+	// with a feasible MCM") finds no feasible configuration, i.e. the
+	// paper's "solution does not exist" outcome. The legacy Optimize
+	// wrapper converts it back to the historical (Found=false, nil error)
+	// result for existing callers.
+	ErrNoFeasibleStart = errors.New("core: no feasible starting configuration")
+
+	// ErrCheckpointCorrupt marks an unreadable or inconsistent sweep
+	// checkpoint: malformed records, a missing or conflicting header, or
+	// a checkpoint that does not match the space being swept.
+	ErrCheckpointCorrupt = errors.New("core: corrupt checkpoint")
+)

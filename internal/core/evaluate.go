@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -195,10 +196,31 @@ func (e *Evaluator) Evaluate(p DesignPoint) (*Evaluation, error) {
 	return e.evaluate(p, false)
 }
 
+// EvaluateContext is Evaluate with cooperative cancellation: it returns
+// ctx.Err() without touching the pipeline when ctx is already done. A
+// single evaluation is never interrupted mid-pipeline — cancellation
+// latency is bounded by one evaluation — which keeps the memo cache free
+// of partial results.
+func (e *Evaluator) EvaluateContext(ctx context.Context, p DesignPoint) (*Evaluation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.evaluate(p, false)
+}
+
 // EvaluateFull runs the whole pipeline including thermal analysis even
 // for constraint-violating points (reporting mode: the paper's Tables
 // III and IV show peak temperatures of infeasible MCMs).
 func (e *Evaluator) EvaluateFull(p DesignPoint) (*Evaluation, error) {
+	return e.evaluate(p, true)
+}
+
+// EvaluateFullContext is EvaluateFull with the EvaluateContext
+// cancellation contract.
+func (e *Evaluator) EvaluateFullContext(ctx context.Context, p DesignPoint) (*Evaluation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return e.evaluate(p, true)
 }
 
@@ -241,7 +263,7 @@ type netProfile struct {
 // power, MCM cost, latency -> objective.
 func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 	if p.ArrayDim <= 0 || p.ICSUM < 0 {
-		return nil, fmt.Errorf("core: invalid design point %+v", p)
+		return nil, fmt.Errorf("%w: invalid design point %+v", ErrInvalidSpace, p)
 	}
 	total := e.tel.StartSpan("pipeline.total")
 	defer total.End()

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -105,9 +107,18 @@ func TableVCorners() []Corner {
 }
 
 // RunCorner optimizes one constraint corner and re-evaluates the winner
-// at the reporting grid. Results are cached per corner, so experiment
+// at the reporting grid (a context.Background() wrapper over
+// RunCornerContext). Results are cached per corner, so experiment
 // drivers that share corners (Table V, the headline study) pay once.
 func (cfg *ExperimentConfig) RunCorner(c Corner) (*TableVRow, error) {
+	return cfg.RunCornerContext(context.Background(), c)
+}
+
+// RunCornerContext is RunCorner with cooperative cancellation: the
+// underlying optimization observes ctx between evaluations and the
+// method returns ctx.Err() promptly when cancelled. A corner that has
+// no feasible MCM is a valid result (Found=false), not an error.
+func (cfg *ExperimentConfig) RunCornerContext(ctx context.Context, c Corner) (*TableVRow, error) {
 	cfg.mu.Lock()
 	if row, ok := cfg.corners[c]; ok {
 		cfg.mu.Unlock()
@@ -121,8 +132,8 @@ func (cfg *ExperimentConfig) RunCorner(c Corner) (*TableVRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt, err := e.Optimize(cfg.Space, cfg.Seed)
-	if err != nil {
+	opt, err := e.OptimizeContext(ctx, cfg.Space, cfg.Seed, nil)
+	if err != nil && !errors.Is(err, ErrNoFeasibleStart) {
 		return nil, err
 	}
 	row := &TableVRow{
@@ -440,6 +451,12 @@ type ValidationResult struct {
 // Table II space be swept, which makes the "<15% explored" claim testable
 // directly.
 func (cfg *ExperimentConfig) ValidateOptimizer(c Corner) (*ValidationResult, error) {
+	return cfg.ValidateOptimizerContext(context.Background(), c)
+}
+
+// ValidateOptimizerContext is ValidateOptimizer with cooperative
+// cancellation through both the exhaustive sweep and the annealer run.
+func (cfg *ExperimentConfig) ValidateOptimizerContext(ctx context.Context, c Corner) (*ValidationResult, error) {
 	space := cfg.Space
 	opts, cons := cfg.optionsFor(c)
 
@@ -447,7 +464,7 @@ func (cfg *ExperimentConfig) ValidateOptimizer(c Corner) (*ValidationResult, err
 	if err != nil {
 		return nil, err
 	}
-	exRes, err := ex.Exhaustive(space)
+	exRes, err := ex.ExhaustiveContext(ctx, space, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -456,8 +473,8 @@ func (cfg *ExperimentConfig) ValidateOptimizer(c Corner) (*ValidationResult, err
 	if err != nil {
 		return nil, err
 	}
-	opRes, err := op.Optimize(space, cfg.Seed)
-	if err != nil {
+	opRes, err := op.OptimizeContext(ctx, space, cfg.Seed, nil)
+	if err != nil && !errors.Is(err, ErrNoFeasibleStart) {
 		return nil, err
 	}
 

@@ -16,11 +16,11 @@ type annealObserver struct {
 
 func (o *annealObserver) AnnealStart(e anneal.StartEvent) {
 	o.tel.Emit("anneal.start", map[string]any{
-		"start": e.Start,
-		"tinit": e.TInit,
+		"start":  e.Start,
+		"tinit":  e.TInit,
 		"tfinal": e.TFinal,
-		"decay": e.Decay,
-		"seed":  e.Seed,
+		"decay":  e.Decay,
+		"seed":   e.Seed,
 	})
 }
 

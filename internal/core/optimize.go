@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"math/rand"
-	"runtime"
 	"sync"
 	"time"
 
@@ -31,6 +31,16 @@ type OptimizeResult struct {
 	PerStart []anneal.Result[DesignPoint]
 }
 
+// OptimizeOptions tunes the context-first optimizer entrypoint beyond
+// the paper's fixed annealing schedule. The zero value (or a nil
+// pointer) reproduces the legacy behavior exactly.
+type OptimizeOptions struct {
+	// Progress, when non-nil, streams incremental incumbents: one update
+	// per new best feasible evaluation, with Phase "anneal". See
+	// ProgressFunc for the synchronization contract.
+	Progress ProgressFunc
+}
+
 // initAttempts bounds the random search for a feasible starting MCM on
 // the full design space; smaller spaces get a proportionally smaller
 // budget so the initialization does not trivially exhaust them.
@@ -48,44 +58,103 @@ func initBudget(space Space) int {
 	return b
 }
 
+// sampleFeasibleStart draws up to budget uniform samples from the space
+// and returns the best one under obj among those passing feas — the
+// Fig. 4 "initialize with a feasible MCM" step, shared by the TESA
+// optimizer and the baseline adoptions. The feasible set can be
+// fragmented (infeasible candidates are always rejected, so an annealer
+// cannot cross an infeasible band), which makes the starting basin
+// decisive. The loop observes ctx between samples; on cancellation it
+// reports ok=false and the caller surfaces ctx.Err().
+func sampleFeasibleStart(ctx context.Context, space Space, rng *rand.Rand, budget int,
+	eval func(DesignPoint) (*Evaluation, error), obj objectiveFn, feas feasibleFn) (DesignPoint, bool) {
+	var best DesignPoint
+	bestObj, found := 0.0, false
+	for i := 0; i < budget; i++ {
+		if ctx.Err() != nil {
+			return best, false
+		}
+		p := space.Random(rng)
+		ev, err := eval(p)
+		if err != nil || !feas(ev) {
+			continue
+		}
+		if o := obj(ev); !found || o < bestObj {
+			best, bestObj, found = p, o, true
+		}
+	}
+	return best, found
+}
+
 // Optimize runs the paper's multi-start simulated annealing over the
-// design space (Fig. 4): three parallel annealers with decays 0.89, 0.87
-// and 0.85, T_a from 19 down to 0.5, and 10 perturbations per level.
-// Infeasible candidates are rejected outright; feasible ones compete on
-// the Eq. (6) objective.
+// design space (Fig. 4) to completion, without cancellation. It is a
+// context.Background() wrapper over OptimizeContext that preserves the
+// legacy no-solution contract: a run that finds no feasible start
+// returns (result with Found=false, nil error) rather than
+// ErrNoFeasibleStart, so existing callers and examples behave
+// unchanged.
 func (e *Evaluator) Optimize(space Space, seed int64) (*OptimizeResult, error) {
+	res, err := e.OptimizeContext(context.Background(), space, seed, nil)
+	if errors.Is(err, ErrNoFeasibleStart) {
+		return res, nil
+	}
+	return res, err
+}
+
+// OptimizeContext runs the paper's multi-start simulated annealing over
+// the design space (Fig. 4): three parallel annealers with decays 0.89,
+// 0.87 and 0.85, T_a from 19 down to 0.5, and 10 perturbations per
+// level. Infeasible candidates are rejected outright; feasible ones
+// compete on the Eq. (6) objective.
+//
+// Cancellation: every annealer observes ctx between evaluations, so
+// cancelling (or a deadline) stops the run within one evaluation's
+// latency, joins all worker goroutines, and returns ctx.Err().
+//
+// When no annealer finds a feasible starting configuration — the
+// paper's "solution does not exist" outcome — the error wraps
+// ErrNoFeasibleStart and the returned result still carries the
+// exploration counters (match with errors.Is).
+func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64, opt *OptimizeOptions) (*OptimizeResult, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
-	// Initialization with a feasible MCM (Fig. 4): sample the space and
-	// start from the BEST feasible sample. The feasible set can be
-	// fragmented (infeasible candidates are always rejected, so an
-	// annealer cannot cross an infeasible band), which makes the starting
-	// basin decisive.
-	budget := initBudget(space)
-	init := func(rng *rand.Rand) (DesignPoint, bool) {
-		var best DesignPoint
-		bestObj, found := 0.0, false
-		for i := 0; i < budget; i++ {
-			p := space.Random(rng)
-			ev, err := e.Evaluate(p)
-			if err != nil || !ev.Feasible {
-				continue
-			}
-			if !found || ev.Objective < bestObj {
-				best, bestObj, found = p, ev.Objective, true
-			}
-		}
-		return best, found
+	var progress *progressReporter
+	if opt != nil && opt.Progress != nil {
+		progress = newProgressReporter(opt.Progress, "anneal", 0)
 	}
-	var evalErr error
-	var errOnce sync.Once
+	budget := initBudget(space)
+	objective := func(ev *Evaluation) float64 { return ev.Objective }
+	feasible := func(ev *Evaluation) bool { return ev.Feasible }
+	init := func(rng *rand.Rand) (DesignPoint, bool) {
+		return sampleFeasibleStart(ctx, space, rng, budget, e.Evaluate, objective, feasible)
+	}
+	// The eval closure tracks the run-wide incumbent under mu so the
+	// three parallel annealers stream a single, monotone sequence of
+	// improvements.
+	var (
+		mu        sync.Mutex
+		evalErr   error
+		evals     int
+		incumbent *Evaluation
+	)
 	eval := func(p DesignPoint) (float64, bool) {
-		ev, err := e.Evaluate(p)
+		ev, err := e.EvaluateContext(ctx, p)
 		if err != nil {
-			errOnce.Do(func() { evalErr = err })
+			mu.Lock()
+			if evalErr == nil {
+				evalErr = err
+			}
+			mu.Unlock()
 			return 0, false
 		}
+		mu.Lock()
+		evals++
+		if ev.Feasible && (incumbent == nil || betterEval(ev, incumbent)) {
+			incumbent = ev
+			progress.emit(evals, incumbent, true)
+		}
+		mu.Unlock()
 		return ev.Objective, ev.Feasible
 	}
 	cfgs := anneal.DefaultStarts(seed)
@@ -99,13 +168,18 @@ func (e *Evaluator) Optimize(space Space, seed int64) (*OptimizeResult, error) {
 		}
 	}
 	span := e.tel.StartSpan("optimize.total")
-	best, per, err := anneal.MultiStart(cfgs, init, space.Neighbor, eval)
+	best, per, err := anneal.MultiStartContext(ctx, cfgs, init, space.Neighbor, eval)
 	span.End()
 	if err != nil {
 		return nil, err
 	}
 	if evalErr != nil {
 		return nil, evalErr
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The annealers may all have wound down between the last
+		// evaluation and the cancellation edge; report it regardless.
+		return nil, cerr
 	}
 	res := &OptimizeResult{
 		Found:        best.Found,
@@ -137,75 +211,14 @@ func (e *Evaluator) Optimize(space Space, seed int64) (*OptimizeResult, error) {
 		}
 		e.tel.Emit("optimize.done", fields)
 	}
+	if !res.Found {
+		return res, ErrNoFeasibleStart
+	}
 	return res, nil
 }
 
-// ExhaustiveResult is the outcome of a full design-space sweep.
-type ExhaustiveResult struct {
-	// Best is the global optimum, nil when nothing is feasible.
-	Best *Evaluation
-	// Feasible counts feasible points; Total is the space size.
-	Feasible, Total int
-}
-
-// Exhaustive evaluates every design vector in the space in parallel and
-// returns the global optimum of Eq. (6). The paper uses this on a small
-// validation sub-space to certify the optimizer (Sec. IV-A); it is also
-// how the "an exhaustive evaluation can take multiple days" claim is
-// quantified against the annealer's <15% exploration.
-func (e *Evaluator) Exhaustive(space Space) (*ExhaustiveResult, error) {
-	if err := space.Validate(); err != nil {
-		return nil, err
-	}
-	pts := space.Enumerate()
-	res := &ExhaustiveResult{Total: len(pts)}
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(pts) {
-		workers = len(pts)
-	}
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		firstEr error
-		next    int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstEr != nil || next >= len(pts) {
-					mu.Unlock()
-					return
-				}
-				p := pts[next]
-				next++
-				mu.Unlock()
-
-				ev, err := e.Evaluate(p)
-				mu.Lock()
-				if err != nil {
-					if firstEr == nil {
-						firstEr = err
-					}
-					mu.Unlock()
-					return
-				}
-				if ev.Feasible {
-					res.Feasible++
-					if res.Best == nil || ev.Objective < res.Best.Objective {
-						res.Best = ev
-					}
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	if firstEr != nil {
-		return nil, fmt.Errorf("core: exhaustive sweep: %w", firstEr)
-	}
-	return res, nil
+// betterEval orders feasible evaluations for incumbent selection; see
+// betterPoint for the deterministic tie-break.
+func betterEval(a, b *Evaluation) bool {
+	return betterPoint(a.Objective, a.Point, b.Objective, b.Point)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -33,6 +34,16 @@ type DesignPoint struct {
 // SRAMKB returns the derived per-SRAM capacity in KB (see DesignPoint).
 func (p DesignPoint) SRAMKB() int {
 	return SRAMKBForArray(p.ArrayDim)
+}
+
+// Less orders design points lexicographically (array dimension, then
+// ICS). The engines use it to break objective ties deterministically, so
+// parallel sweeps of the same space always report the same winner.
+func (p DesignPoint) Less(q DesignPoint) bool {
+	if p.ArrayDim != q.ArrayDim {
+		return p.ArrayDim < q.ArrayDim
+	}
+	return p.ICSUM < q.ICSUM
 }
 
 // String formats the point the way the paper's tables do.
@@ -101,22 +112,36 @@ func ValidationSpace() Space {
 	return s
 }
 
-// Validate reports an error for empty or non-physical spaces.
+// Validate reports an error for empty or non-physical spaces. All
+// failures wrap ErrInvalidSpace.
 func (s Space) Validate() error {
 	if len(s.ArrayDims) == 0 || len(s.ICSUMs) == 0 {
-		return fmt.Errorf("core: empty design space axis")
+		return fmt.Errorf("%w: empty axis", ErrInvalidSpace)
 	}
 	for _, d := range s.ArrayDims {
 		if d <= 0 {
-			return fmt.Errorf("core: non-positive array dim %d", d)
+			return fmt.Errorf("%w: non-positive array dim %d", ErrInvalidSpace, d)
 		}
 	}
 	for _, ics := range s.ICSUMs {
 		if ics < 0 {
-			return fmt.Errorf("core: negative ICS %d um", ics)
+			return fmt.Errorf("%w: negative ICS %d um", ErrInvalidSpace, ics)
 		}
 	}
 	return nil
+}
+
+// Fingerprint is a stable hash of the space's axes, used to bind sweep
+// checkpoints to the space they were taken from.
+func (s Space) Fingerprint() string {
+	h := fnv.New64a()
+	for _, d := range s.ArrayDims {
+		fmt.Fprintf(h, "a%d,", d)
+	}
+	for _, ics := range s.ICSUMs {
+		fmt.Fprintf(h, "i%d,", ics)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Size returns the number of design vectors in the space.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 )
 
@@ -10,8 +11,15 @@ import (
 // all three against the exhaustive optimum.
 
 // RandomSearch evaluates `budget` uniform samples and returns the best
-// feasible one.
+// feasible one (a context.Background() wrapper over
+// RandomSearchContext).
 func (e *Evaluator) RandomSearch(space Space, seed int64, budget int) (*OptimizeResult, error) {
+	return e.RandomSearchContext(context.Background(), space, seed, budget)
+}
+
+// RandomSearchContext is RandomSearch observing ctx between
+// evaluations; on cancellation it returns ctx.Err().
+func (e *Evaluator) RandomSearchContext(ctx context.Context, space Space, seed int64, budget int) (*OptimizeResult, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -19,12 +27,12 @@ func (e *Evaluator) RandomSearch(space Space, seed int64, budget int) (*Optimize
 	res := &OptimizeResult{}
 	var best *Evaluation
 	for i := 0; i < budget; i++ {
-		ev, err := e.Evaluate(space.Random(rng))
+		ev, err := e.EvaluateContext(ctx, space.Random(rng))
 		if err != nil {
 			return nil, err
 		}
 		res.Evaluations++
-		if ev.Feasible && (best == nil || ev.Objective < best.Objective) {
+		if ev.Feasible && (best == nil || betterEval(ev, best)) {
 			best = ev
 		}
 	}
@@ -38,8 +46,15 @@ func (e *Evaluator) RandomSearch(space Space, seed int64, budget int) (*Optimize
 // GreedySearch hill-climbs from the best of a handful of random feasible
 // starts: at each step it evaluates a batch of neighbors and moves to the
 // best feasible improvement, stopping when no neighbor improves. The
-// total evaluation budget is shared with the restarts.
+// total evaluation budget is shared with the restarts (a
+// context.Background() wrapper over GreedySearchContext).
 func (e *Evaluator) GreedySearch(space Space, seed int64, budget int) (*OptimizeResult, error) {
+	return e.GreedySearchContext(context.Background(), space, seed, budget)
+}
+
+// GreedySearchContext is GreedySearch observing ctx between
+// evaluations; on cancellation it returns ctx.Err().
+func (e *Evaluator) GreedySearchContext(ctx context.Context, space Space, seed int64, budget int) (*OptimizeResult, error) {
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
@@ -49,7 +64,7 @@ func (e *Evaluator) GreedySearch(space Space, seed int64, budget int) (*Optimize
 	spent := 0
 	evaluate := func(p DesignPoint) (*Evaluation, error) {
 		spent++
-		return e.Evaluate(p)
+		return e.EvaluateContext(ctx, p)
 	}
 
 	for spent < budget {
@@ -87,7 +102,7 @@ func (e *Evaluator) GreedySearch(space Space, seed int64, budget int) (*Optimize
 			}
 			cur = bestNb
 		}
-		if best == nil || cur.Objective < best.Objective {
+		if best == nil || betterEval(cur, best) {
 			best = cur
 		}
 	}
