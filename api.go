@@ -57,6 +57,7 @@ import (
 
 	"tesa/internal/core"
 	"tesa/internal/dnn"
+	"tesa/internal/faults"
 	"tesa/internal/systolic"
 	"tesa/internal/telemetry"
 )
@@ -104,6 +105,17 @@ type (
 	// ProgressFunc receives Progress updates; see the core type for the
 	// synchronization contract.
 	ProgressFunc = core.ProgressFunc
+	// EvalError is the structured failure of one design-point
+	// evaluation: the failing stage, the point, and the cause. The
+	// engines quarantine the point and continue; match the cause with
+	// errors.Is against the evaluation-failure sentinels.
+	EvalError = core.EvalError
+	// QuarantinedPoint is one quarantine-ledger entry: a failed design
+	// point with its stage and failure class.
+	QuarantinedPoint = core.QuarantinedPoint
+	// FaultPlan is a deterministic fault-injection plan for chaos runs;
+	// see ParseFaults and Evaluator.InjectFaults.
+	FaultPlan = faults.Plan
 	// BaselineResult pairs a baseline's pick with its ground truth.
 	BaselineResult = core.BaselineResult
 	// ExperimentConfig parameterizes the paper's experiment drivers.
@@ -185,6 +197,31 @@ var (
 	ErrCheckpointCorrupt = core.ErrCheckpointCorrupt
 )
 
+// Evaluation-failure taxonomy: the causes an *EvalError can wrap. Match
+// with errors.Is; the engines quarantine points failing with any of
+// these and continue, unless SweepOptions/OptimizeOptions say otherwise.
+var (
+	// ErrStagePanic marks a recovered panic in a pipeline stage.
+	ErrStagePanic = core.ErrStagePanic
+	// ErrNonFinite marks a NaN/Inf stage output caught at the boundary.
+	ErrNonFinite = core.ErrNonFinite
+	// ErrSolverDiverged marks a thermal solve that failed at every rung
+	// of the degraded-fidelity retry ladder.
+	ErrSolverDiverged = core.ErrSolverDiverged
+	// ErrStageTimeout marks a stage exceeding the per-stage wall-clock
+	// budget (Evaluator.SetStageTimeout).
+	ErrStageTimeout = core.ErrStageTimeout
+	// ErrTooManyFailures aborts a run whose quarantine count exceeded
+	// the MaxFailures policy.
+	ErrTooManyFailures = core.ErrTooManyFailures
+)
+
+// ParseFaults compiles a fault-injection spec (the TESA_FAULTS / -faults
+// syntax, e.g. "panic@thermal:dim=64-96,rate=0.1;nan@dram") into a plan
+// for Evaluator.InjectFaults. An empty spec returns a nil plan, which
+// disables injection.
+func ParseFaults(spec string) (*FaultPlan, error) { return faults.Parse(spec) }
+
 // LoadCheckpoint parses a sweep checkpoint stream written through
 // SweepOptions.Checkpoint, for resuming via SweepOptions.ResumeFrom.
 func LoadCheckpoint(r io.Reader) (*CheckpointState, error) { return core.LoadCheckpoint(r) }
@@ -227,6 +264,10 @@ type (
 	EventSink = telemetry.EventSink
 	// JSONLSink writes one JSON object per trace event.
 	JSONLSink = telemetry.JSONLSink
+	// FileSink is a crash-safe JSONL sink over a file path (temp-file +
+	// rename creation, fsync per flush) — what the CLIs use for sweep
+	// checkpoints.
+	FileSink = telemetry.FileSink
 )
 
 // NewTelemetry returns an enabled hub; sink may be nil for
@@ -236,6 +277,10 @@ func NewTelemetry(sink EventSink) *Telemetry { return telemetry.New(sink) }
 // NewJSONLSink wraps w in a buffered JSONL trace sink; call Flush (or
 // Telemetry.Flush) before exiting.
 func NewJSONLSink(w io.Writer) *JSONLSink { return telemetry.NewJSONLSink(w) }
+
+// NewFileSink opens path as a crash-safe JSONL sink (see FileSink);
+// call Close before exiting.
+func NewFileSink(path string) (*FileSink, error) { return telemetry.NewFileSink(path) }
 
 // MarshalWorkload serializes a workload to the JSON schema documented in
 // internal/dnn (TESA's layer-wise workload description input).

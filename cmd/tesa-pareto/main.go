@@ -6,11 +6,19 @@
 //
 //	tesa-pareto [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
 //	            [-points 9] [-grid 32] [-seed 1]
-//	            [-metrics] [-trace out.jsonl] [-pprof addr]
+//	            [-faults spec] [-max-failures 0] [-fail-fast]
+//	            [-stage-timeout 0] [-metrics] [-trace out.jsonl]
+//	            [-pprof addr]
 //
 // With the telemetry flags, all weight settings share one hub, so the
 // -metrics summary aggregates stage timings across the whole front and
 // the -trace events interleave the per-weight optimizer runs.
+//
+// Failure handling: design points whose evaluation fails are quarantined
+// per weight setting and the sweep continues; the deduplicated union of
+// all quarantined points is summarized on stderr at the end, and a run
+// that completed with a non-empty ledger exits 4. -faults (or
+// TESA_FAULTS) injects deterministic faults for chaos testing.
 package main
 
 import (
@@ -20,10 +28,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
 	"tesa"
+	"tesa/internal/cli"
 	"tesa/internal/telemetry"
 )
 
@@ -37,6 +47,10 @@ func main() {
 		grid      = flag.Int("grid", 32, "thermal grid cells per side")
 		seed      = flag.Int64("seed", 1, "optimizer seed")
 		progress  = flag.Bool("progress", false, "stream per-weight incumbents to stderr")
+		faultSpec = flag.String("faults", os.Getenv("TESA_FAULTS"), "fault-injection spec, e.g. panic@thermal:rate=0.05 (default $TESA_FAULTS)")
+		maxFail   = flag.Int("max-failures", 0, "abort a weight setting once more than this many points are quarantined (0 = unlimited)")
+		failFast  = flag.Bool("fail-fast", false, "abort on the first failed evaluation instead of quarantining it")
+		stageTO   = flag.Duration("stage-timeout", 0, "quarantine a point when one pipeline stage exceeds this duration (0 = off)")
 		metrics   = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
 		trace     = flag.String("trace", "", "write a JSONL event trace to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -72,6 +86,16 @@ func main() {
 
 	fmt.Println("alpha,beta,arrayDim,sramKBper,icsUM,meshRows,meshCols,peakC,powerW,costUSD,dramW")
 	seen := map[tesa.DesignPoint]bool{}
+	// Quarantines are per weight setting (each has its own evaluator);
+	// the summary reports the deduplicated union across the front.
+	poisoned := map[tesa.DesignPoint]tesa.QuarantinedPoint{}
+	collect := func(qs []tesa.QuarantinedPoint) {
+		for _, q := range qs {
+			if _, ok := poisoned[q.Point]; !ok {
+				poisoned[q.Point] = q
+			}
+		}
+	}
 	for i := 0; i < *points; i++ {
 		// Sweep the weight angle from cost-only to DRAM-only.
 		frac := float64(i) / float64(*points-1)
@@ -90,17 +114,22 @@ func main() {
 			os.Exit(1)
 		}
 		ev.Instrument(tel)
-		var optOpt *tesa.OptimizeOptions
+		if err := cli.ApplyFaults(ev, *faultSpec, *stageTO); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		optOpt := &tesa.OptimizeOptions{MaxFailures: *maxFail, FailFast: *failFast}
 		if *progress {
 			alpha, beta := opts.Alpha, opts.Beta
-			optOpt = &tesa.OptimizeOptions{Progress: func(p tesa.Progress) {
+			optOpt.Progress = func(p tesa.Progress) {
 				if p.Improved && p.Incumbent != nil {
 					fmt.Fprintf(os.Stderr, "alpha=%.3f beta=%.3f: incumbent %v obj %.4f after %d evaluations\n",
 						alpha, beta, p.Incumbent.Point, p.Incumbent.Objective, p.Done)
 				}
-			}}
+			}
 		}
 		res, err := ev.OptimizeContext(ctx, space, *seed, optOpt)
+		collect(res.Poisoned)
 		switch {
 		case errors.Is(err, tesa.ErrNoFeasibleStart):
 			fmt.Fprintf(os.Stderr, "alpha=%.2f beta=%.2f: no solution\n", opts.Alpha, opts.Beta)
@@ -116,6 +145,9 @@ func main() {
 			}
 			os.Exit(130)
 		case err != nil:
+			if errors.Is(err, tesa.ErrTooManyFailures) {
+				cli.FailureSummary(os.Stderr, ev.QuarantineLedger())
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -129,11 +161,20 @@ func main() {
 			opts.Alpha, opts.Beta, b.Point.ArrayDim, b.Point.SRAMKB(), b.Point.ICSUM,
 			b.Mesh.Rows, b.Mesh.Cols, b.PeakTempC, b.TotalPowerW, b.MCMCost.Total, b.DRAMPowerW, marker)
 	}
+	ledger := make([]tesa.QuarantinedPoint, 0, len(poisoned))
+	for _, q := range poisoned {
+		ledger = append(ledger, q)
+	}
+	sort.Slice(ledger, func(i, j int) bool { return ledger[i].Point.Less(ledger[j].Point) })
+	// The summaries go to stderr so the CSV on stdout stays clean.
+	cli.FailureSummary(os.Stderr, ledger)
 	if *metrics {
-		// The summary goes to stderr so the CSV on stdout stays clean.
 		fmt.Fprint(os.Stderr, tel.Summary())
 	}
 	if err := telDone(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+	}
+	if len(ledger) > 0 {
+		os.Exit(cli.ExitQuarantined)
 	}
 }

@@ -8,16 +8,27 @@
 //	tesa-sweep [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
 //	           [-full] [-grid 32] [-seed 1] [-shard 0]
 //	           [-checkpoint sweep.ckpt] [-resume sweep.ckpt] [-progress]
-//	           [-metrics] [-trace out.jsonl] [-pprof addr]
+//	           [-faults spec] [-max-failures 0] [-fail-fast]
+//	           [-stage-timeout 0] [-metrics] [-trace out.jsonl]
+//	           [-pprof addr]
 //
 // By default the small validation space (64x64..128x128 arrays, coarse
 // ICS) is swept; -full sweeps the whole Table II space — the
 // "multiple days" regime the checkpointing exists for. The sweep is
-// sharded; -checkpoint appends one JSONL record per completed shard, so
-// a run killed by SIGINT/SIGTERM (or a crash) restarts where it left
-// off with -resume pointing at the same file. Both flags may name the
-// same path: resume reads it, then new shard records append to it.
-// -progress streams live status lines to stderr.
+// sharded; -checkpoint appends one JSONL record per completed shard
+// (crash-safe: temp-file + rename creation, fsync per record), so a run
+// killed by SIGINT/SIGTERM (or a crash) restarts where it left off with
+// -resume pointing at the same file. Both flags may name the same path:
+// resume reads it, then new records append to it. -progress streams
+// live status lines to stderr.
+//
+// Failure handling: a design point whose evaluation fails (panic, NaN,
+// diverged thermal solve, timeout) is quarantined — recorded in the
+// checkpoint so a resume skips it — and the sweep continues.
+// -max-failures bounds the quarantine count, -fail-fast restores the
+// abort-on-first-failure behavior, and -faults (or TESA_FAULTS) injects
+// deterministic faults for chaos runs. A run that completes with a
+// non-empty quarantine ledger prints a failure summary and exits 4.
 //
 // The telemetry flags instrument both the exhaustive and the annealer
 // evaluator, so the -metrics summary contrasts the sweep's pure
@@ -36,25 +47,30 @@ import (
 	"time"
 
 	"tesa"
+	"tesa/internal/cli"
 	"tesa/internal/telemetry"
 )
 
 func main() {
 	var (
-		tech       = flag.String("tech", "2d", "integration technology: 2d or 3d")
-		freqMHz    = flag.Float64("freq", 400, "operating frequency in MHz")
-		fps        = flag.Float64("fps", 15, "latency constraint in frames per second")
-		tempC      = flag.Float64("temp", 85, "thermal budget in Celsius")
-		full       = flag.Bool("full", false, "sweep the full Table II space instead of the validation space")
-		grid       = flag.Int("grid", 32, "thermal grid cells per side")
-		seed       = flag.Int64("seed", 1, "optimizer seed")
-		shard      = flag.Int("shard", 0, "points per sweep shard (0 = automatic)")
-		ckptPath   = flag.String("checkpoint", "", "append sweep checkpoint records to this JSONL file")
-		resumePath = flag.String("resume", "", "resume the sweep from this checkpoint file")
-		progress   = flag.Bool("progress", false, "stream live progress to stderr")
-		metrics    = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
-		trace      = flag.String("trace", "", "write a JSONL event trace to this file")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		tech        = flag.String("tech", "2d", "integration technology: 2d or 3d")
+		freqMHz     = flag.Float64("freq", 400, "operating frequency in MHz")
+		fps         = flag.Float64("fps", 15, "latency constraint in frames per second")
+		tempC       = flag.Float64("temp", 85, "thermal budget in Celsius")
+		full        = flag.Bool("full", false, "sweep the full Table II space instead of the validation space")
+		grid        = flag.Int("grid", 32, "thermal grid cells per side")
+		seed        = flag.Int64("seed", 1, "optimizer seed")
+		shard       = flag.Int("shard", 0, "points per sweep shard (0 = automatic)")
+		ckptPath    = flag.String("checkpoint", "", "append sweep checkpoint records to this JSONL file")
+		resumePath  = flag.String("resume", "", "resume the sweep from this checkpoint file")
+		progress    = flag.Bool("progress", false, "stream live progress to stderr")
+		faultSpec   = flag.String("faults", os.Getenv("TESA_FAULTS"), "fault-injection spec, e.g. panic@thermal:rate=0.05 (default $TESA_FAULTS)")
+		maxFailures = flag.Int("max-failures", 0, "abort once more than this many points are quarantined (0 = unlimited)")
+		failFast    = flag.Bool("fail-fast", false, "abort on the first failed evaluation instead of quarantining it")
+		stageTO     = flag.Duration("stage-timeout", 0, "quarantine a point when one pipeline stage exceeds this duration (0 = off)")
+		metrics     = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
+		trace       = flag.String("trace", "", "write a JSONL event trace to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -94,7 +110,7 @@ func main() {
 	}
 	w := tesa.ARVRWorkload()
 
-	sweepOpt := &tesa.SweepOptions{ShardSize: *shard}
+	sweepOpt := &tesa.SweepOptions{ShardSize: *shard, MaxFailures: *maxFailures, FailFast: *failFast}
 	if *resumePath != "" {
 		f, err := os.Open(*resumePath)
 		if err != nil {
@@ -112,13 +128,16 @@ func main() {
 			state.Completed(), state.Shards, state.CompletedPoints(), state.Total, *resumePath)
 	}
 	if *ckptPath != "" {
-		f, err := os.OpenFile(*ckptPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// FileSink creates a fresh checkpoint via temp-file + rename and
+		// fsyncs every flushed record, so a SIGKILL (or power loss) can
+		// tear at most the final line — which LoadCheckpoint tolerates.
+		sink, err := tesa.NewFileSink(*ckptPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		sweepOpt.Checkpoint = tesa.NewJSONLSink(f)
+		defer sink.Close()
+		sweepOpt.Checkpoint = sink
 	}
 	if *progress {
 		sweepOpt.Progress = progressPrinter("sweep")
@@ -130,6 +149,10 @@ func main() {
 		os.Exit(1)
 	}
 	ex.Instrument(tel)
+	if err := cli.ApplyFaults(ex, *faultSpec, *stageTO); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	fmt.Printf("exhaustive sweep: %d design vectors (%s, %.0f MHz, %.0f fps, %.0f C)\n",
 		space.Size(), opts.Tech, *freqMHz, cons.FPS, cons.TempBudgetC)
 	start := time.Now()
@@ -144,6 +167,9 @@ func main() {
 			finish()
 			os.Exit(130)
 		}
+		if errors.Is(err, tesa.ErrTooManyFailures) {
+			cli.FailureSummary(os.Stderr, ex.QuarantineLedger())
+		}
 		fmt.Fprintln(os.Stderr, err)
 		finish()
 		os.Exit(1)
@@ -155,6 +181,7 @@ func main() {
 		fmt.Printf(" (%d points evaluated, %d resumed)", exRes.Evaluated, exRes.Resumed)
 	}
 	fmt.Println()
+	cli.FailureSummary(os.Stdout, exRes.Poisoned)
 	if exRes.Best != nil {
 		fmt.Printf("  global optimum: %v, %v grid, objective %.4f\n",
 			exRes.Best.Point, exRes.Best.Mesh, exRes.Best.Objective)
@@ -168,9 +195,13 @@ func main() {
 		os.Exit(1)
 	}
 	op.Instrument(tel)
-	var optOpt *tesa.OptimizeOptions
+	if err := cli.ApplyFaults(op, *faultSpec, *stageTO); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	optOpt := &tesa.OptimizeOptions{MaxFailures: *maxFailures, FailFast: *failFast}
 	if *progress {
-		optOpt = &tesa.OptimizeOptions{Progress: progressPrinter("anneal")}
+		optOpt.Progress = progressPrinter("anneal")
 	}
 	start = time.Now()
 	opRes, err := op.OptimizeContext(ctx, space, *seed, optOpt)
@@ -183,6 +214,9 @@ func main() {
 		finish()
 		os.Exit(130)
 	case err != nil:
+		if errors.Is(err, tesa.ErrTooManyFailures) {
+			cli.FailureSummary(os.Stderr, op.QuarantineLedger())
+		}
 		fmt.Fprintln(os.Stderr, err)
 		finish()
 		os.Exit(1)
@@ -205,6 +239,12 @@ func main() {
 	default:
 		fmt.Println("  DISAGREEMENT: one side found a solution, the other did not")
 		exit = 3
+	}
+	cli.FailureSummary(os.Stdout, opRes.Poisoned)
+	if exit == 0 && exRes.Quarantined+opRes.Quarantined > 0 {
+		// Completed, but with quarantined points: the distinct exit code
+		// lets chaos harnesses tell "survived with losses" from success.
+		exit = cli.ExitQuarantined
 	}
 	finish()
 	if exit != 0 {

@@ -5,6 +5,7 @@
 //
 //	tesa [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75] [-power 15]
 //	     [-interposer 8] [-grid 32] [-seed 1] [-alpha 1] [-beta 1]
+//	     [-faults spec] [-max-failures 0] [-fail-fast] [-stage-timeout 0]
 //	     [-metrics] [-trace out.jsonl] [-pprof addr]
 //
 // The output reports the winning design point, its derived mesh and SRAM
@@ -14,6 +15,13 @@
 // Observability: -metrics prints an end-of-run summary (per-stage
 // latency percentiles, evals/sec, cache hit rate), -trace streams
 // annealer-level JSONL events, and -pprof serves net/http/pprof.
+//
+// Failure handling: a design point whose evaluation fails (panic, NaN,
+// diverged thermal solve, timeout) is quarantined and the search
+// continues around it; a run that still finds a solution but quarantined
+// points prints a failure summary and exits 4. -max-failures bounds the
+// quarantine count, -fail-fast aborts on the first failure, and -faults
+// (or TESA_FAULTS) injects deterministic faults for chaos testing.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	"tesa"
+	"tesa/internal/cli"
 	"tesa/internal/telemetry"
 )
 
@@ -47,6 +56,10 @@ func main() {
 		workload   = flag.String("workload", "", "JSON workload file (default: the built-in AR/VR workload)")
 		progress   = flag.Bool("progress", false, "stream incumbent improvements to stderr")
 		deadline   = flag.Duration("deadline", 0, "abort the search after this duration (0 = none)")
+		faultSpec  = flag.String("faults", os.Getenv("TESA_FAULTS"), "fault-injection spec, e.g. panic@thermal:rate=0.05 (default $TESA_FAULTS)")
+		maxFail    = flag.Int("max-failures", 0, "abort once more than this many points are quarantined (0 = unlimited)")
+		failFast   = flag.Bool("fail-fast", false, "abort on the first failed evaluation instead of quarantining it")
+		stageTO    = flag.Duration("stage-timeout", 0, "quarantine a point when one pipeline stage exceeds this duration (0 = off)")
 		metrics    = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
 		trace      = flag.String("trace", "", "write a JSONL event trace to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -121,19 +134,23 @@ func main() {
 		os.Exit(1)
 	}
 	ev.Instrument(tel)
+	if err := cli.ApplyFaults(ev, *faultSpec, *stageTO); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	fmt.Printf("TESA: %s MCM at %.0f MHz for the %d-DNN %s workload\n", opts.Tech, *freqMHz, len(w.Networks), w.Name)
 	fmt.Printf("constraints: %.0f fps, %.0f W, %.0f C, %.0fx%.0f mm interposer\n\n",
 		cons.FPS, cons.PowerBudgetW, cons.TempBudgetC, cons.InterposerMM, cons.InterposerMM)
 
-	var optOpt *tesa.OptimizeOptions
+	optOpt := &tesa.OptimizeOptions{MaxFailures: *maxFail, FailFast: *failFast}
 	if *progress {
-		optOpt = &tesa.OptimizeOptions{Progress: func(p tesa.Progress) {
+		optOpt.Progress = func(p tesa.Progress) {
 			if p.Improved && p.Incumbent != nil {
 				fmt.Fprintf(os.Stderr, "incumbent after %d evaluations: %v, objective %.4f  [%.1fs]\n",
 					p.Done, p.Incumbent.Point, p.Incumbent.Objective, p.Elapsed.Seconds())
 			}
-		}}
+		}
 	}
 
 	start := time.Now()
@@ -146,6 +163,9 @@ func main() {
 		finish()
 		os.Exit(130)
 	case err != nil:
+		if errors.Is(err, tesa.ErrTooManyFailures) {
+			cli.FailureSummary(os.Stderr, ev.QuarantineLedger())
+		}
 		fmt.Fprintln(os.Stderr, err)
 		finish()
 		os.Exit(1)
@@ -156,6 +176,7 @@ func main() {
 		fmt.Printf("SOLUTION DOES NOT EXIST under these constraints\n")
 		fmt.Printf("(explored %d of %d design vectors in %.1fs)\n", res.Explored, tesa.DefaultSpace().Size(), elapsed.Seconds())
 		fmt.Println("remedial options: relax the thermal budget, reduce frequency, or enlarge the interposer")
+		cli.FailureSummary(os.Stderr, res.Poisoned)
 		finish()
 		os.Exit(3)
 	}
@@ -188,5 +209,9 @@ func main() {
 		res.Evaluations, res.Explored, 100*float64(res.Explored)/float64(tesa.DefaultSpace().Size()),
 		100*res.CacheHitRate, elapsed.Seconds())
 	fmt.Print(tesa.FloorplanASCII(best))
+	cli.FailureSummary(os.Stderr, res.Poisoned)
 	finish()
+	if res.Quarantined > 0 {
+		os.Exit(cli.ExitQuarantined)
+	}
 }

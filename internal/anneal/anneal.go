@@ -14,12 +14,20 @@ package anneal
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"time"
 )
+
+// ErrPanic marks a panic recovered from a caller-supplied callback
+// (init, neighbor, eval, or an Observer). The annealers run inside
+// MultiStart's worker goroutines, where an unrecovered panic would kill
+// the whole process; MinimizeContext converts it into an error wrapping
+// this sentinel instead.
+var ErrPanic = errors.New("anneal: callback panic")
 
 // Config parameterizes one annealer. The paper's validated settings are
 // TInit=19, TFinal=0.5, N=10, with per-start decays 0.89, 0.87, 0.85
@@ -162,6 +170,14 @@ func MinimizeContext[S any](ctx context.Context, cfg Config, init Init[S], neigh
 	if err := cfg.Validate(); err != nil {
 		return Result[S]{}, err
 	}
+	// Registered first so it runs last: the observer and duration defers
+	// below still fire while the panic unwinds, then the recover turns
+	// it into an error carrying the partial result.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: start %d: %v", ErrPanic, cfg.Start, r)
+		}
+	}()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	began := time.Now()
 	if obs := cfg.Observer; obs != nil {

@@ -1,0 +1,57 @@
+// Package cli shares the fault-injection and failure-reporting plumbing
+// of the tesa command-line tools: the -faults/TESA_FAULTS spec, the
+// per-stage timeout, and the quarantine summary with its distinct exit
+// code.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tesa"
+)
+
+// ExitQuarantined is the exit code of a run that completed its search
+// but quarantined at least one design point — distinct from success (0),
+// errors (1), usage (2), and no-solution/disagreement (3), so chaos
+// harnesses can tell "survived with losses" from everything else.
+const ExitQuarantined = 4
+
+// maxSummaryLines caps the per-point lines of a failure summary; large
+// ledgers are truncated with a count.
+const maxSummaryLines = 20
+
+// ApplyFaults compiles spec (the -faults flag, defaulting to the
+// TESA_FAULTS environment variable) into an injection plan and arms ev
+// with it plus the per-stage wall-clock budget. An empty spec and a zero
+// timeout are no-ops.
+func ApplyFaults(ev *tesa.Evaluator, spec string, stageTimeout time.Duration) error {
+	plan, err := tesa.ParseFaults(spec)
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		ev.InjectFaults(plan)
+	}
+	if stageTimeout > 0 {
+		ev.SetStageTimeout(stageTimeout)
+	}
+	return nil
+}
+
+// FailureSummary prints the quarantine ledger, capped at
+// maxSummaryLines entries. It prints nothing for an empty ledger.
+func FailureSummary(w io.Writer, poisoned []tesa.QuarantinedPoint) {
+	if len(poisoned) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nquarantined %d design point(s), skipped and recorded:\n", len(poisoned))
+	for i, q := range poisoned {
+		if i == maxSummaryLines {
+			fmt.Fprintf(w, "  ... and %d more\n", len(poisoned)-maxSummaryLines)
+			break
+		}
+		fmt.Fprintf(w, "  %s\n", q)
+	}
+}

@@ -15,25 +15,31 @@ import (
 // streams), and a killed run restarts from the recorded shards via
 // SweepOptions.ResumeFrom.
 //
-// A checkpoint stream contains two record kinds:
+// A checkpoint stream contains three record kinds:
 //
-//	checkpoint.header  binds the file to one sweep decomposition:
-//	                   {"space": <fingerprint>, "total": N,
-//	                    "shard_size": K, "shards": S}
-//	checkpoint.shard   one completed shard:
-//	                   {"shard": i, "feasible": f, "found": bool,
-//	                    "best_dim": d, "best_ics": u, "best_obj": o}
+//	checkpoint.header    binds the file to one sweep decomposition:
+//	                     {"space": <fingerprint>, "total": N,
+//	                      "shard_size": K, "shards": S}
+//	checkpoint.shard     one completed shard:
+//	                     {"shard": i, "feasible": f, "found": bool,
+//	                      "best_dim": d, "best_ics": u, "best_obj": o}
+//	checkpoint.poisoned  one quarantined design point, written the
+//	                     moment its evaluation failed:
+//	                     {"dim": d, "ics": u, "stage": s, "reason": r}
 //
 // plus the sink's own ts/seq/event envelope. Appending a resumed run to
 // the same file is legal: repeated headers must agree, and duplicate
-// shard records overwrite (they are deterministic, so identical). A
-// truncated final line — the tail of a run killed mid-write — is
-// ignored; corruption anywhere else fails with ErrCheckpointCorrupt.
+// shard/poisoned records overwrite (they are deterministic, so
+// identical). A truncated final line — the tail of a run killed
+// mid-write — is ignored, whether it is malformed JSON or a record
+// whose fields were cut short; corruption anywhere else fails with
+// ErrCheckpointCorrupt.
 
 // checkpoint record event names.
 const (
 	ckptHeaderEvent = "checkpoint.header"
 	ckptShardEvent  = "checkpoint.shard"
+	ckptPoisonEvent = "checkpoint.poisoned"
 )
 
 // ShardCheckpoint is one completed shard's contribution to a sweep:
@@ -61,6 +67,10 @@ type CheckpointState struct {
 	Shards    int
 	// Done maps shard index to its record.
 	Done map[int]ShardCheckpoint
+	// Poisoned maps each quarantined design point to its record; a
+	// resumed sweep skips these points instead of re-running a
+	// deterministic failure.
+	Poisoned map[DesignPoint]QuarantinedPoint
 }
 
 // Completed returns the number of checkpointed shards.
@@ -97,9 +107,16 @@ func (s *CheckpointState) validateFor(fingerprint string, total, shardSize, shar
 func LoadCheckpoint(r io.Reader) (*CheckpointState, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
-	st := &CheckpointState{Done: make(map[int]ShardCheckpoint)}
+	st := &CheckpointState{
+		Done:     make(map[int]ShardCheckpoint),
+		Poisoned: make(map[DesignPoint]QuarantinedPoint),
+	}
 	sawHeader := false
-	var badLine error // defer: fatal only if any line follows it
+	// Every per-line failure — malformed JSON or a semantically
+	// incomplete record — is deferred through badLine: fatal only if any
+	// line follows it, so the torn tail of a SIGKILLed run is tolerated
+	// no matter where mid-record the write was cut.
+	var badLine error
 	line := 0
 	for sc.Scan() {
 		line++
@@ -123,10 +140,13 @@ func LoadCheckpoint(r io.Reader) (*CheckpointState, error) {
 			size, ok2 := ckptInt(rec, "shard_size")
 			shards, ok3 := ckptInt(rec, "shards")
 			if space == "" || !ok1 || !ok2 || !ok3 {
-				return nil, fmt.Errorf("%w: line %d: incomplete header", ErrCheckpointCorrupt, line)
+				badLine = fmt.Errorf("%w: line %d: incomplete header", ErrCheckpointCorrupt, line)
+				continue
 			}
 			if sawHeader {
 				if space != st.Fingerprint || total != st.Total || size != st.ShardSize || shards != st.Shards {
+					// Two complete, disagreeing headers are never a torn
+					// write: the file mixes different sweeps.
 					return nil, fmt.Errorf("%w: line %d: conflicting headers", ErrCheckpointCorrupt, line)
 				}
 				continue
@@ -135,15 +155,18 @@ func LoadCheckpoint(r io.Reader) (*CheckpointState, error) {
 			st.Fingerprint, st.Total, st.ShardSize, st.Shards = space, total, size, shards
 		case ckptShardEvent:
 			if !sawHeader {
-				return nil, fmt.Errorf("%w: line %d: shard record before header", ErrCheckpointCorrupt, line)
+				badLine = fmt.Errorf("%w: line %d: shard record before header", ErrCheckpointCorrupt, line)
+				continue
 			}
 			idx, ok := ckptInt(rec, "shard")
 			if !ok || idx < 0 || idx >= st.Shards {
-				return nil, fmt.Errorf("%w: line %d: shard index out of range", ErrCheckpointCorrupt, line)
+				badLine = fmt.Errorf("%w: line %d: shard index out of range", ErrCheckpointCorrupt, line)
+				continue
 			}
 			feas, ok := ckptInt(rec, "feasible")
 			if !ok {
-				return nil, fmt.Errorf("%w: line %d: missing feasible count", ErrCheckpointCorrupt, line)
+				badLine = fmt.Errorf("%w: line %d: missing feasible count", ErrCheckpointCorrupt, line)
+				continue
 			}
 			cp := ShardCheckpoint{Shard: idx, Feasible: feas}
 			cp.Found, _ = rec["found"].(bool)
@@ -152,12 +175,28 @@ func LoadCheckpoint(r io.Reader) (*CheckpointState, error) {
 				ics, ok2 := ckptInt(rec, "best_ics")
 				obj, ok3 := rec["best_obj"].(float64)
 				if !ok1 || !ok2 || !ok3 {
-					return nil, fmt.Errorf("%w: line %d: incomplete best point", ErrCheckpointCorrupt, line)
+					badLine = fmt.Errorf("%w: line %d: incomplete best point", ErrCheckpointCorrupt, line)
+					continue
 				}
 				cp.Best = DesignPoint{ArrayDim: dim, ICSUM: ics}
 				cp.BestObj = obj
 			}
 			st.Done[idx] = cp
+		case ckptPoisonEvent:
+			if !sawHeader {
+				badLine = fmt.Errorf("%w: line %d: poisoned record before header", ErrCheckpointCorrupt, line)
+				continue
+			}
+			dim, ok1 := ckptInt(rec, "dim")
+			ics, ok2 := ckptInt(rec, "ics")
+			if !ok1 || !ok2 {
+				badLine = fmt.Errorf("%w: line %d: incomplete poisoned record", ErrCheckpointCorrupt, line)
+				continue
+			}
+			stage, _ := rec["stage"].(string)
+			reason, _ := rec["reason"].(string)
+			p := DesignPoint{ArrayDim: dim, ICSUM: ics}
+			st.Poisoned[p] = QuarantinedPoint{Point: p, Stage: stage, Reason: reason}
 		default:
 			// Foreign trace events interleaved in the same sink.
 		}
@@ -205,6 +244,19 @@ func writeShardCheckpoint(sink telemetry.EventSink, cp ShardCheckpoint) error {
 		fields["best_obj"] = cp.BestObj
 	}
 	sink.Emit(ckptShardEvent, fields)
+	return sink.Flush()
+}
+
+// writePoisonedCheckpoint emits one quarantined point and flushes
+// immediately: the record lands before the point's shard completes, so
+// even a kill mid-shard never loses a known-poisoned point.
+func writePoisonedCheckpoint(sink telemetry.EventSink, q QuarantinedPoint) error {
+	sink.Emit(ckptPoisonEvent, map[string]any{
+		"dim":    q.Point.ArrayDim,
+		"ics":    q.Point.ICSUM,
+		"stage":  q.Stage,
+		"reason": q.Reason,
+	})
 	return sink.Flush()
 }
 

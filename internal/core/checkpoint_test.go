@@ -142,6 +142,9 @@ func TestSweepResumeValidation(t *testing.T) {
 const ckptHeaderLine = `{"event":"checkpoint.header","space":"a1b2c3d4e5f60718","total":10,"shard_size":5,"shards":2}`
 
 // TestLoadCheckpointCorruption walks the failure matrix of the loader.
+// A semantically bad record is only provably corruption (rather than the
+// torn tail of a killed run) when another line follows it, so each bad
+// record here is followed by a valid one.
 func TestLoadCheckpointCorruption(t *testing.T) {
 	shard := `{"event":"checkpoint.shard","shard":0,"feasible":3,"found":true,"best_dim":196,"best_ics":200,"best_obj":1.5}`
 	cases := []struct {
@@ -152,10 +155,11 @@ func TestLoadCheckpointCorruption(t *testing.T) {
 		{"missing header", shard},
 		{"garbage mid-file", ckptHeaderLine + "\n{garbage\n" + shard},
 		{"conflicting headers", ckptHeaderLine + "\n" + strings.Replace(ckptHeaderLine, `"total":10`, `"total":99`, 1)},
-		{"shard out of range", ckptHeaderLine + "\n" + strings.Replace(shard, `"shard":0`, `"shard":7`, 1)},
-		{"incomplete header", `{"event":"checkpoint.header","space":"x","total":10}`},
-		{"found without point", ckptHeaderLine + "\n" + `{"event":"checkpoint.shard","shard":0,"feasible":1,"found":true}`},
-		{"non-integer count", ckptHeaderLine + "\n" + strings.Replace(shard, `"feasible":3`, `"feasible":3.7`, 1)},
+		{"shard out of range", ckptHeaderLine + "\n" + strings.Replace(shard, `"shard":0`, `"shard":7`, 1) + "\n" + shard},
+		{"incomplete header", `{"event":"checkpoint.header","space":"x","total":10}` + "\n" + shard},
+		{"found without point", ckptHeaderLine + "\n" + `{"event":"checkpoint.shard","shard":0,"feasible":1,"found":true}` + "\n" + shard},
+		{"non-integer count", ckptHeaderLine + "\n" + strings.Replace(shard, `"feasible":3`, `"feasible":3.7`, 1) + "\n" + shard},
+		{"incomplete poisoned mid-file", ckptHeaderLine + "\n" + `{"event":"checkpoint.poisoned","dim":196}` + "\n" + shard},
 	}
 	for _, tc := range cases {
 		if _, err := LoadCheckpoint(strings.NewReader(tc.input)); !errors.Is(err, ErrCheckpointCorrupt) {
@@ -170,13 +174,23 @@ func TestLoadCheckpointTolerance(t *testing.T) {
 	shard0 := `{"event":"checkpoint.shard","shard":0,"feasible":3,"found":true,"best_dim":196,"best_ics":200,"best_obj":1.5}`
 	shard1 := `{"event":"checkpoint.shard","shard":1,"feasible":0,"found":false}`
 
-	// A truncated final line is the tail of a run killed mid-write.
-	st, err := LoadCheckpoint(strings.NewReader(ckptHeaderLine + "\n" + shard0 + "\n" + `{"event":"checkpoint.sh`))
-	if err != nil {
-		t.Fatalf("truncated tail rejected: %v", err)
+	// A truncated final line is the tail of a run killed mid-write — and
+	// the cut can land anywhere: mid-JSON, or after valid JSON but before
+	// the record's fields were all written.
+	tails := []string{
+		`{"event":"checkpoint.sh`,
+		`{"event":"checkpoint.shard","shard":7,"feasible":0,"found":false}`, // out-of-range index
+		`{"event":"checkpoint.shard","shard":1,"feasible":1,"found":true}`,  // found without point
+		`{"event":"checkpoint.poisoned","dim":196}`,                         // cut before ics
 	}
-	if st.Completed() != 1 || st.Done[0].BestObj != 1.5 {
-		t.Errorf("truncated-tail state = %+v", st)
+	for _, tail := range tails {
+		st, err := LoadCheckpoint(strings.NewReader(ckptHeaderLine + "\n" + shard0 + "\n" + tail))
+		if err != nil {
+			t.Fatalf("truncated tail %q rejected: %v", tail, err)
+		}
+		if st.Completed() != 1 || st.Done[0].BestObj != 1.5 {
+			t.Errorf("truncated-tail state = %+v", st)
+		}
 	}
 
 	// An appended resume repeats the identical header; duplicate shard
@@ -191,7 +205,7 @@ func TestLoadCheckpointTolerance(t *testing.T) {
 		shard0,
 		shard1,
 	}, "\n")
-	st, err = LoadCheckpoint(strings.NewReader(mixed))
+	st, err := LoadCheckpoint(strings.NewReader(mixed))
 	if err != nil {
 		t.Fatalf("legitimate append stream rejected: %v", err)
 	}
@@ -220,6 +234,15 @@ func TestLoadCheckpointRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	poisoned := []QuarantinedPoint{
+		{Point: DesignPoint{ArrayDim: 200, ICSUM: 400}, Stage: "thermal", Reason: "solver-diverged"},
+		{Point: DesignPoint{ArrayDim: 204, ICSUM: 0}, Stage: "systolic", Reason: "panic"},
+	}
+	for _, q := range poisoned {
+		if err := writePoisonedCheckpoint(sink, q); err != nil {
+			t.Fatal(err)
+		}
+	}
 	st, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
@@ -230,6 +253,14 @@ func TestLoadCheckpointRoundTrip(t *testing.T) {
 	for _, cp := range shards {
 		if got := st.Done[cp.Shard]; got != cp {
 			t.Errorf("shard %d round-trip: %+v != %+v", cp.Shard, got, cp)
+		}
+	}
+	if len(st.Poisoned) != len(poisoned) {
+		t.Fatalf("poisoned round-trip: %d records, want %d", len(st.Poisoned), len(poisoned))
+	}
+	for _, q := range poisoned {
+		if got := st.Poisoned[q.Point]; got != q {
+			t.Errorf("poisoned %v round-trip: %+v != %+v", q.Point, got, q)
 		}
 	}
 	// The short final shard (17 points, size 5): shard 3 covers 2.

@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Sentinel errors of the search layer. Callers match them with
 // errors.Is; every error the engines return that represents one of these
@@ -25,3 +28,101 @@ var (
 	// a checkpoint that does not match the space being swept.
 	ErrCheckpointCorrupt = errors.New("core: corrupt checkpoint")
 )
+
+// Evaluation-failure taxonomy. A failed evaluation of a single design
+// point is always reported as an *EvalError wrapping one of these
+// sentinels (or the raw model error), so the engines can tell a
+// poisoned point — which they quarantine and skip — from an engine-level
+// failure that must abort the run.
+var (
+	// ErrStagePanic marks a pipeline stage that panicked; the per-point
+	// recover converted it into a structured error instead of killing
+	// the worker pool.
+	ErrStagePanic = errors.New("core: stage panic")
+
+	// ErrNonFinite marks a NaN or Inf stage output caught by the
+	// boundary validation before it could poison downstream stages, the
+	// memo cache, or a checkpoint.
+	ErrNonFinite = errors.New("core: non-finite stage output")
+
+	// ErrSolverDiverged marks a thermal evaluation whose CG solve failed
+	// to converge at every fidelity level of the degraded-retry ladder
+	// (full grid, relaxed tolerance, coarse grid, lumped fallback).
+	ErrSolverDiverged = errors.New("core: thermal solver diverged")
+
+	// ErrStageTimeout marks a stage that exceeded the evaluator's
+	// per-stage wall-clock budget (Evaluator.SetStageTimeout).
+	ErrStageTimeout = errors.New("core: stage timeout")
+
+	// ErrTooManyFailures aborts a sweep or optimization once more points
+	// were quarantined than the run's MaxFailures policy tolerates.
+	ErrTooManyFailures = errors.New("core: too many failed evaluations")
+)
+
+// EvalError is the structured failure of one design-point evaluation:
+// which stage failed, for which point, and why. It wraps the underlying
+// cause (one of the taxonomy sentinels above, or a raw model error), so
+// errors.Is and errors.As both work through it. The engines treat any
+// *EvalError as point-local: the point is quarantined with its reason
+// and the run continues; every other error aborts the run.
+type EvalError struct {
+	// Stage is the pipeline stage that failed ("systolic", "floorplan",
+	// "sched", "dram", "cost", "thermal", or "pipeline" when the failure
+	// could not be attributed).
+	Stage string
+	// Point is the design point being evaluated.
+	Point DesignPoint
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats the failure with its full context.
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("core: evaluation of %v failed at stage %s: %v", e.Point, e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *EvalError) Unwrap() error { return e.Err }
+
+// Reason returns the short machine-readable failure class used in
+// quarantine ledgers, checkpoint records, and telemetry counter names:
+// "panic", "non-finite", "solver-diverged", "timeout", or "error".
+func (e *EvalError) Reason() string {
+	switch {
+	case errors.Is(e.Err, ErrStagePanic):
+		return "panic"
+	case errors.Is(e.Err, ErrNonFinite):
+		return "non-finite"
+	case errors.Is(e.Err, ErrSolverDiverged):
+		return "solver-diverged"
+	case errors.Is(e.Err, ErrStageTimeout):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// QuarantinedPoint is one entry of a run's quarantine ledger: a design
+// point whose evaluation failed, with the stage and failure class. The
+// sweep engine persists these as checkpoint.poisoned records so a
+// resumed run skips the poisoned points instead of re-evaluating them.
+type QuarantinedPoint struct {
+	Point  DesignPoint
+	Stage  string
+	Reason string
+}
+
+// String formats the ledger entry for CLI failure summaries.
+func (q QuarantinedPoint) String() string {
+	return fmt.Sprintf("%v: %s at stage %s", q.Point, q.Reason, q.Stage)
+}
+
+// asEvalError extracts the structured per-point failure, if the error is
+// one (directly or wrapped).
+func asEvalError(err error) (*EvalError, bool) {
+	var ee *EvalError
+	if errors.As(err, &ee) {
+		return ee, true
+	}
+	return nil, false
+}

@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
+	"time"
 
 	"tesa/internal/area"
 	"tesa/internal/cost"
 	"tesa/internal/dnn"
+	"tesa/internal/faults"
 	"tesa/internal/floorplan"
 	"tesa/internal/nop"
 	"tesa/internal/power"
@@ -17,6 +20,18 @@ import (
 	"tesa/internal/systolic"
 	"tesa/internal/telemetry"
 	"tesa/internal/thermal"
+)
+
+// Pipeline stage names — the keys of the fault-injection hooks, the
+// Stage field of EvalError, and (prefixed with "stage.") the telemetry
+// span names.
+const (
+	stageSystolic  = "systolic"
+	stageFloorplan = "floorplan"
+	stageSched     = "sched"
+	stageDRAM      = "dram"
+	stageCost      = "cost"
+	stageThermal   = "thermal"
 )
 
 // Evaluation is the full characterization of one MCM design point — the
@@ -51,6 +66,15 @@ type Evaluation struct {
 	// LeakIters is the maximum leakage-temperature iterations over
 	// phases.
 	LeakIters int
+	// ThermalFidelity records which rung of the degraded-retry ladder
+	// produced the thermal numbers: "full" (first attempt), "relaxed"
+	// (looser CG tolerance), "coarse" (halved grid), or "lumped"
+	// (steady-state 1-resistor fallback). Empty when thermal analysis
+	// did not run.
+	ThermalFidelity string
+	// ThermalRetries counts the ladder rungs that failed before
+	// ThermalFidelity succeeded (0 = the full-fidelity solve converged).
+	ThermalRetries int
 
 	// TotalPowerW is the worst-phase chiplet power including leakage at
 	// the converged temperature; DynamicPowerW is its dynamic part.
@@ -105,10 +129,18 @@ type Evaluator struct {
 	// see Instrument.
 	tel *telemetry.Telemetry
 
+	// injected is the optional fault-injection plan (nil = no
+	// injection); see InjectFaults.
+	injected *faults.Plan
+	// stageTimeout, when positive, bounds each stage's wall time; see
+	// SetStageTimeout.
+	stageTimeout time.Duration
+
 	mu     sync.Mutex
 	cache  map[DesignPoint]*Evaluation
-	hits   int // Evaluate calls served from the memo cache
-	misses int // Evaluate calls that ran the pipeline
+	failed map[DesignPoint]*EvalError // quarantine ledger: poisoned points and why
+	hits   int                        // Evaluate calls served from the memo cache
+	misses int                        // Evaluate calls that ran the pipeline
 }
 
 // Instrument attaches an observability hub: the pipeline records
@@ -122,6 +154,48 @@ func (e *Evaluator) Instrument(tel *telemetry.Telemetry) { e.tel = tel }
 // Telemetry returns the hub attached with Instrument (nil when
 // uninstrumented).
 func (e *Evaluator) Telemetry() *telemetry.Telemetry { return e.tel }
+
+// InjectFaults attaches a deterministic fault-injection plan (see
+// internal/faults and ParseFaults): at each stage boundary a matching
+// rule stalls, panics, fails, or poisons the stage output with NaN,
+// exercising exactly the recovery paths real pathological points take.
+// A nil or empty plan (the default) disables injection. Call before the
+// first Evaluate.
+func (e *Evaluator) InjectFaults(plan *faults.Plan) {
+	if plan != nil && plan.Empty() {
+		plan = nil
+	}
+	e.injected = plan
+}
+
+// SetStageTimeout bounds each pipeline stage's wall time: a stage that
+// exceeds d fails its point with ErrStageTimeout. The check runs at the
+// stage boundary — a stuck stage is not preempted, but its point is
+// quarantined instead of silently dominating the run, and the memo
+// cache never records its partial result. Zero (the default) disables
+// the check.
+func (e *Evaluator) SetStageTimeout(d time.Duration) { e.stageTimeout = d }
+
+// QuarantinedCount returns the number of distinct design points whose
+// evaluation failed and was quarantined.
+func (e *Evaluator) QuarantinedCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.failed)
+}
+
+// QuarantineLedger returns the quarantined points with their failing
+// stage and failure class, sorted by design point for stable reports.
+func (e *Evaluator) QuarantineLedger() []QuarantinedPoint {
+	e.mu.Lock()
+	out := make([]QuarantinedPoint, 0, len(e.failed))
+	for p, ee := range e.failed {
+		out = append(out, QuarantinedPoint{Point: p, Stage: ee.Stage, Reason: ee.Reason()})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Point.Less(out[j].Point) })
+	return out
+}
 
 // NewEvaluator builds an evaluator; zero fields of models are filled with
 // defaults.
@@ -158,6 +232,7 @@ func NewEvaluator(w dnn.Workload, opts Options, cons Constraints, models Models)
 		Models:   models,
 		sim:      systolic.NewSimulator(),
 		cache:    make(map[DesignPoint]*Evaluation),
+		failed:   make(map[DesignPoint]*EvalError),
 	}, nil
 }
 
@@ -232,12 +307,23 @@ func (e *Evaluator) evaluate(p DesignPoint, full bool) (*Evaluation, error) {
 		e.tel.Registry().Counter("evaluator.cache.hit").Inc()
 		return ev, nil
 	}
+	if ee, ok := e.failed[p]; ok {
+		// Failures are memoized too: the pipeline is deterministic, so
+		// retrying a poisoned point would only fail the same way again.
+		e.hits++
+		e.mu.Unlock()
+		e.tel.Registry().Counter("evaluator.cache.hit").Inc()
+		return nil, ee
+	}
 	e.misses++
 	e.mu.Unlock()
 	e.tel.Registry().Counter("evaluator.cache.miss").Inc()
 
 	ev, err := e.pipeline(p, full)
 	if err != nil {
+		if ee, ok := asEvalError(err); ok {
+			e.quarantine(ee)
+		}
 		return nil, err
 	}
 	if ev.Feasible {
@@ -251,6 +337,78 @@ func (e *Evaluator) evaluate(p DesignPoint, full bool) (*Evaluation, error) {
 	return ev, nil
 }
 
+// quarantine records a point-local evaluation failure in the ledger
+// (first writer wins when concurrent workers race on one point) and
+// bumps the failure counters. Quarantined points count as explored —
+// subsequent Evaluate calls return the memoized error without rerunning
+// the pipeline.
+func (e *Evaluator) quarantine(ee *EvalError) {
+	e.mu.Lock()
+	if _, dup := e.failed[ee.Point]; dup {
+		e.mu.Unlock()
+		return
+	}
+	e.failed[ee.Point] = ee
+	e.mu.Unlock()
+	reason := ee.Reason()
+	e.tel.Registry().Counter("eval.quarantined").Inc()
+	e.tel.Registry().Counter("eval.quarantine." + reason).Inc()
+	e.tel.Emit("eval.quarantined", map[string]any{
+		"dim":    ee.Point.ArrayDim,
+		"ics":    ee.Point.ICSUM,
+		"stage":  ee.Stage,
+		"reason": reason,
+	})
+}
+
+// stageGuard closes a stage boundary: it fires any matching injected
+// fault (latency stall, panic, injected error, NaN poisoning), enforces
+// the per-stage wall-clock budget, and validates that the stage's
+// scalar outputs are finite so a NaN cannot flow into downstream
+// stages, the memo cache, or a checkpoint.
+func (e *Evaluator) stageGuard(stage string, p DesignPoint, began time.Time, vals ...float64) error {
+	if e.injected != nil {
+		if o := e.injected.At(stage, p.ArrayDim, p.ICSUM); o != nil {
+			if o.Delay > 0 {
+				time.Sleep(o.Delay)
+			}
+			if o.Panic {
+				panic(fmt.Sprintf("injected fault at stage %s for %v", stage, p))
+			}
+			if o.Err != nil {
+				return &EvalError{Stage: stage, Point: p, Err: o.Err}
+			}
+			if o.NaN {
+				vals = append(vals, math.NaN())
+			}
+		}
+	}
+	if e.stageTimeout > 0 {
+		if el := time.Since(began); el > e.stageTimeout {
+			return &EvalError{Stage: stage, Point: p, Err: fmt.Errorf(
+				"%w: stage %s took %v (budget %v)", ErrStageTimeout, stage,
+				el.Round(time.Millisecond), e.stageTimeout)}
+		}
+	}
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &EvalError{Stage: stage, Point: p, Err: fmt.Errorf(
+				"%w at stage %s", ErrNonFinite, stage)}
+		}
+	}
+	return nil
+}
+
+// failStage wraps an organic model error with its stage and point so
+// the engines quarantine the point instead of aborting the whole run.
+// Errors that are already structured pass through unchanged.
+func failStage(stage string, p DesignPoint, err error) error {
+	if _, ok := asEvalError(err); ok {
+		return err
+	}
+	return &EvalError{Stage: stage, Point: p, Err: err}
+}
+
 // netProfile couples a network's simulation stats with its chiplet-level
 // power decomposition.
 type netProfile struct {
@@ -261,18 +419,31 @@ type netProfile struct {
 // pipeline is Fig. 2b: perturbed design point -> mesh estimator ->
 // scheduler -> floorplanner -> power/leakage/thermal models -> DRAM
 // power, MCM cost, latency -> objective.
-func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
+func (e *Evaluator) pipeline(p DesignPoint, full bool) (ev *Evaluation, err error) {
 	if p.ArrayDim <= 0 || p.ICSUM < 0 {
 		return nil, fmt.Errorf("%w: invalid design point %+v", ErrInvalidSpace, p)
 	}
+	// Panic isolation: a panicking stage (a model bug on a pathological
+	// corner, or an injected fault) fails only its own point. The
+	// recover attributes the panic to the stage that was running and
+	// hands the engines a structured EvalError to quarantine.
+	stage := stageSystolic
+	defer func() {
+		if r := recover(); r != nil {
+			ev = nil
+			err = &EvalError{Stage: stage, Point: p,
+				Err: fmt.Errorf("%w: %v", ErrStagePanic, r)}
+		}
+	}()
 	total := e.tel.StartSpan("pipeline.total")
 	defer total.End()
-	ev := &Evaluation{Point: p, PeakTempC: math.NaN(), Full: full}
+	ev = &Evaluation{Point: p, PeakTempC: math.NaN(), Full: full}
 	threeD := e.Opts.Tech == Tech3D
 	sramKB := p.SRAMKB()
 
 	// Performance model (SCALE-Sim equivalent), memoized per
 	// (array, network).
+	began := time.Now()
 	span := e.tel.StartSpan("stage.systolic")
 	arr := systolic.Array{
 		Rows: p.ArrayDim, Cols: p.ArrayDim,
@@ -282,13 +453,13 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 	profiles := make([]netProfile, len(e.Workload.Networks))
 	est, err := sram.Estimate22nm(int64(sramKB) * 1024)
 	if err != nil {
-		return nil, err
+		return nil, failStage(stageSystolic, p, err)
 	}
-	var peakSRAMBw float64
+	var peakSRAMBw, sumLat, sumDyn float64
 	for i := range e.Workload.Networks {
 		st, err := e.sim.Simulate(arr, &e.Workload.Networks[i])
 		if err != nil {
-			return nil, err
+			return nil, failStage(stageSystolic, p, err)
 		}
 		profiles[i] = netProfile{
 			stats: st,
@@ -297,14 +468,23 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 		if st.PeakSRAMBytesPerCycle > peakSRAMBw {
 			peakSRAMBw = st.PeakSRAMBytesPerCycle
 		}
+		// NaN propagates through the sums, so two scalars cover every
+		// per-network latency and power output.
+		sumLat += st.LatencySeconds(e.Opts.FreqHz)
+		sumDyn += profiles[i].dyn.Total()
 	}
 	span.End()
+	if err := e.stageGuard(stageSystolic, p, began, sumLat, sumDyn, peakSRAMBw); err != nil {
+		return nil, err
+	}
 
 	// Area model and mesh estimator.
+	stage = stageFloorplan
+	began = time.Now()
 	span = e.tel.StartSpan("stage.floorplan")
 	chip, err := area.Build(p.ArrayDim*p.ArrayDim, est, threeD, peakSRAMBw)
 	if err != nil {
-		return nil, err
+		return nil, failStage(stageFloorplan, p, err)
 	}
 	ev.Chiplet = chip
 	// Mesh estimator: the densest grid that fits the interposer at the
@@ -320,7 +500,7 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 	ev.Mesh = mesh
 	place, err := floorplan.Place(e.Cons.InterposerMM, chip.WidthMM, chip.HeightMM, float64(p.ICSUM)/1000, mesh)
 	if err != nil {
-		return nil, err
+		return nil, failStage(stageFloorplan, p, err)
 	}
 	ev.Fits = true
 	ev.Placement = place
@@ -330,9 +510,14 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 		ev.Violations = append(ev.Violations, "mesh")
 	}
 	span.End()
+	if err := e.stageGuard(stageFloorplan, p, began, chip.WidthMM, chip.HeightMM); err != nil {
+		return nil, err
+	}
 
 	// Scheduler: latency-, power-, and power-density-aware static
 	// assignment.
+	stage = stageSched
+	began = time.Now()
 	span = e.tel.StartSpan("stage.sched")
 	sp := make([]sched.DNNProfile, len(profiles))
 	var totalMACs int64
@@ -346,7 +531,7 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 	}
 	schedule, err := sched.Build(sp, mesh.Count(), place.CornerFirstOrder())
 	if err != nil {
-		return nil, err
+		return nil, failStage(stageSched, p, err)
 	}
 	ev.Schedule = schedule
 	ev.MakespanSec = schedule.MakespanSec
@@ -357,9 +542,14 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 		ev.Violations = append(ev.Violations, "latency")
 	}
 	span.End()
+	if err := e.stageGuard(stageSched, p, began, ev.MakespanSec, ev.LatencyFactor, ev.OPS, ev.PeakOPS); err != nil {
+		return nil, err
+	}
 
 	// DRAM power: per-chiplet channel provisioning by peak bandwidth
 	// (max over the chiplet's DNNs), traffic averaged over the frame.
+	stage = stageDRAM
+	began = time.Now()
 	span = e.tel.StartSpan("stage.dram")
 	var channels int
 	var frameBytes float64
@@ -382,8 +572,13 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 	ev.DRAMChannels = channels
 	ev.DRAMPowerW = e.Models.DRAM.Power(channels, frameBytes*e.Cons.FPS)
 	span.End()
+	if err := e.stageGuard(stageDRAM, p, began, ev.DRAMPowerW, frameBytes); err != nil {
+		return nil, err
+	}
 
 	// MCM cost.
+	stage = stageCost
+	began = time.Now()
 	span = e.tel.StartSpan("stage.cost")
 	spec := cost.ChipletSpec{ThreeD: threeD}
 	if threeD {
@@ -394,13 +589,16 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 	}
 	bd, err := e.Models.Cost.MCM(spec, mesh.Count(), e.Cons.InterposerMM*e.Cons.InterposerMM)
 	if err != nil {
-		return nil, err
+		return nil, failStage(stageCost, p, err)
 	}
 	ev.MCMCost = bd
 	span.End()
 
 	// Objective, Eq. (6).
 	ev.Objective = e.Opts.Alpha*bd.Total/e.Opts.RefCostUSD + e.Opts.Beta*ev.DRAMPowerW/e.Opts.RefDRAMWatts
+	if err := e.stageGuard(stageCost, p, began, bd.Total, ev.Objective); err != nil {
+		return nil, err
+	}
 
 	// Power and thermal models.
 	if e.Opts.DisableThermal {
@@ -457,10 +655,21 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (*Evaluation, error) {
 		}
 	}
 
+	stage = stageThermal
+	began = time.Now()
 	span = e.tel.StartSpan("stage.thermal")
 	err = e.thermalAnalysis(ev, profiles, place, est)
 	span.End()
 	if err != nil {
+		return nil, failStage(stageThermal, p, err)
+	}
+	tempOut := ev.PeakTempC
+	if ev.Runaway {
+		// A runaway point is a valid infeasible evaluation; its clamped
+		// peak temperature is not required to be meaningful.
+		tempOut = 0
+	}
+	if err := e.stageGuard(stageThermal, p, began, ev.TotalPowerW, ev.DynamicPowerW, ev.LeakageW, tempOut); err != nil {
 		return nil, err
 	}
 

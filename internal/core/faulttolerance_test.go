@@ -1,0 +1,380 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"tesa/internal/dnn"
+	"tesa/internal/faults"
+	"tesa/internal/telemetry"
+)
+
+// faultSpace is a small all-fitting space for the chaos tests: every
+// point completes the full pipeline, so faults at any stage fire.
+func faultSpace() Space {
+	return Space{ArrayDims: []int{180, 184, 188, 192, 196}, ICSUMs: []int{0, 250}}
+}
+
+// chaosEvaluator is testEvaluator at a coarser thermal grid: the matrix
+// runs dozens of sweeps, and fidelity is irrelevant to fault handling.
+func chaosEvaluator(t *testing.T) *Evaluator {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.FreqHz = 400e6
+	opts.Grid = 16
+	cons := DefaultConstraints()
+	cons.FPS = 15
+	cons.TempBudgetC = 85
+	e, err := NewEvaluator(dnn.ARVRWorkload(), opts, cons, Models{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// injectPlan parses a fault spec, failing the test on error.
+func injectPlan(t *testing.T, spec string) *faults.Plan {
+	t.Helper()
+	plan, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestFaultMatrix is the issue's acceptance matrix: every fault kind at
+// every stage it applies to, injected for exactly one design point. The
+// sweep must complete, quarantine exactly that point with the right
+// stage and reason, and still evaluate the rest of the space.
+func TestFaultMatrix(t *testing.T) {
+	space := faultSpace()
+	target := DesignPoint{ArrayDim: 188, ICSUM: 250}
+
+	// The target must complete the full pipeline on a clean evaluator,
+	// otherwise faults in late stages would never fire.
+	clean := chaosEvaluator(t)
+	ev, err := clean.Evaluate(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Fits || ev.ThermalFidelity == "" {
+		t.Fatalf("target %v does not reach the thermal stage (fits=%v, fidelity=%q); pick another",
+			target, ev.Fits, ev.ThermalFidelity)
+	}
+
+	stages := []string{"systolic", "floorplan", "sched", "dram", "cost", "thermal"}
+	type cell struct {
+		kind   string
+		stages []string
+		reason string
+	}
+	matrix := []cell{
+		{"panic", stages, "panic"},
+		{"error", stages, "error"},
+		{"nan", stages, "non-finite"},
+		{"latency", stages, "timeout"},
+		{"diverge", []string{"thermal"}, "solver-diverged"},
+	}
+	pred := fmt.Sprintf("dim=%d,ics=%d", target.ArrayDim, target.ICSUM)
+	for _, c := range matrix {
+		for _, stage := range c.stages {
+			t.Run(c.kind+"@"+stage, func(t *testing.T) {
+				t.Parallel()
+				spec := fmt.Sprintf("%s@%s:%s", c.kind, stage, pred)
+				if c.kind == "latency" {
+					// The budget must clear every organic stage duration
+					// (thermal takes tens of ms at this grid, multiplied
+					// several-fold under -race) while the injected stall
+					// exceeds it decisively.
+					spec += ",delay=5s"
+				}
+				e := chaosEvaluator(t)
+				e.InjectFaults(injectPlan(t, spec))
+				if c.kind == "latency" {
+					e.SetStageTimeout(2 * time.Second)
+				}
+				res, err := e.ExhaustiveContext(context.Background(), space, nil)
+				if err != nil {
+					t.Fatalf("sweep aborted: %v", err)
+				}
+				if res.Quarantined != 1 || len(res.Poisoned) != 1 {
+					t.Fatalf("quarantined %d points (%v), want exactly the target", res.Quarantined, res.Poisoned)
+				}
+				q := res.Poisoned[0]
+				if q.Point != target || q.Stage != stage || q.Reason != c.reason {
+					t.Errorf("ledger entry %+v, want {%v %s %s}", q, target, stage, c.reason)
+				}
+				if res.Evaluated != res.Total {
+					t.Errorf("evaluated %d of %d: the sweep did not continue past the fault", res.Evaluated, res.Total)
+				}
+				if got := e.QuarantineLedger(); len(got) != 1 || got[0] != q {
+					t.Errorf("evaluator ledger %v disagrees with sweep result %v", got, q)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultSweepCheckpointResume: a chaos sweep persists its poisoned
+// points, and a resume re-evaluates none of the space — poisoned points
+// included.
+func TestFaultSweepCheckpointResume(t *testing.T) {
+	space := faultSpace()
+	var buf bytes.Buffer
+	sink := telemetry.NewJSONLSink(&buf)
+
+	e := chaosEvaluator(t)
+	e.InjectFaults(injectPlan(t, "panic@sched:dim=184;nan@thermal:dim=192,ics=0"))
+	res, err := e.ExhaustiveContext(context.Background(), space,
+		&SweepOptions{ShardSize: 2, Checkpoint: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quarantined != 3 { // dim=184 at both spacings, plus (192,0)
+		t.Fatalf("quarantined %d points (%v), want 3", res.Quarantined, res.Poisoned)
+	}
+	if res.Best == nil {
+		t.Fatal("chaos sweep found no feasible point; the space no longer exercises the scenario")
+	}
+
+	state, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Poisoned) != 3 {
+		t.Fatalf("checkpoint recovered %d poisoned records, want 3", len(state.Poisoned))
+	}
+
+	// Resume on a fresh evaluator with injection off: if the skip set
+	// works, nothing is re-evaluated, so the faults' absence is invisible.
+	fresh := chaosEvaluator(t)
+	got, err := fresh.ExhaustiveContext(context.Background(), space,
+		&SweepOptions{ShardSize: 2, ResumeFrom: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Evaluated != 0 {
+		t.Errorf("resume re-evaluated %d points, want 0", got.Evaluated)
+	}
+	if got.Resumed != got.Total {
+		t.Errorf("resume credited %d of %d points", got.Resumed, got.Total)
+	}
+	if got.Quarantined != 3 || len(got.Poisoned) != 3 {
+		t.Errorf("resume carried %d quarantined (%v), want 3", got.Quarantined, got.Poisoned)
+	}
+	if got.Best == nil || got.Best.Point != res.Best.Point {
+		t.Errorf("resumed best %+v != original %v", got.Best, res.Best.Point)
+	}
+}
+
+// TestFaultSweepInterruptedResume: a chaos sweep killed mid-run persists
+// the poisoned points seen so far; the resumed run skips them and still
+// completes with the full ledger.
+func TestFaultSweepInterruptedResume(t *testing.T) {
+	space := tinySpace()                 // 100 points, 20 shards of 5
+	spec := "error@systolic:dim=180-200" // 6 dims x 5 spacings = 30 points
+	var buf bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancellingSink{inner: telemetry.NewJSONLSink(&buf), after: 10, cancel: cancel}
+
+	killed := chaosEvaluator(t)
+	killed.InjectFaults(injectPlan(t, spec))
+	if _, err := killed.ExhaustiveContext(ctx, space, &SweepOptions{ShardSize: 5, Checkpoint: sink}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep err = %v, want context.Canceled", err)
+	}
+
+	state, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(state.Poisoned)
+	if before == 0 {
+		t.Fatal("kill landed before any poisoned record; widen the fault predicate")
+	}
+
+	fresh := chaosEvaluator(t)
+	fresh.InjectFaults(injectPlan(t, spec))
+	got, err := fresh.ExhaustiveContext(context.Background(), space,
+		&SweepOptions{ShardSize: 5, ResumeFrom: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quarantined != 30 {
+		t.Errorf("final ledger has %d points, want 30", got.Quarantined)
+	}
+	if got.Evaluated+got.Resumed != got.Total {
+		t.Errorf("coverage gap: %d evaluated + %d resumed != %d", got.Evaluated, got.Resumed, got.Total)
+	}
+	// The checkpointed poisoned points must not have been re-evaluated.
+	if fresh.QuarantinedCount() != 30-before {
+		t.Errorf("resume re-ran %d poisoned evaluations, want %d (skipping %d from the checkpoint)",
+			fresh.QuarantinedCount(), 30-before, before)
+	}
+}
+
+// TestSweepFailurePolicies: MaxFailures aborts with ErrTooManyFailures
+// once exceeded, FailFast surfaces the first EvalError itself.
+func TestSweepFailurePolicies(t *testing.T) {
+	space := faultSpace()
+	spec := "error@systolic:dim=180-188" // 3 dims x 2 spacings = 6 poisoned
+
+	e := chaosEvaluator(t)
+	e.InjectFaults(injectPlan(t, spec))
+	_, err := e.ExhaustiveContext(context.Background(), space, &SweepOptions{MaxFailures: 2})
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Errorf("MaxFailures=2 err = %v, want ErrTooManyFailures", err)
+	}
+	if n := e.QuarantinedCount(); n < 3 {
+		t.Errorf("aborted with %d quarantined, want > MaxFailures", n)
+	}
+
+	ff := chaosEvaluator(t)
+	ff.InjectFaults(injectPlan(t, spec))
+	_, err = ff.ExhaustiveContext(context.Background(), space, &SweepOptions{FailFast: true})
+	var ee *EvalError
+	if !errors.As(err, &ee) || !errors.Is(err, faults.ErrInjected) {
+		t.Errorf("FailFast err = %v, want the injected *EvalError", err)
+	}
+
+	// MaxFailures counts poisoned points credited from a resume too.
+	resumed := chaosEvaluator(t)
+	state := &CheckpointState{
+		Fingerprint: space.Fingerprint(), Total: space.Size(), ShardSize: 2, Shards: 5,
+		Done: map[int]ShardCheckpoint{},
+		Poisoned: map[DesignPoint]QuarantinedPoint{
+			{ArrayDim: 180, ICSUM: 0}:   {Point: DesignPoint{ArrayDim: 180, ICSUM: 0}, Stage: "systolic", Reason: "error"},
+			{ArrayDim: 180, ICSUM: 250}: {Point: DesignPoint{ArrayDim: 180, ICSUM: 250}, Stage: "systolic", Reason: "error"},
+			{ArrayDim: 184, ICSUM: 0}:   {Point: DesignPoint{ArrayDim: 184, ICSUM: 0}, Stage: "systolic", Reason: "error"},
+		},
+	}
+	resumed.InjectFaults(injectPlan(t, spec))
+	_, err = resumed.ExhaustiveContext(context.Background(), space,
+		&SweepOptions{ShardSize: 2, ResumeFrom: state, MaxFailures: 3})
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Errorf("resumed MaxFailures err = %v, want ErrTooManyFailures", err)
+	}
+}
+
+// TestFailureMemoized: a poisoned point's error is cached like a
+// successful evaluation — the retry returns the identical *EvalError
+// without re-running the pipeline.
+func TestFailureMemoized(t *testing.T) {
+	e := chaosEvaluator(t)
+	e.InjectFaults(injectPlan(t, "panic@cost:dim=188"))
+	p := DesignPoint{ArrayDim: 188, ICSUM: 250}
+	_, err1 := e.Evaluate(p)
+	_, err2 := e.Evaluate(p)
+	if err1 == nil || err1 != err2 {
+		t.Fatalf("memoized failure not identical: %v vs %v", err1, err2)
+	}
+	if !errors.Is(err1, ErrStagePanic) {
+		t.Errorf("err = %v, want ErrStagePanic", err1)
+	}
+	if e.QuarantinedCount() != 1 {
+		t.Errorf("quarantined %d, want 1", e.QuarantinedCount())
+	}
+	if e.Evaluations() != 2 || e.CacheHitRate() != 0.5 {
+		t.Errorf("evaluations=%d hitRate=%.2f, want the retry served from cache", e.Evaluations(), e.CacheHitRate())
+	}
+}
+
+// TestDegradedThermalRetry walks the fidelity ladder: each additional
+// forced divergence pushes the point one rung down, and the lumped
+// fallback always produces a finite temperature.
+func TestDegradedThermalRetry(t *testing.T) {
+	p := DesignPoint{ArrayDim: 188, ICSUM: 250}
+	cases := []struct {
+		attempts string
+		fidelity string
+		retries  int
+	}{
+		{"", "full", 0}, // no rule: nominal solve
+		{"attempts=1", "relaxed", 1},
+		{"attempts=2", "coarse", 2},
+		{"attempts=3", "lumped", 3},
+	}
+	for _, tc := range cases {
+		e := chaosEvaluator(t)
+		if tc.attempts != "" {
+			e.InjectFaults(injectPlan(t, "diverge@thermal:"+tc.attempts))
+		}
+		ev, err := e.Evaluate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.attempts, err)
+		}
+		if ev.ThermalFidelity != tc.fidelity || ev.ThermalRetries != tc.retries {
+			t.Errorf("%s: fidelity=%q retries=%d, want %q/%d",
+				tc.attempts, ev.ThermalFidelity, ev.ThermalRetries, tc.fidelity, tc.retries)
+		}
+		if math.IsNaN(ev.PeakTempC) || math.IsInf(ev.PeakTempC, 0) {
+			t.Errorf("%s: non-finite peak temperature %f", tc.attempts, ev.PeakTempC)
+		}
+	}
+
+	// Every rung failing — lumped included — finally quarantines.
+	e := chaosEvaluator(t)
+	e.InjectFaults(injectPlan(t, "diverge@thermal"))
+	_, err := e.Evaluate(p)
+	if !errors.Is(err, ErrSolverDiverged) {
+		t.Fatalf("exhausted ladder err = %v, want ErrSolverDiverged", err)
+	}
+	var ee *EvalError
+	if !errors.As(err, &ee) || ee.Stage != "thermal" || ee.Reason() != "solver-diverged" {
+		t.Errorf("exhausted ladder EvalError = %+v", ee)
+	}
+}
+
+// TestOptimizeQuarantine: the annealer treats poisoned points as
+// infeasible and completes; a fully poisoned space surfaces as the
+// "no solution" outcome with the ledger attached, and the failure
+// policies abort like the sweep's.
+func TestOptimizeQuarantine(t *testing.T) {
+	space := faultSpace()
+
+	// Poison one point: the run completes and reports it if visited.
+	e := chaosEvaluator(t)
+	e.InjectFaults(injectPlan(t, "error@sched:dim=184,ics=0"))
+	res, err := e.OptimizeContext(context.Background(), space, 3, nil)
+	if err != nil {
+		t.Fatalf("optimize with one poisoned point: %v", err)
+	}
+	if !res.Found {
+		t.Fatal("optimizer found nothing on a mostly-healthy space")
+	}
+	if res.Quarantined != len(res.Poisoned) || res.Quarantined != e.QuarantinedCount() {
+		t.Errorf("ledger accounting: result %d/%d vs evaluator %d",
+			res.Quarantined, len(res.Poisoned), e.QuarantinedCount())
+	}
+
+	// Poison everything: no feasible start, ledger carried in the result.
+	dead := chaosEvaluator(t)
+	dead.InjectFaults(injectPlan(t, "error@systolic"))
+	res, err = dead.OptimizeContext(context.Background(), space, 3, nil)
+	if !errors.Is(err, ErrNoFeasibleStart) {
+		t.Fatalf("fully poisoned space err = %v, want ErrNoFeasibleStart", err)
+	}
+	if res == nil || res.Quarantined == 0 || res.Quarantined != len(res.Poisoned) {
+		t.Errorf("fully poisoned result = %+v, want a non-empty ledger", res)
+	}
+
+	ff := chaosEvaluator(t)
+	ff.InjectFaults(injectPlan(t, "error@systolic"))
+	_, err = ff.OptimizeContext(context.Background(), space, 3, &OptimizeOptions{FailFast: true})
+	var ee *EvalError
+	if !errors.As(err, &ee) {
+		t.Errorf("optimize FailFast err = %v, want the *EvalError", err)
+	}
+
+	lim := chaosEvaluator(t)
+	lim.InjectFaults(injectPlan(t, "error@systolic"))
+	_, err = lim.OptimizeContext(context.Background(), space, 3, &OptimizeOptions{MaxFailures: 2})
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Errorf("optimize MaxFailures err = %v, want ErrTooManyFailures", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -51,6 +52,7 @@ func checkInvariants(t *testing.T, ev *Evaluation, opts Options) {
 		}
 		return
 	}
+	checkFinite(t, ev, opts)
 	if ev.MakespanSec <= 0 {
 		t.Errorf("%v: non-positive makespan", ev.Point)
 	}
@@ -85,6 +87,79 @@ func checkInvariants(t *testing.T, ev *Evaluation, opts Options) {
 	for d, c := range seen {
 		if c != 1 {
 			t.Errorf("%v: DNN %d scheduled %d times", ev.Point, d, c)
+		}
+	}
+}
+
+// checkFinite asserts the non-finite-containment property the hardened
+// pipeline guarantees for every evaluation that fits: no scalar output
+// is NaN or Inf (a feasible evaluation additionally may not even have an
+// infinite objective). The stage guards are supposed to quarantine any
+// point that would violate this before it reaches the memo cache.
+func checkFinite(t *testing.T, ev *Evaluation, opts Options) {
+	t.Helper()
+	scalars := map[string]float64{
+		"MakespanSec":   ev.MakespanSec,
+		"LatencyFactor": ev.LatencyFactor,
+		"TotalPowerW":   ev.TotalPowerW,
+		"DynamicPowerW": ev.DynamicPowerW,
+		"LeakageW":      ev.LeakageW,
+		"MCMCost.Total": ev.MCMCost.Total,
+		"DRAMPowerW":    ev.DRAMPowerW,
+		"OPS":           ev.OPS,
+		"PeakOPS":       ev.PeakOPS,
+		"Chiplet.W":     ev.Chiplet.WidthMM,
+		"Chiplet.H":     ev.Chiplet.HeightMM,
+	}
+	if !opts.DisableThermal && ev.ThermalFidelity != "" {
+		// Runaway points clamp their peak; every thermal outcome that was
+		// produced must still be finite.
+		scalars["PeakTempC"] = ev.PeakTempC
+	}
+	if ev.Feasible {
+		scalars["Objective"] = ev.Objective
+	} else if math.IsNaN(ev.Objective) {
+		t.Errorf("%v: NaN objective", ev.Point)
+	}
+	for name, v := range scalars {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%v: non-finite %s = %f", ev.Point, name, v)
+		}
+	}
+}
+
+// TestEvaluationsFiniteAtExtremes drives the pipeline across extreme
+// SRAM capacities (tiny and huge arrays) and degenerate mesh shapes
+// (spacings that squeeze the interposer down to few or no chiplets):
+// every evaluation that fits must come back fully finite, and points the
+// guards reject must land in the quarantine ledger rather than erroring
+// the run in an unstructured way.
+func TestEvaluationsFiniteAtExtremes(t *testing.T) {
+	dims := []int{8, 16, 64, 256, 512}
+	spacings := []int{0, 100, 1000, 2000, 5000}
+	for _, tech := range []Tech{Tech2D, Tech3D} {
+		opts := DefaultOptions()
+		opts.Tech = tech
+		opts.Grid = 16
+		e, err := NewEvaluator(dnn.ARVRWorkload(), opts, DefaultConstraints(), Models{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dim := range dims {
+			for _, ics := range spacings {
+				p := DesignPoint{ArrayDim: dim, ICSUM: ics}
+				ev, err := e.EvaluateFull(p)
+				if err != nil {
+					var ee *EvalError
+					if !errors.As(err, &ee) {
+						t.Errorf("%s %v: unstructured failure %v", tech, p, err)
+					}
+					continue
+				}
+				if ev.Fits {
+					checkFinite(t, ev, opts)
+				}
+			}
 		}
 	}
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -29,6 +31,11 @@ type OptimizeResult struct {
 	// PerStart reports each annealer's own best; each entry carries its
 	// own Duration and Levels, so per-start summaries are self-contained.
 	PerStart []anneal.Result[DesignPoint]
+	// Quarantined counts distinct design points whose evaluation failed
+	// during the run; the annealers treated them as infeasible and moved
+	// on. Poisoned lists them with stage and reason, sorted by point.
+	Quarantined int
+	Poisoned    []QuarantinedPoint
 }
 
 // OptimizeOptions tunes the context-first optimizer entrypoint beyond
@@ -39,6 +46,14 @@ type OptimizeOptions struct {
 	// per new best feasible evaluation, with Phase "anneal". See
 	// ProgressFunc for the synchronization contract.
 	Progress ProgressFunc
+	// MaxFailures bounds the quarantine ledger: once more than
+	// MaxFailures distinct points have failed, the run aborts with
+	// ErrTooManyFailures. 0 (the default) tolerates any number — failed
+	// points are rejected like infeasible ones and the search continues.
+	MaxFailures int
+	// FailFast aborts the run on the first failed evaluation, returning
+	// the *EvalError itself instead of quarantining the point.
+	FailFast bool
 }
 
 // initAttempts bounds the random search for a feasible starting MCM on
@@ -119,40 +134,84 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}
-	var progress *progressReporter
-	if opt != nil && opt.Progress != nil {
-		progress = newProgressReporter(opt.Progress, "anneal", 0)
+	var o OptimizeOptions
+	if opt != nil {
+		o = *opt
 	}
+	var progress *progressReporter
+	if o.Progress != nil {
+		progress = newProgressReporter(o.Progress, "anneal", 0)
+	}
+	// runCtx lets the failure policy stop all annealers without
+	// affecting the caller's context.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
 	budget := initBudget(space)
 	objective := func(ev *Evaluation) float64 { return ev.Objective }
 	feasible := func(ev *Evaluation) bool { return ev.Feasible }
-	init := func(rng *rand.Rand) (DesignPoint, bool) {
-		return sampleFeasibleStart(ctx, space, rng, budget, e.Evaluate, objective, feasible)
-	}
-	// The eval closure tracks the run-wide incumbent under mu so the
-	// three parallel annealers stream a single, monotone sequence of
-	// improvements.
+	// The eval closures track the run-wide incumbent and the quarantine
+	// ledger under mu so the three parallel annealers stream a single,
+	// monotone sequence of improvements and share one failure budget.
 	var (
 		mu        sync.Mutex
 		evalErr   error
 		evals     int
 		incumbent *Evaluation
+		ledger    = make(map[DesignPoint]QuarantinedPoint)
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if evalErr == nil {
+			evalErr = err
+			cancelRun() // stop every annealer within one evaluation
+		}
+		mu.Unlock()
+	}
+	// evalQ is the quarantining evaluation shared by the initialization
+	// sampling and the annealers: a point-local failure lands in the
+	// ledger (deduplicated — the evaluator memoizes failures, so
+	// revisits return the same error) and the search continues unless
+	// the MaxFailures/FailFast policy says otherwise; any other error
+	// aborts the run.
+	evalQ := func(p DesignPoint) (*Evaluation, error) {
+		ev, err := e.EvaluateContext(runCtx, p)
+		if err == nil {
+			return ev, nil
+		}
+		ee, pointLocal := asEvalError(err)
+		if !pointLocal {
+			fail(err)
+			return nil, err
+		}
+		mu.Lock()
+		if _, dup := ledger[p]; !dup {
+			ledger[p] = QuarantinedPoint{Point: p, Stage: ee.Stage, Reason: ee.Reason()}
+		}
+		n := len(ledger)
+		mu.Unlock()
+		if o.FailFast {
+			fail(ee)
+		} else if o.MaxFailures > 0 && n > o.MaxFailures {
+			fail(fmt.Errorf("%w: %d points quarantined (limit %d), last: %v",
+				ErrTooManyFailures, n, o.MaxFailures, ee))
+		}
+		return nil, err
+	}
+	init := func(rng *rand.Rand) (DesignPoint, bool) {
+		return sampleFeasibleStart(runCtx, space, rng, budget, evalQ, objective, feasible)
+	}
 	eval := func(p DesignPoint) (float64, bool) {
-		ev, err := e.EvaluateContext(ctx, p)
+		ev, err := evalQ(p)
 		if err != nil {
-			mu.Lock()
-			if evalErr == nil {
-				evalErr = err
-			}
-			mu.Unlock()
+			// Failed points are rejected exactly like infeasible ones;
+			// the annealer backs away and keeps searching.
 			return 0, false
 		}
 		mu.Lock()
 		evals++
 		if ev.Feasible && (incumbent == nil || betterEval(ev, incumbent)) {
 			incumbent = ev
-			progress.emit(evals, incumbent, true)
+			progress.emit(evals, incumbent, true, len(ledger))
 		}
 		mu.Unlock()
 		return ev.Objective, ev.Feasible
@@ -168,13 +227,24 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		}
 	}
 	span := e.tel.StartSpan("optimize.total")
-	best, per, err := anneal.MultiStartContext(ctx, cfgs, init, space.Neighbor, eval)
+	best, per, err := anneal.MultiStartContext(runCtx, cfgs, init, space.Neighbor, eval)
 	span.End()
+	// The failure policy cancels runCtx, so the annealers report a bare
+	// context.Canceled; the recorded evalErr is the real cause and must
+	// win.
+	mu.Lock()
+	ferr := evalErr
+	poisoned := make([]QuarantinedPoint, 0, len(ledger))
+	for _, q := range ledger {
+		poisoned = append(poisoned, q)
+	}
+	mu.Unlock()
+	sort.Slice(poisoned, func(i, j int) bool { return poisoned[i].Point.Less(poisoned[j].Point) })
+	if ferr != nil {
+		return nil, ferr
+	}
 	if err != nil {
 		return nil, err
-	}
-	if evalErr != nil {
-		return nil, evalErr
 	}
 	if cerr := ctx.Err(); cerr != nil {
 		// The annealers may all have wound down between the last
@@ -188,6 +258,8 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		CacheHitRate: e.CacheHitRate(),
 		Duration:     best.Duration,
 		PerStart:     per,
+		Quarantined:  len(poisoned),
+		Poisoned:     poisoned,
 	}
 	if best.Found {
 		ev, err := e.Evaluate(best.Best)
@@ -205,6 +277,7 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 			"hit_rate":    res.CacheHitRate,
 			"duration_ms": float64(best.Duration.Microseconds()) / 1e3,
 			"starts":      len(per),
+			"quarantined": res.Quarantined,
 		}
 		if res.Found {
 			fields["best_obj"] = res.Best.Objective

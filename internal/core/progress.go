@@ -21,6 +21,10 @@ type Progress struct {
 	// Improved marks updates that announce a new incumbent (as opposed
 	// to periodic completion ticks).
 	Improved bool
+	// Quarantined counts design points whose evaluation failed and was
+	// quarantined so far (including ones credited from a resumed
+	// checkpoint).
+	Quarantined int
 	// Elapsed is the wall-clock time since the engine started.
 	Elapsed time.Duration
 }
@@ -47,16 +51,17 @@ func newProgressReporter(fn ProgressFunc, phase string, total int) *progressRepo
 
 // emit sends one update; callers must already hold whatever lock
 // serializes their incumbent state.
-func (r *progressReporter) emit(done int, incumbent *Evaluation, improved bool) {
+func (r *progressReporter) emit(done int, incumbent *Evaluation, improved bool, quarantined int) {
 	if r == nil || r.fn == nil {
 		return
 	}
 	r.fn(Progress{
-		Phase:     r.phase,
-		Done:      done,
-		Total:     r.total,
-		Incumbent: incumbent,
-		Improved:  improved,
-		Elapsed:   time.Since(r.began),
+		Phase:       r.phase,
+		Done:        done,
+		Total:       r.total,
+		Incumbent:   incumbent,
+		Improved:    improved,
+		Quarantined: quarantined,
+		Elapsed:     time.Since(r.began),
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"tesa/internal/telemetry"
@@ -18,12 +19,20 @@ type ExhaustiveResult struct {
 	Best *Evaluation
 	// Feasible counts feasible points; Total is the space size.
 	Feasible, Total int
-	// Evaluated counts points evaluated by this run; Resumed counts
-	// points credited from a checkpoint instead of being re-evaluated.
+	// Evaluated counts points evaluated by this run (including points
+	// whose evaluation failed and was quarantined); Resumed counts
+	// points credited from a checkpoint — completed shards plus
+	// previously poisoned points — instead of being re-evaluated.
 	// Evaluated+Resumed == Total on a completed sweep.
 	Evaluated, Resumed int
 	// Shards is the number of shards in the sweep's decomposition.
 	Shards int
+	// Quarantined counts design points whose evaluation failed; the
+	// sweep skipped them and continued. Poisoned lists them with stage
+	// and reason, sorted by design point. Both include points credited
+	// from a resumed checkpoint's poisoned records.
+	Quarantined int
+	Poisoned    []QuarantinedPoint
 }
 
 // SweepOptions tunes the sharded exhaustive engine. The zero value (or
@@ -50,6 +59,17 @@ type SweepOptions struct {
 	// with Phase "sweep"; Improved marks updates that found a new
 	// incumbent. See ProgressFunc for the synchronization contract.
 	Progress ProgressFunc
+	// MaxFailures bounds the quarantine ledger: once more than
+	// MaxFailures points have been quarantined (including ones credited
+	// from a resumed checkpoint) the sweep aborts with
+	// ErrTooManyFailures. 0 (the default) tolerates any number of
+	// quarantined points.
+	MaxFailures int
+	// FailFast aborts the sweep on the first failed evaluation instead
+	// of quarantining it, returning the *EvalError itself — the
+	// pre-hardening behavior, useful when any failure indicates a
+	// modeling bug rather than a pathological corner of the space.
+	FailFast bool
 }
 
 // Exhaustive evaluates every design vector in the space in parallel and
@@ -104,6 +124,9 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 		bestEval *Evaluation
 	)
 	resumed := make(map[int]bool, nShards)
+	// skip holds previously poisoned points: a resumed sweep credits
+	// them instead of re-running a deterministic failure.
+	var skip map[DesignPoint]QuarantinedPoint
 	if o.ResumeFrom != nil {
 		if err := o.ResumeFrom.validateFor(fingerprint, len(pts), size, nShards); err != nil {
 			return nil, err
@@ -116,6 +139,11 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 				bestPt, bestObj, found, bestEval = cp.Best, cp.BestObj, true, nil
 			}
 		}
+		skip = o.ResumeFrom.Poisoned
+		for _, q := range skip {
+			res.Poisoned = append(res.Poisoned, q)
+		}
+		res.Quarantined = len(skip)
 	}
 	if o.Checkpoint != nil {
 		if err := writeCheckpointHeader(o.Checkpoint, fingerprint, len(pts), size, nShards); err != nil {
@@ -124,7 +152,7 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 	}
 	progress := newProgressReporter(o.Progress, "sweep", len(pts))
 	if res.Resumed > 0 {
-		progress.emit(res.Resumed, nil, false)
+		progress.emit(res.Resumed, nil, false, res.Quarantined)
 	}
 
 	span := e.tel.StartSpan("sweep.total")
@@ -140,13 +168,38 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 		firstErr error
 		doneN    = res.Resumed
 	)
+	// onPoison centralizes the quarantine path: workers call it under no
+	// lock the moment an evaluation fails. It records the point, streams
+	// a checkpoint.poisoned record immediately (a kill right after loses
+	// nothing), and enforces the failure policy; a non-nil return aborts
+	// the sweep.
+	onPoison := func(ee *EvalError) error {
+		q := QuarantinedPoint{Point: ee.Point, Stage: ee.Stage, Reason: ee.Reason()}
+		mu.Lock()
+		defer mu.Unlock()
+		res.Quarantined++
+		res.Poisoned = append(res.Poisoned, q)
+		if o.Checkpoint != nil {
+			if err := writePoisonedCheckpoint(o.Checkpoint, q); err != nil {
+				return fmt.Errorf("core: sweep checkpoint: %w", err)
+			}
+		}
+		if o.FailFast {
+			return ee
+		}
+		if o.MaxFailures > 0 && res.Quarantined > o.MaxFailures {
+			return fmt.Errorf("%w: %d points quarantined (limit %d), last: %v",
+				ErrTooManyFailures, res.Quarantined, o.MaxFailures, ee)
+		}
+		return nil
+	}
 	shardCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range shardCh {
-				cp, n, ev, err := e.sweepShard(sweepCtx, pts, idx, size)
+				cp, nEval, nSkip, ev, err := e.runShard(sweepCtx, pts, idx, size, skip, onPoison)
 				mu.Lock()
 				if err != nil {
 					if firstErr == nil {
@@ -157,8 +210,9 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 					continue
 				}
 				res.Feasible += cp.Feasible
-				res.Evaluated += n
-				doneN += n
+				res.Evaluated += nEval
+				res.Resumed += nSkip
+				doneN += nEval + nSkip
 				improved := false
 				if cp.Found && (!found || betterPoint(cp.BestObj, cp.Best, bestObj, bestPt)) {
 					bestPt, bestObj, bestEval, found = cp.Best, cp.BestObj, ev, true
@@ -170,7 +224,7 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 						cancel()
 					}
 				}
-				progress.emit(doneN, bestEval, improved)
+				progress.emit(doneN, bestEval, improved, res.Quarantined)
 				mu.Unlock()
 			}
 		}()
@@ -200,14 +254,18 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 		bestEval = ev
 	}
 	res.Best = bestEval
+	// Workers append ledger entries in completion order; sort for a
+	// deterministic report.
+	sort.Slice(res.Poisoned, func(i, j int) bool { return res.Poisoned[i].Point.Less(res.Poisoned[j].Point) })
 	if e.tel.Tracing() {
 		fields := map[string]any{
-			"total":     res.Total,
-			"feasible":  res.Feasible,
-			"evaluated": res.Evaluated,
-			"resumed":   res.Resumed,
-			"shards":    res.Shards,
-			"found":     res.Best != nil,
+			"total":       res.Total,
+			"feasible":    res.Feasible,
+			"evaluated":   res.Evaluated,
+			"resumed":     res.Resumed,
+			"shards":      res.Shards,
+			"found":       res.Best != nil,
+			"quarantined": res.Quarantined,
 		}
 		if res.Best != nil {
 			fields["best_obj"] = res.Best.Objective
@@ -217,10 +275,30 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 	return res, nil
 }
 
+// runShard is sweepShard behind a per-worker recover: the pipeline's
+// own recover already converts stage panics into EvalErrors, so this
+// guard only catches panics escaping the shard bookkeeping itself — but
+// either way a panic fails the shard, not the pool, and the worker
+// keeps draining the queue (so the shard feeder cannot deadlock).
+func (e *Evaluator) runShard(ctx context.Context, pts []DesignPoint, idx, size int,
+	skip map[DesignPoint]QuarantinedPoint, onPoison func(*EvalError) error) (cp ShardCheckpoint, evaluated, skipped int, best *Evaluation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			best = nil
+			err = fmt.Errorf("%w: sweep shard %d: %v", ErrStagePanic, idx, r)
+		}
+	}()
+	return e.sweepShard(ctx, pts, idx, size, skip, onPoison)
+}
+
 // sweepShard evaluates one contiguous shard sequentially, returning its
-// checkpoint record, its point count, and the best feasible Evaluation
-// (nil when none). The loop observes ctx before every evaluation.
-func (e *Evaluator) sweepShard(ctx context.Context, pts []DesignPoint, idx, size int) (ShardCheckpoint, int, *Evaluation, error) {
+// checkpoint record, its evaluated and skipped point counts, and the
+// best feasible Evaluation (nil when none). Points in the skip set —
+// poisoned in a previous run — are credited without evaluation; a fresh
+// evaluation failure is reported to onPoison, whose non-nil return
+// aborts the shard. The loop observes ctx before every evaluation.
+func (e *Evaluator) sweepShard(ctx context.Context, pts []DesignPoint, idx, size int,
+	skip map[DesignPoint]QuarantinedPoint, onPoison func(*EvalError) error) (ShardCheckpoint, int, int, *Evaluation, error) {
 	lo := idx * size
 	hi := lo + size
 	if hi > len(pts) {
@@ -228,11 +306,25 @@ func (e *Evaluator) sweepShard(ctx context.Context, pts []DesignPoint, idx, size
 	}
 	cp := ShardCheckpoint{Shard: idx}
 	var best *Evaluation
+	evaluated, skipped := 0, 0
 	for _, p := range pts[lo:hi] {
+		if _, poisoned := skip[p]; poisoned {
+			skipped++
+			continue
+		}
 		ev, err := e.EvaluateContext(ctx, p)
 		if err != nil {
-			return cp, 0, nil, err
+			ee, pointLocal := asEvalError(err)
+			if !pointLocal {
+				return cp, evaluated, skipped, nil, err
+			}
+			evaluated++
+			if perr := onPoison(ee); perr != nil {
+				return cp, evaluated, skipped, nil, perr
+			}
+			continue
 		}
+		evaluated++
 		if ev.Feasible {
 			cp.Feasible++
 			if best == nil || betterEval(ev, best) {
@@ -243,7 +335,7 @@ func (e *Evaluator) sweepShard(ctx context.Context, pts []DesignPoint, idx, size
 	if best != nil {
 		cp.Found, cp.Best, cp.BestObj = true, best.Point, best.Objective
 	}
-	return cp, hi - lo, best, nil
+	return cp, evaluated, skipped, best, nil
 }
 
 // betterPoint is the sweep's deterministic incumbent order: strictly

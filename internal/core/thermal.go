@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"tesa/internal/floorplan"
@@ -50,9 +52,42 @@ func (p phasePower) dominatedBy(q phasePower) bool {
 	return true
 }
 
-// thermalAnalysis runs the paper's per-phase steady-state evaluation with
-// leakage-temperature convergence and fills the thermal/power fields of
-// ev.
+// thermalFidelity is one rung of the degraded-retry ladder: the grid
+// resolution and CG solver relaxation the rung solves at.
+type thermalFidelity struct {
+	name      string  // recorded in Evaluation.ThermalFidelity
+	grid      int     // thermal grid resolution
+	tolScale  float64 // CG tolerance multiplier (1 = full fidelity)
+	iterScale float64 // CG iteration-budget multiplier
+	lumped    bool    // skip CG entirely: 1-resistor steady-state estimate
+}
+
+// thermalLadder is the degraded-retry schedule for a full-fidelity grid:
+// the nominal solve, then a relaxed CG tolerance with a doubled
+// iteration budget, then a coarsened grid, and finally the lumped
+// steady-state fallback whose closed form cannot diverge. Each rung
+// trades accuracy for conditioning, so an ill-conditioned corner of the
+// space still produces a (lower-fidelity) temperature instead of
+// aborting the run.
+func thermalLadder(grid int) []thermalFidelity {
+	coarse := grid / 2
+	if coarse < 8 {
+		coarse = 8
+	}
+	return []thermalFidelity{
+		{name: "full", grid: grid, tolScale: 1, iterScale: 1},
+		{name: "relaxed", grid: grid, tolScale: 100, iterScale: 2},
+		{name: "coarse", grid: coarse, tolScale: 100, iterScale: 2},
+		{name: "lumped", grid: coarse, lumped: true},
+	}
+}
+
+// thermalAnalysis runs the paper's per-phase steady-state evaluation
+// with leakage-temperature convergence and fills the thermal/power
+// fields of ev. CG non-convergence no longer aborts the evaluation:
+// the analysis walks the degraded-fidelity ladder and only reports
+// ErrSolverDiverged once every rung — including the lumped fallback —
+// has failed.
 func (e *Evaluator) thermalAnalysis(ev *Evaluation, profiles []netProfile, place *floorplan.Placement, est sram.Estimate) error {
 	n := ev.Mesh.Count()
 
@@ -98,7 +133,47 @@ func (e *Evaluator) thermalAnalysis(ev *Evaluation, profiles []netProfile, place
 	if err != nil {
 		return err
 	}
-	grid := e.Opts.Grid
+
+	var lastErr error
+	for attempt, fid := range thermalLadder(e.Opts.Grid) {
+		if e.injected != nil && e.injected.Diverge(ev.Point.ArrayDim, ev.Point.ICSUM, attempt) {
+			lastErr = fmt.Errorf("%w (injected at fidelity %s)", thermal.ErrNoConvergence, fid.name)
+			continue
+		}
+		err := e.thermalAttempt(ev, phases, place, domainMM, est, fid)
+		if err == nil {
+			ev.ThermalFidelity = fid.name
+			ev.ThermalRetries = attempt
+			if attempt > 0 {
+				e.tel.Registry().Counter("thermal.retry.degraded").Inc()
+			}
+			return nil
+		}
+		if !errors.Is(err, thermal.ErrNoConvergence) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("%w: %v", ErrSolverDiverged, lastErr)
+}
+
+// thermalAttempt runs the per-phase leakage-temperature analysis at one
+// fidelity rung, resetting ev's thermal fields first so a previous
+// failed rung leaves no partial state behind. Only a CG non-convergence
+// (thermal.ErrNoConvergence) is retryable; any other error is final.
+func (e *Evaluator) thermalAttempt(ev *Evaluation, phases []phasePower, place *floorplan.Placement, domainMM float64, est sram.Estimate, fid thermalFidelity) error {
+	ev.PeakTempC = math.Inf(-1)
+	ev.Runaway = false
+	ev.LeakIters = 0
+	ev.DynamicPowerW = 0
+	ev.TotalPowerW = 0
+	ev.LeakageW = 0
+	ev.Hottest = nil
+	ev.HottestStack = nil
+
+	n := ev.Mesh.Count()
+	grid := fid.grid
+	solver := thermal.SolverParams{TolScale: fid.tolScale, IterScale: fid.iterScale}
 	coverage := place.Coverage(grid)
 	// Power is injected only into the active die area (inside the 3-D
 	// assembly margin); the margin silicon still conducts.
@@ -115,10 +190,10 @@ func (e *Evaluator) thermalAnalysis(ev *Evaluation, profiles []netProfile, place
 	// iteration count, not the fixed point.
 	warmStartC := e.Models.Materials.AmbientC + 15
 
-	ev.PeakTempC = math.Inf(-1)
 	// CG warm start: chain each solve from the previous solution (within
 	// and across phases — the geometry is identical, only power changes).
 	var rises []float64
+	solveIters := e.tel.Registry().Counter("thermal.solve.iterations")
 	for _, pp := range phases {
 		tArr := fill(n, warmStartC)
 		tSrm := fill(n, warmStartC)
@@ -140,6 +215,14 @@ func (e *Evaluator) thermalAnalysis(ev *Evaluation, profiles []netProfile, place
 				}
 				leakW += aLeak + sLeak
 			}
+			if math.IsInf(leakW, 0) || math.IsNaN(leakW) {
+				// Exponential leakage overflowed: the fixed point has no
+				// finite solution. Classify as runaway instead of feeding
+				// a non-finite heat map to the solver.
+				runaway = true
+				leakW = 0
+				break
+			}
 			maps, err := powerPlace.Rasterize(grid, powers, threeD, arrayFrac)
 			if err != nil {
 				return err
@@ -153,11 +236,24 @@ func (e *Evaluator) thermalAnalysis(ev *Evaluation, profiles []netProfile, place
 			if err != nil {
 				return err
 			}
-			res, err = stk.SolveWithGuess(rises)
-			if err != nil {
-				return err
+			stk.Solver = solver
+			if fid.lumped {
+				res = stk.LumpedEstimate()
+			} else {
+				res, err = stk.SolveWithGuess(rises)
+				if err != nil {
+					return err
+				}
 			}
+			solveIters.Add(int64(res.Iterations))
 			rises = res.Rises
+			if math.IsNaN(res.PeakC) || math.IsInf(res.PeakC, 0) {
+				// A non-finite solve means the linear system itself broke
+				// down; classify the point as runaway rather than letting
+				// the NaN poison the evaluation.
+				runaway = true
+				break
+			}
 
 			var newArr, newSrm []float64
 			if threeD {
@@ -209,13 +305,23 @@ func (e *Evaluator) thermalAnalysis(ev *Evaluation, profiles []netProfile, place
 		if runaway {
 			ev.Runaway = true
 		}
-		if res.PeakC > ev.PeakTempC {
+		if res != nil && res.PeakC > ev.PeakTempC {
 			ev.PeakTempC = res.PeakC
 			if ev.Full {
 				ev.Hottest = res
 				ev.HottestStack = stk
 			}
 		}
+	}
+	if math.IsInf(ev.PeakTempC, -1) && !ev.Runaway {
+		// No phase produced a temperature (e.g. an empty phase list);
+		// report a deterministic ambient instead of -Inf.
+		ev.PeakTempC = e.Models.Materials.AmbientC
+	}
+	if ev.Runaway && (math.IsInf(ev.PeakTempC, 0) || math.IsNaN(ev.PeakTempC)) {
+		// Runaway evaluations clamp the (meaningless) peak so the result
+		// stays finite end to end.
+		ev.PeakTempC = runawayLimitC
 	}
 	return nil
 }

@@ -1,0 +1,200 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestParseEmpty: empty and all-whitespace specs disable injection.
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   ", ";", " ; ; "} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q) err = %v", spec, err)
+		}
+		if !p.Empty() {
+			t.Errorf("Parse(%q) = %v, want empty plan", spec, p)
+		}
+	}
+}
+
+// TestParseSpec walks the spec grammar: every kind, every option, ranges,
+// and multi-rule plans.
+func TestParseSpec(t *testing.T) {
+	p, err := Parse("panic@systolic:rate=0.02,seed=3;diverge@thermal:ics=500;latency@*:delay=50ms;nan@cost:dim=64-128;error@dram:ics=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Kind != KindPanic || r.Stage != "systolic" || r.Rate != 0.02 || r.Seed != 3 {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	r = p.Rules[1]
+	if r.Kind != KindDiverge || !r.ICSSet || r.ICSLo != 500 || r.ICSHi != 500 {
+		t.Errorf("rule 1 = %+v", r)
+	}
+	r = p.Rules[2]
+	if r.Kind != KindLatency || r.Stage != "*" || r.Delay != 50*time.Millisecond {
+		t.Errorf("rule 2 = %+v", r)
+	}
+	r = p.Rules[3]
+	if r.Kind != KindNaN || !r.DimSet || r.DimLo != 64 || r.DimHi != 128 {
+		t.Errorf("rule 3 = %+v", r)
+	}
+	// ics=0 is a legal spacing: the Set flag must distinguish it from
+	// "match anything".
+	r = p.Rules[4]
+	if r.Kind != KindError || !r.ICSSet || r.ICSLo != 0 || r.ICSHi != 0 {
+		t.Errorf("rule 4 = %+v", r)
+	}
+}
+
+// TestParseRoundTrip: String() renders re-parseable specs.
+func TestParseRoundTrip(t *testing.T) {
+	spec := "panic@systolic:rate=0.02,seed=3;diverge@thermal:ics=500,attempts=2;latency@*:delay=50ms"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if len(p2.Rules) != len(p.Rules) {
+		t.Fatalf("round-trip lost rules: %q -> %q", spec, p2.String())
+	}
+	for i := range p.Rules {
+		if p.Rules[i] != p2.Rules[i] {
+			t.Errorf("rule %d round-trip: %+v != %+v", i, p.Rules[i], p2.Rules[i])
+		}
+	}
+}
+
+// TestParseErrors: malformed specs fail with a rule-attributed error.
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"panic",                       // no @stage
+		"explode@thermal",             // unknown kind
+		"panic@warp",                  // unknown stage
+		"diverge@systolic",            // diverge is thermal-only
+		"panic@thermal:rate=0",        // rate out of (0,1]
+		"panic@thermal:rate=1.5",      // rate out of (0,1]
+		"panic@thermal:rate",          // no value
+		"panic@thermal:vibe=high",     // unknown option
+		"panic@thermal:dim=128-64",    // inverted range
+		"panic@thermal:dim=-4",        // negative bound
+		"panic@thermal:delay=10ms",    // delay on a non-latency rule
+		"error@thermal:attempts=2",    // attempts on a non-diverge rule
+		"latency@thermal:delay=-5ms",  // non-positive delay
+		"diverge@thermal:attempts=0",  // non-positive attempts
+		"panic@thermal;explode@sched", // bad rule in a multi-rule spec
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", spec)
+		}
+	}
+}
+
+// TestAtPredicates: stage and dim/ics predicates select exactly the
+// specified boundaries.
+func TestAtPredicates(t *testing.T) {
+	p, err := Parse("error@sched:dim=64-128,ics=250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := p.At("sched", 96, 250); o == nil || o.Err == nil {
+		t.Error("in-range point not poisoned")
+	} else if !errors.Is(o.Err, ErrInjected) {
+		t.Errorf("injected error does not wrap ErrInjected: %v", o.Err)
+	}
+	for _, tc := range []struct {
+		stage    string
+		dim, ics int
+	}{
+		{"thermal", 96, 250}, // wrong stage
+		{"sched", 130, 250},  // dim above range
+		{"sched", 63, 250},   // dim below range
+		{"sched", 96, 0},     // wrong ics
+	} {
+		if o := p.At(tc.stage, tc.dim, tc.ics); o != nil {
+			t.Errorf("At(%s,%d,%d) = %+v, want nil", tc.stage, tc.dim, tc.ics, o)
+		}
+	}
+}
+
+// TestAtCombinesRules: multiple firing rules merge into one outcome.
+func TestAtCombinesRules(t *testing.T) {
+	p, err := Parse("latency@cost:delay=10ms;latency@*:delay=5ms;nan@cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := p.At("cost", 64, 0)
+	if o == nil || !o.NaN || o.Delay != 15*time.Millisecond {
+		t.Errorf("combined outcome = %+v, want NaN with 15ms delay", o)
+	}
+}
+
+// TestRateDeterminism: rate decisions are pure functions of
+// (seed, stage, point) — identical across calls, plans, and (by
+// construction) processes — and the hit fraction tracks the rate.
+func TestRateDeterminism(t *testing.T) {
+	p1, _ := Parse("panic@systolic:rate=0.3,seed=7")
+	p2, _ := Parse("panic@systolic:rate=0.3,seed=7")
+	p3, _ := Parse("panic@systolic:rate=0.3,seed=8")
+	hits, diff := 0, 0
+	n := 0
+	for dim := 8; dim <= 256; dim += 2 {
+		for ics := 0; ics <= 1000; ics += 100 {
+			n++
+			a := p1.At("systolic", dim, ics) != nil
+			b := p2.At("systolic", dim, ics) != nil
+			if a != b {
+				t.Fatalf("identical plans disagree at dim=%d ics=%d", dim, ics)
+			}
+			if a {
+				hits++
+			}
+			if c := p3.At("systolic", dim, ics) != nil; c != a {
+				diff++
+			}
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("rate=0.3 poisoned %.2f of points", frac)
+	}
+	if diff == 0 {
+		t.Error("changing the seed changed nothing: hash ignores the seed")
+	}
+}
+
+// TestDivergeAttempts: diverge rules gate on the fidelity-ladder attempt
+// index, and never surface through At (the thermal loop consults Diverge
+// directly).
+func TestDivergeAttempts(t *testing.T) {
+	all, _ := Parse("diverge@thermal")
+	first2, _ := Parse("diverge@thermal:attempts=2")
+	for attempt := 0; attempt < 4; attempt++ {
+		if !all.Diverge(64, 0, attempt) {
+			t.Errorf("unbounded diverge passed attempt %d", attempt)
+		}
+		if got, want := first2.Diverge(64, 0, attempt), attempt < 2; got != want {
+			t.Errorf("attempts=2 Diverge(attempt=%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	if o := all.At("thermal", 64, 0); o != nil {
+		t.Errorf("diverge rule leaked into At: %+v", o)
+	}
+	if all.Diverge(64, 0, 0) && (&Plan{}).Diverge(64, 0, 0) {
+		t.Error("empty plan diverges")
+	}
+	var nilPlan *Plan
+	if nilPlan.Diverge(64, 0, 0) || nilPlan.At("thermal", 64, 0) != nil || !nilPlan.Empty() {
+		t.Error("nil plan must be the disabled fast path")
+	}
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readRecords parses a JSONL file back into its event names.
+func readRecords(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var events []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("corrupt record %q: %v", sc.Text(), err)
+		}
+		ev, _ := rec["event"].(string)
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+// TestFileSinkFreshFile: a fresh sink writes to path+".tmp" until the
+// first Flush, then atomically lands at the final path — a crash before
+// the flush leaves no (possibly torn) final file behind.
+func TestFileSinkFreshFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	s, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Emit("a", map[string]any{"x": 1})
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("final path exists before first Flush (err=%v)", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); err != nil {
+		t.Fatalf("temp file missing before first Flush: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file survives the rename (err=%v)", err)
+	}
+	s.Emit("b", nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readRecords(t, path); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("records = %v, want [a b]", got)
+	}
+}
+
+// TestFileSinkCloseWithoutFlush: Close alone still renames a fresh file
+// into place, so even an empty or unflushed sink ends at its final path.
+func TestFileSinkCloseWithoutFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	s, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Emit("only", nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readRecords(t, path); len(got) != 1 || got[0] != "only" {
+		t.Errorf("records = %v, want [only]", got)
+	}
+}
+
+// TestFileSinkAppend: reopening an existing file appends — the resume
+// path for sweep checkpoints — and never routes through a temp file
+// (which would clobber the prior records on rename).
+func TestFileSinkAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	s, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Emit("first", nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewFileSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("append reopen created a temp file (err=%v)", err)
+	}
+	s2.Emit("second", nil)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readRecords(t, path); len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Errorf("records = %v, want [first second]", got)
+	}
+}
+
+// TestFileSinkNil: the nil sink is the disabled fast path everywhere.
+func TestFileSinkNil(t *testing.T) {
+	var s *FileSink
+	s.Emit("x", nil)
+	if err := s.Flush(); err != nil {
+		t.Error(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+}

@@ -21,9 +21,28 @@
 package thermal
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrNoConvergence marks a conjugate-gradient solve that exhausted its
+// iteration budget without reaching the residual tolerance — typically
+// an ill-conditioned corner of the design space (degenerate geometry,
+// extreme conductivity contrast). Callers match it with errors.Is and
+// may retry at degraded fidelity (looser tolerance, coarser grid, or
+// the LumpedEstimate fallback) instead of aborting a whole sweep.
+var ErrNoConvergence = errors.New("thermal: CG did not converge")
+
+// SolverParams tunes the conjugate-gradient iteration. The zero value
+// is full fidelity; the degraded-retry ladder passes scales > 1 to
+// trade accuracy for convergence robustness.
+type SolverParams struct {
+	// TolScale multiplies the relative residual tolerance (0 = 1).
+	TolScale float64
+	// IterScale multiplies the 20*n iteration cap (0 = 1).
+	IterScale float64
+}
 
 // Layer is one material layer of the stack, bottom to top.
 type Layer struct {
@@ -49,6 +68,8 @@ type Stack struct {
 	// ConvectionKPerW is the lumped convection resistance from the top
 	// layer to ambient (0.4 K/W for edge devices).
 	ConvectionKPerW float64
+	// Solver tunes the CG iteration (zero value = full fidelity).
+	Solver SolverParams
 	// Layers, bottom to top.
 	Layers []Layer
 }
@@ -352,7 +373,13 @@ func (s *Stack) solveSystem(diagExtra, q, guess []float64) ([]float64, int, erro
 		copy(p, z)
 		rz := dot(r, z)
 		tol := 3e-8 * qnorm
+		if s.Solver.TolScale > 0 {
+			tol *= s.Solver.TolScale
+		}
 		maxIter := 20 * n
+		if s.Solver.IterScale > 0 {
+			maxIter = int(float64(maxIter) * s.Solver.IterScale)
+		}
 		for ; iters < maxIter; iters++ {
 			matvec(p, ap)
 			alpha := rz / dot(p, ap)
@@ -374,10 +401,55 @@ func (s *Stack) solveSystem(diagExtra, q, guess []float64) ([]float64, int, erro
 			}
 		}
 		if iters >= maxIter {
-			return nil, 0, fmt.Errorf("thermal: CG failed to converge in %d iterations (residual %g, target %g)", maxIter, norm2(r), tol)
+			return nil, 0, fmt.Errorf("%w in %d iterations (residual %g, target %g)", ErrNoConvergence, maxIter, norm2(r), tol)
 		}
 	}
 	return x, iters, nil
+}
+
+// LumpedEstimate is the zero-dimensional steady-state fallback of the
+// degraded-retry ladder: the whole stack collapses to one thermal node
+// whose rise above ambient is the total dissipation times the lumped
+// convection resistance plus the series vertical conduction resistance
+// of the full slab (mean conductivity per layer). The temperature field
+// is uniform — no hot-spot structure — so it systematically rounds the
+// spatial peak toward the mean; it exists so an ill-conditioned point
+// still gets a physically-plausible, finite temperature instead of
+// killing a sweep. It cannot fail.
+func (s *Stack) LumpedEstimate() *Result {
+	g := s.Grid
+	nc := g * g
+	nl := len(s.Layers)
+	total := s.TotalPower()
+	slabArea := s.CellM * s.CellM * float64(nc)
+	r := s.ConvectionKPerW
+	for _, l := range s.Layers {
+		var kSum float64
+		for _, k := range l.K {
+			kSum += k
+		}
+		if kMean := kSum / float64(nc); kMean > 0 && slabArea > 0 {
+			r += l.ThicknessM / (kMean * slabArea)
+		}
+	}
+	rise := total * r
+	if math.IsNaN(rise) || math.IsInf(rise, 0) || rise < 0 {
+		rise = 0
+	}
+	res := &Result{
+		Temps: make([][]float64, nl),
+		PeakC: s.AmbientC + rise,
+		MeanC: s.AmbientC + rise,
+		Rises: make([]float64, nl*nc),
+	}
+	for l := 0; l < nl; l++ {
+		res.Temps[l] = make([]float64, nc)
+		for idx := 0; idx < nc; idx++ {
+			res.Temps[l][idx] = s.AmbientC + rise
+			res.Rises[l*nc+idx] = rise
+		}
+	}
+	return res
 }
 
 func dot(a, b []float64) float64 {
