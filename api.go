@@ -142,6 +142,10 @@ const (
 	WeightStationary = systolic.WeightStationary
 )
 
+// DefaultSurrogateBandC is the default guard band (Celsius) of the
+// fast-path surrogate pre-screen; see Options.SurrogateBandC.
+const DefaultSurrogateBandC = core.DefaultSurrogateBandC
+
 // NewEvaluator builds an evaluator for the workload under the given
 // options and constraints; zero-valued models are filled with the
 // calibrated 22 nm defaults.

@@ -14,7 +14,10 @@
 package tesa_test
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 	"sync"
 	"testing"
 
@@ -317,4 +320,75 @@ func BenchmarkOptimizeTelemetryOff(b *testing.B) {
 // registry plus a JSONL trace sink swallowing every annealer event.
 func BenchmarkOptimizeTelemetryOn(b *testing.B) {
 	benchOptimizeTelemetry(b, telemetry.New(telemetry.NewJSONLSink(io.Discard)))
+}
+
+// emitBench appends one JSONL record for this benchmark invocation to
+// the file named by TESA_BENCH_JSON (no-op when unset), mirroring the
+// helper in internal/thermal's benchmarks so one artifact collects both
+// the solver micro-benchmarks and the end-to-end sweep numbers.
+func emitBench(b *testing.B, extra map[string]any) {
+	path := os.Getenv("TESA_BENCH_JSON")
+	if path == "" {
+		return
+	}
+	b.Cleanup(func() {
+		rec := map[string]any{
+			"bench":     b.Name(),
+			"n":         b.N,
+			"ns_per_op": float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		}
+		for k, v := range extra {
+			rec[k] = v
+		}
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			b.Logf("bench json: %v", err)
+			return
+		}
+		defer f.Close()
+		if err := json.NewEncoder(f).Encode(rec); err != nil {
+			b.Logf("bench json: %v", err)
+		}
+	})
+}
+
+// benchSweepThermal runs the full multi-start optimizer over the
+// validation space on one thermal path and records the winner, so the
+// reference/fast pair in BENCH_thermal.json can be checked for both the
+// speedup and the identical winning design point.
+func benchSweepThermal(b *testing.B, fast bool, label string) {
+	opts := tesa.DefaultOptions()
+	opts.Grid = 32
+	opts.ThermalFast = fast
+	cons := tesa.DefaultConstraints()
+	cons.FPS = 15
+	cons.TempBudgetC = 85
+	var winner string
+	var screened int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev, err := tesa.NewEvaluator(tesa.ARVRWorkload(), opts, cons, tesa.Models{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ev.Optimize(tesa.ValidationSpace(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("no feasible configuration on the validation space")
+		}
+		winner = fmt.Sprint(res.Best.Point)
+		screened = res.Screened
+	}
+	b.Logf("%s: winner %s, %d screened", label, winner, screened)
+	emitBench(b, map[string]any{"path": label, "winner": winner, "screened": screened})
+}
+
+// BenchmarkSweepThermal is the end-to-end acceptance benchmark of the
+// fast thermal path: same search, same seed, reference ladder vs
+// -thermal-fast. Run with -benchtime 1x for a single timed sweep each.
+func BenchmarkSweepThermal(b *testing.B) {
+	b.Run("reference", func(b *testing.B) { benchSweepThermal(b, false, "reference") })
+	b.Run("fast", func(b *testing.B) { benchSweepThermal(b, true, "fast") })
 }

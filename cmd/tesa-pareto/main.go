@@ -8,7 +8,12 @@
 //	            [-points 9] [-grid 32] [-seed 1]
 //	            [-faults spec] [-max-failures 0] [-fail-fast]
 //	            [-stage-timeout 0] [-metrics] [-trace out.jsonl]
-//	            [-pprof addr]
+//	            [-pprof addr] [-thermal-fast] [-surrogate-band 3]
+//
+// -thermal-fast runs every weight setting's search on the fast thermal
+// path (workspace CG, warm starts, surrogate pre-screen with a
+// -surrogate-band guard band); the traced front is unchanged, only
+// wall-clock time drops.
 //
 // With the telemetry flags, all weight settings share one hub, so the
 // -metrics summary aggregates stage timings across the whole front and
@@ -54,6 +59,8 @@ func main() {
 		metrics   = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
 		trace     = flag.String("trace", "", "write a JSONL event trace to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		fast      = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
+		band      = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
 	)
 	flag.Parse()
 	if *points < 2 {
@@ -78,6 +85,8 @@ func main() {
 	}
 	base.FreqHz = *freqMHz * 1e6
 	base.Grid = *grid
+	base.ThermalFast = *fast
+	base.SurrogateBandC = *band
 	cons := tesa.DefaultConstraints()
 	cons.FPS = *fps
 	cons.TempBudgetC = *tempC

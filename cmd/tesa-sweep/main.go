@@ -10,7 +10,12 @@
 //	           [-checkpoint sweep.ckpt] [-resume sweep.ckpt] [-progress]
 //	           [-faults spec] [-max-failures 0] [-fail-fast]
 //	           [-stage-timeout 0] [-metrics] [-trace out.jsonl]
-//	           [-pprof addr]
+//	           [-pprof addr] [-thermal-fast] [-surrogate-band 3]
+//
+// -thermal-fast runs both the exhaustive sweep and the annealer on the
+// fast thermal path (workspace CG, warm starts, surrogate pre-screen
+// with a -surrogate-band guard band); feasibility decisions and the
+// winning points are unchanged, only wall-clock time drops.
 //
 // By default the small validation space (64x64..128x128 arrays, coarse
 // ICS) is swept; -full sweeps the whole Table II space — the
@@ -71,6 +76,8 @@ func main() {
 		metrics     = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
 		trace       = flag.String("trace", "", "write a JSONL event trace to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		fast        = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
+		band        = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
 	)
 	flag.Parse()
 
@@ -100,6 +107,8 @@ func main() {
 	}
 	opts.FreqHz = *freqMHz * 1e6
 	opts.Grid = *grid
+	opts.ThermalFast = *fast
+	opts.SurrogateBandC = *band
 	cons := tesa.DefaultConstraints()
 	cons.FPS = *fps
 	cons.TempBudgetC = *tempC

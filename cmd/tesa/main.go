@@ -7,6 +7,13 @@
 //	     [-interposer 8] [-grid 32] [-seed 1] [-alpha 1] [-beta 1]
 //	     [-faults spec] [-max-failures 0] [-fail-fast] [-stage-timeout 0]
 //	     [-metrics] [-trace out.jsonl] [-pprof addr]
+//	     [-thermal-fast] [-surrogate-band 3]
+//
+// -thermal-fast switches the search to the fast thermal path
+// (allocation-free workspace CG, warm-started solves, surrogate
+// pre-screening with a -surrogate-band guard band); reported tables
+// always come from full-fidelity evaluations, so the flag changes
+// wall-clock time, not results.
 //
 // The output reports the winning design point, its derived mesh and SRAM
 // capacity, and the full evaluation (peak temperature, power, cost, DRAM
@@ -63,6 +70,8 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
 		trace      = flag.String("trace", "", "write a JSONL event trace to this file")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		fast       = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
+		band       = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
 	)
 	flag.Parse()
 
@@ -114,6 +123,8 @@ func main() {
 	opts.FreqHz = *freqMHz * 1e6
 	opts.Grid = *grid
 	opts.Alpha, opts.Beta = *alpha, *beta
+	opts.ThermalFast = *fast
+	opts.SurrogateBandC = *band
 	cons := tesa.Constraints{FPS: *fps, PowerBudgetW: *powerW, TempBudgetC: *tempC, InterposerMM: *interposer}
 
 	w := tesa.ARVRWorkload()
@@ -205,9 +216,13 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("\nsearch: %d evaluations, %d distinct points (%.1f%% of the space, %.1f%% cache hits), %.1fs\n\n",
+	fmt.Printf("\nsearch: %d evaluations, %d distinct points (%.1f%% of the space, %.1f%% cache hits), %.1fs\n",
 		res.Evaluations, res.Explored, 100*float64(res.Explored)/float64(tesa.DefaultSpace().Size()),
 		100*res.CacheHitRate, elapsed.Seconds())
+	if res.Screened > 0 {
+		fmt.Printf("fast path: %d candidates rejected by the surrogate pre-screen without a grid solve\n", res.Screened)
+	}
+	fmt.Println()
 	fmt.Print(tesa.FloorplanASCII(best))
 	cli.FailureSummary(os.Stderr, res.Poisoned)
 	finish()

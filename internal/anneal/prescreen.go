@@ -1,0 +1,47 @@
+package anneal
+
+import "sync/atomic"
+
+// ScreenStats counts prescreen outcomes across an annealing run. It is
+// safe for concurrent use — MultiStart's parallel annealers share one
+// instance through the Prescreened closure.
+type ScreenStats struct {
+	screened atomic.Int64
+	passed   atomic.Int64
+}
+
+// Screened returns the number of candidates rejected by the screen
+// without a full evaluation.
+func (s *ScreenStats) Screened() int { return int(s.screened.Load()) }
+
+// Passed returns the number of candidates the screen let through to the
+// full evaluation.
+func (s *ScreenStats) Passed() int { return int(s.passed.Load()) }
+
+// Prescreened wraps an evaluation with a screening predicate: a
+// candidate for which screen returns true is reported infeasible
+// without invoking eval, and counted in stats (which may be nil).
+//
+// The annealer consumes no PRNG state on an infeasible candidate — it
+// rejects and moves on — so as long as screen only fires on states
+// whose evaluation would report infeasible anyway, the annealing
+// trajectory (every accept/reject decision and every PRNG draw) is
+// bit-identical to the unscreened run; only the evaluation cost of the
+// screened states is saved. A screen that fires on a feasible state
+// changes the search, so screens should be conservative certificates,
+// not heuristics (core wires the surrogate hot-skip here, which is
+// exactly such a certificate).
+func Prescreened[S any](screen func(S) bool, stats *ScreenStats, eval Eval[S]) Eval[S] {
+	return func(s S) (float64, bool) {
+		if screen(s) {
+			if stats != nil {
+				stats.screened.Add(1)
+			}
+			return 0, false
+		}
+		if stats != nil {
+			stats.passed.Add(1)
+		}
+		return eval(s)
+	}
+}

@@ -1,0 +1,105 @@
+package anneal
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// quadEval is a 1-D test objective: minimize (x-3)^2, feasible on
+// [-10, 10].
+func quadEval(x float64) (float64, bool) {
+	return (x - 3) * (x - 3), x >= -10 && x <= 10
+}
+
+// TestPrescreenedTrajectoryIdentical: a screen that fires exactly on
+// (a subset of) infeasible states leaves the annealing trajectory
+// bit-identical — same best, same objective, same move counters — while
+// recording the screened states.
+func TestPrescreenedTrajectoryIdentical(t *testing.T) {
+	cfg := Config{TInit: 19, TFinal: 0.5, Decay: 0.87, PerturbationsPerLevel: 10, Seed: 42}
+	init := func(rng *rand.Rand) (float64, bool) { return 0, true }
+	neighbor := func(x float64, rng *rand.Rand) float64 { return x + (rng.Float64()-0.5)*12 }
+
+	run := func(eval Eval[float64]) Result[float64] {
+		res, err := Minimize(cfg, init, neighbor, eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	var stats ScreenStats
+	screen := func(x float64) bool { return x > 10 } // fires only on infeasible states
+	ref := run(quadEval)
+	scr := run(Prescreened(screen, &stats, quadEval))
+
+	if ref.BestObj != scr.BestObj || ref.Best != scr.Best {
+		t.Errorf("screened best (%g, %g) differs from reference (%g, %g)",
+			scr.Best, scr.BestObj, ref.Best, ref.BestObj)
+	}
+	if ref.Accepted != scr.Accepted || ref.Uphill != scr.Uphill || ref.Evaluations != scr.Evaluations {
+		t.Errorf("screened counters (acc %d up %d ev %d) differ from reference (acc %d up %d ev %d)",
+			scr.Accepted, scr.Uphill, scr.Evaluations, ref.Accepted, ref.Uphill, ref.Evaluations)
+	}
+	if stats.Screened()+stats.Passed() != scr.Evaluations {
+		t.Errorf("screen stats %d+%d do not account for %d evaluations",
+			stats.Screened(), stats.Passed(), scr.Evaluations)
+	}
+}
+
+// TestPrescreenedCounts: the screen's decisions are tallied and eval is
+// not called for screened states.
+func TestPrescreenedCounts(t *testing.T) {
+	var stats ScreenStats
+	evals := 0
+	wrapped := Prescreened(
+		func(x int) bool { return x < 0 },
+		&stats,
+		func(x int) (float64, bool) { evals++; return float64(x), true },
+	)
+	for _, x := range []int{-1, -2, 5, 7, -3} {
+		obj, feas := wrapped(x)
+		if x < 0 && feas {
+			t.Errorf("screened state %d reported feasible", x)
+		}
+		if x >= 0 && (!feas || obj != float64(x)) {
+			t.Errorf("passed state %d mis-evaluated (%g, %v)", x, obj, feas)
+		}
+	}
+	if stats.Screened() != 3 || stats.Passed() != 2 || evals != 2 {
+		t.Errorf("screened %d passed %d evals %d, want 3/2/2", stats.Screened(), stats.Passed(), evals)
+	}
+}
+
+// TestPrescreenedNilStats: a nil stats pointer is allowed.
+func TestPrescreenedNilStats(t *testing.T) {
+	wrapped := Prescreened(func(x int) bool { return x < 0 }, nil, func(x int) (float64, bool) { return 0, true })
+	if _, feas := wrapped(-5); feas {
+		t.Error("screened state reported feasible")
+	}
+	if _, feas := wrapped(5); !feas {
+		t.Error("passed state reported infeasible")
+	}
+}
+
+// TestPrescreenedConcurrent: shared stats under parallel use (run with
+// -race).
+func TestPrescreenedConcurrent(t *testing.T) {
+	var stats ScreenStats
+	wrapped := Prescreened(func(x int) bool { return x%2 == 0 }, &stats, func(x int) (float64, bool) { return 0, true })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				wrapped(g*100 + i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if stats.Screened() != 400 || stats.Passed() != 400 {
+		t.Errorf("screened %d passed %d, want 400/400", stats.Screened(), stats.Passed())
+	}
+}

@@ -106,22 +106,54 @@ type Options struct {
 	// LinearLeakage replaces the exponential leakage model with a linear
 	// under-estimate, as W2 [3] does.
 	LinearLeakage bool
+
+	// ThermalFast enables the fast-path thermal evaluation (the CLIs'
+	// -thermal-fast flag): grid solves run through the allocation-free
+	// workspace solver (thermal.SolveWorkspace) at the documented fast
+	// tolerance (thermal.FastTolScale), warm-started from the cached
+	// temperature field of the most recent same-geometry evaluation, and
+	// DSE-mode evaluations are pre-screened by the closed-form surrogate
+	// pair (thermal.LumpedEstimate / thermal.BoundEstimate) so
+	// clearly-infeasible and clearly-feasible points skip the grid solve
+	// entirely. Off by default: the zero value reproduces the reference
+	// evaluation bit for bit. Feasibility decisions are preserved —
+	// surrogate skips fire only outside the SurrogateBandC guard band,
+	// and the fast tolerance keeps peaks within ~1e-3 C of the
+	// reference (see DESIGN.md, "Thermal solver").
+	ThermalFast bool
+	// SurrogateBandC is the guard band in Celsius around the temperature
+	// budget inside which the surrogate pre-screen refuses to decide and
+	// falls through to the grid solve. A hot-skip requires the lumped
+	// underestimate to exceed budget+band; a cool-skip requires the
+	// column-bound overestimate to stay under budget-band. Larger bands
+	// are more conservative (fewer skips). Only consulted when
+	// ThermalFast is set; DefaultSurrogateBandC is the validated
+	// default.
+	SurrogateBandC float64
 }
+
+// DefaultSurrogateBandC is the default surrogate guard band (Celsius)
+// around the temperature budget: skips fire only when the closed-form
+// estimates clear the budget by this margin, absorbing the model error
+// the surrogates carry relative to the grid solver (the lumped estimate
+// trails the peak, the column bound leads it; see DESIGN.md).
+const DefaultSurrogateBandC = 3
 
 // DefaultOptions returns the evaluation configuration used by the
 // paper's experiments: 2-D chiplets, 400 MHz, output-stationary dataflow,
 // the 125 um HotSpot grid, and alpha = beta = 1.
 func DefaultOptions() Options {
 	return Options{
-		Tech:         Tech2D,
-		FreqHz:       400e6,
-		Dataflow:     systolic.OutputStationary,
-		Grid:         64,
-		Alpha:        1,
-		Beta:         1,
-		MinChiplets:  2,
-		RefCostUSD:   10,
-		RefDRAMWatts: 5,
+		Tech:           Tech2D,
+		FreqHz:         400e6,
+		Dataflow:       systolic.OutputStationary,
+		Grid:           64,
+		Alpha:          1,
+		Beta:           1,
+		MinChiplets:    2,
+		RefCostUSD:     10,
+		RefDRAMWatts:   5,
+		SurrogateBandC: DefaultSurrogateBandC,
 	}
 }
 
@@ -141,6 +173,9 @@ func (o Options) Validate() error {
 	}
 	if o.Tech != Tech2D && o.Tech != Tech3D {
 		return fmt.Errorf("core: unknown tech %d", int(o.Tech))
+	}
+	if o.SurrogateBandC < 0 {
+		return fmt.Errorf("core: negative surrogate guard band %g", o.SurrogateBandC)
 	}
 	return nil
 }

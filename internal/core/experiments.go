@@ -49,6 +49,8 @@ type Corner struct {
 	BudgetC float64
 }
 
+// String renders the corner the way the paper's tables label columns:
+// tech, frequency, fps and thermal budget.
 func (c Corner) String() string {
 	return fmt.Sprintf("%s %3.0f MHz, %2.0f fps, %2.0f C", c.Tech, c.FreqMHz, c.FPS, c.BudgetC)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +37,12 @@ type OptimizeResult struct {
 	// on. Poisoned lists them with stage and reason, sorted by point.
 	Quarantined int
 	Poisoned    []QuarantinedPoint
+	// Screened counts annealer candidates rejected by the surrogate
+	// pre-screen without a grid thermal solve (always 0 unless
+	// Options.ThermalFast is set). Screened candidates are still counted
+	// in Evaluations — the screen changes their cost, not the
+	// trajectory.
+	Screened int
 }
 
 // OptimizeOptions tunes the context-first optimizer entrypoint beyond
@@ -216,6 +223,23 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		mu.Unlock()
 		return ev.Objective, ev.Feasible
 	}
+	annealEval := eval
+	var screen *anneal.ScreenStats
+	if e.Opts.ThermalFast {
+		// Surrogate pre-screen at the annealer level: a candidate whose
+		// (memoized, surrogate-gated) evaluation was hot-skipped carries a
+		// lumped-underestimate certificate of infeasibility, so the
+		// annealer can reject it without entering the eval closure. The
+		// screen evaluates through evalQ itself — the gate inside the
+		// pipeline already avoided the grid solve — and a screened
+		// candidate is trajectory-identical to an infeasible evaluation
+		// (no PRNG is consumed either way; see anneal.Prescreened).
+		screen = &anneal.ScreenStats{}
+		annealEval = anneal.Prescreened(func(p DesignPoint) bool {
+			ev, err := evalQ(p)
+			return err == nil && ev.ThermalFidelity == "surrogate-hot"
+		}, screen, eval)
+	}
 	cfgs := anneal.DefaultStarts(seed)
 	if e.tel.Enabled() {
 		// Bridge annealer progress (per-level events, move counters)
@@ -227,7 +251,7 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		}
 	}
 	span := e.tel.StartSpan("optimize.total")
-	best, per, err := anneal.MultiStartContext(runCtx, cfgs, init, space.Neighbor, eval)
+	best, per, err := anneal.MultiStartContext(runCtx, cfgs, init, space.Neighbor, annealEval)
 	span.End()
 	// The failure policy cancels runCtx, so the annealers report a bare
 	// context.Canceled; the recorded evalErr is the real cause and must
@@ -261,10 +285,23 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		Quarantined:  len(poisoned),
 		Poisoned:     poisoned,
 	}
+	if screen != nil {
+		res.Screened = screen.Screened()
+		e.tel.Registry().Counter("anneal.screened").Add(int64(res.Screened))
+	}
 	if best.Found {
 		ev, err := e.Evaluate(best.Best)
 		if err != nil {
 			return nil, err
+		}
+		if strings.HasPrefix(ev.ThermalFidelity, "surrogate-") {
+			// The winner's memoized DSE evaluation was surrogate-gated
+			// (conservative cool-side temperatures); the reported incumbent
+			// must carry grid-solved numbers, so re-evaluate in reporting
+			// mode, which bypasses the gate.
+			if ev, err = e.EvaluateFull(best.Best); err != nil {
+				return nil, err
+			}
 		}
 		res.Best = ev
 	}
@@ -278,6 +315,7 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 			"duration_ms": float64(best.Duration.Microseconds()) / 1e3,
 			"starts":      len(per),
 			"quarantined": res.Quarantined,
+			"screened":    res.Screened,
 		}
 		if res.Found {
 			fields["best_obj"] = res.Best.Objective

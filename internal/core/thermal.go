@@ -60,6 +60,16 @@ type thermalFidelity struct {
 	tolScale  float64 // CG tolerance multiplier (1 = full fidelity)
 	iterScale float64 // CG iteration-budget multiplier
 	lumped    bool    // skip CG entirely: 1-resistor steady-state estimate
+	bound     bool    // skip CG entirely: per-column upper bound (surrogate cool side)
+	// leakPinC > 0 pins the leakage evaluation at this temperature and
+	// runs a single solve instead of the fixed point. Used by the
+	// surrogate cool certificate: with leakage over-estimated at the
+	// test temperature u, a (bound) peak <= u is a super-solution
+	// G(u) <= u of the monotone leakage map, so the true fixed point
+	// lies below u — iterating the fixed point at bound temperatures
+	// would instead spiral to a spurious runaway whenever the
+	// over-estimated loop gain exceeds one.
+	leakPinC float64
 }
 
 // thermalLadder is the degraded-retry schedule for a full-fidelity grid:
@@ -134,6 +144,16 @@ func (e *Evaluator) thermalAnalysis(ev *Evaluation, profiles []netProfile, place
 		return err
 	}
 
+	// Fast path: bracket the peak with the closed-form surrogates and
+	// skip the grid ladder when the bracket clears the budget by the
+	// guard band (DSE mode only — full reports always solve the grid).
+	if e.Opts.ThermalFast && !ev.Full {
+		if e.surrogatePrescreen(ev, phases, place, domainMM, est) {
+			ev.ThermalRetries = 0
+			return nil
+		}
+	}
+
 	var lastErr error
 	for attempt, fid := range thermalLadder(e.Opts.Grid) {
 		if e.injected != nil && e.injected.Diverge(ev.Point.ArrayDim, ev.Point.ICSUM, attempt) {
@@ -174,6 +194,29 @@ func (e *Evaluator) thermalAttempt(ev *Evaluation, phases []phasePower, place *f
 	n := ev.Mesh.Count()
 	grid := fid.grid
 	solver := thermal.SolverParams{TolScale: fid.tolScale, IterScale: fid.iterScale}
+	// Fast path: route CG through the allocation-free workspace solver,
+	// relax the full-fidelity rung to the documented fast tolerance
+	// (still two orders of magnitude inside the 0.1 C agreement
+	// contract; degraded rungs keep their own, already looser,
+	// tolerances), and seed the first solve from the cached field of the
+	// most recent same-geometry evaluation.
+	fast := e.Opts.ThermalFast && !fid.lumped && !fid.bound
+	var ws *thermal.Workspace
+	var wkey warmKey
+	var rises []float64
+	if fast {
+		if fid.tolScale <= 1 {
+			solver.TolScale = thermal.FastTolScale
+		}
+		ws = e.workspace()
+		defer e.wsPool.Put(ws)
+		wkey = e.warmKeyFor(ev, grid)
+		if rises = e.warm.get(wkey); rises != nil {
+			e.tel.Registry().Counter("thermal.warmstart.hit").Inc()
+		} else {
+			e.tel.Registry().Counter("thermal.warmstart.miss").Inc()
+		}
+	}
 	coverage := place.Coverage(grid)
 	// Power is injected only into the active die area (inside the 3-D
 	// assembly margin); the margin silicon still conducts.
@@ -189,10 +232,14 @@ func (e *Evaluator) thermalAttempt(ev *Evaluation, phases []phasePower, place *f
 	// every non-runaway configuration, so the start only affects the
 	// iteration count, not the fixed point.
 	warmStartC := e.Models.Materials.AmbientC + 15
+	if fid.leakPinC > 0 {
+		warmStartC = fid.leakPinC
+	}
 
 	// CG warm start: chain each solve from the previous solution (within
-	// and across phases — the geometry is identical, only power changes).
-	var rises []float64
+	// and across phases — the geometry is identical, only power changes;
+	// the fast path additionally seeded rises from the warm-start cache
+	// above).
 	solveIters := e.tel.Registry().Counter("thermal.solve.iterations")
 	for _, pp := range phases {
 		tArr := fill(n, warmStartC)
@@ -237,9 +284,17 @@ func (e *Evaluator) thermalAttempt(ev *Evaluation, phases []phasePower, place *f
 				return err
 			}
 			stk.Solver = solver
-			if fid.lumped {
+			switch {
+			case fid.lumped:
 				res = stk.LumpedEstimate()
-			} else {
+			case fid.bound:
+				res = stk.BoundEstimate()
+			case ws != nil:
+				res, err = stk.SolveWorkspace(ws, rises)
+				if err != nil {
+					return err
+				}
+			default:
 				res, err = stk.SolveWithGuess(rises)
 				if err != nil {
 					return err
@@ -252,6 +307,12 @@ func (e *Evaluator) thermalAttempt(ev *Evaluation, phases []phasePower, place *f
 				// down; classify the point as runaway rather than letting
 				// the NaN poison the evaluation.
 				runaway = true
+				break
+			}
+			if fid.leakPinC > 0 {
+				// One-shot certificate: leakage was evaluated at the pinned
+				// test temperature, not iterated (see thermalFidelity).
+				iters++
 				break
 			}
 
@@ -322,6 +383,12 @@ func (e *Evaluator) thermalAttempt(ev *Evaluation, phases []phasePower, place *f
 		// Runaway evaluations clamp the (meaningless) peak so the result
 		// stays finite end to end.
 		ev.PeakTempC = runawayLimitC
+	}
+	if fast && len(rises) > 0 && !ev.Runaway {
+		// Publish the converged field for the next same-geometry
+		// evaluation (warm starts change the iteration count only, never
+		// the fixed point, so a slightly different neighbor is safe).
+		e.warm.put(wkey, rises)
 	}
 	return nil
 }

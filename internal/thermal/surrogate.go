@@ -1,0 +1,77 @@
+package thermal
+
+import "math"
+
+// BoundEstimate is the conservative companion of LumpedEstimate: a
+// per-column upper estimate of the steady-state temperature field under
+// the no-lateral-spreading relaxation. Each grid column is treated as an
+// isolated one-dimensional path: all of the column's power is routed
+// through the column's full vertical conduction resistance and the
+// column's share of the lumped convection resistance, with no help from
+// neighboring columns.
+//
+// Dropping the lateral conductances can only concentrate heat — lateral
+// conduction moves power from hotter columns into cooler ones, and in a
+// grounded resistive network adding a conductance never raises the
+// maximum node potential — and routing the column's whole dissipation
+// through every layer over-counts the path below the injection layer.
+// Both relaxations push the estimate upward, so Result.PeakC here sits
+// at or above the grid solver's peak for physically meaningful stacks
+// (verified across the fault-matrix configurations in tests), while
+// LumpedEstimate sits near the mean. The pair brackets the true peak,
+// which is exactly what core's surrogate pre-screen gate needs: a
+// hot-skip certificate from the underestimate and a cool-skip
+// certificate from this overestimate.
+//
+// Like LumpedEstimate it is closed-form, allocates only its Result, and
+// cannot fail; zero-conductivity cells (rejected by Validate but
+// reachable through direct construction) contribute no path resistance
+// instead of dividing by zero.
+func (s *Stack) BoundEstimate() *Result {
+	g := s.Grid
+	nc := g * g
+	nl := len(s.Layers)
+	cellArea := s.CellM * s.CellM
+	// The uniform film splits the lumped convection resistance evenly
+	// over the top layer's cells, so one column's share is nc times the
+	// total (matching the gamb assembly of the grid solver).
+	rFilm := s.ConvectionKPerW * float64(nc)
+
+	res := &Result{
+		Temps: make([][]float64, nl),
+		PeakC: math.Inf(-1),
+		Rises: make([]float64, nl*nc),
+	}
+	var sum float64
+	for idx := 0; idx < nc; idx++ {
+		var pcol, rcol float64
+		for l := 0; l < nl; l++ {
+			if p := s.Layers[l].Power; p != nil {
+				pcol += p[idx]
+			}
+			if k := s.Layers[l].K[idx]; k > 0 && cellArea > 0 {
+				rcol += s.Layers[l].ThicknessM / (k * cellArea)
+			}
+		}
+		rise := pcol * (rFilm + rcol)
+		if math.IsNaN(rise) || math.IsInf(rise, 0) || rise < 0 {
+			rise = 0
+		}
+		sum += rise
+		for l := 0; l < nl; l++ {
+			res.Rises[l*nc+idx] = rise
+		}
+		if t := s.AmbientC + rise; t > res.PeakC {
+			res.PeakC = t
+			res.PeakCell = idx
+		}
+	}
+	res.MeanC = s.AmbientC + sum/float64(nc)
+	for l := 0; l < nl; l++ {
+		res.Temps[l] = make([]float64, nc)
+		for idx := 0; idx < nc; idx++ {
+			res.Temps[l][idx] = s.AmbientC + res.Rises[l*nc+idx]
+		}
+	}
+	return res
+}

@@ -1,0 +1,41 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBoundEstimateBracketsPeak: across the fault-matrix stack configs
+// the closed-form surrogate pair brackets the grid solver's peak —
+// BoundEstimate from above (the property core's cool-skip relies on),
+// LumpedEstimate at or below BoundEstimate.
+func TestBoundEstimateBracketsPeak(t *testing.T) {
+	stacks := testStacks(t)
+	stacks["nonuniform"] = nonuniform(16)
+	for name, s := range stacks {
+		ref, err := s.Solve()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		bound := s.BoundEstimate()
+		if bound.PeakC < ref.PeakC {
+			t.Errorf("%s: BoundEstimate peak %.3f C below solved peak %.3f C", name, bound.PeakC, ref.PeakC)
+		}
+		if lump := s.LumpedEstimate(); lump.PeakC > bound.PeakC {
+			t.Errorf("%s: LumpedEstimate %.3f C above BoundEstimate %.3f C", name, lump.PeakC, bound.PeakC)
+		}
+		if bound.PeakLayer < 0 || bound.PeakCell < 0 || bound.PeakCell >= s.Grid*s.Grid {
+			t.Errorf("%s: bad hot-spot location (%d,%d)", name, bound.PeakLayer, bound.PeakCell)
+		}
+	}
+}
+
+// TestBoundEstimateZeroPower: with no dissipation the bound is exactly
+// ambient everywhere.
+func TestBoundEstimateZeroPower(t *testing.T) {
+	s := singleLayer(8, 0)
+	res := s.BoundEstimate()
+	if math.Abs(res.PeakC-s.AmbientC) > 1e-12 || math.Abs(res.MeanC-s.AmbientC) > 1e-12 {
+		t.Errorf("zero-power bound peak %.6f mean %.6f, want ambient %.1f", res.PeakC, res.MeanC, s.AmbientC)
+	}
+}

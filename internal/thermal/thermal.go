@@ -42,6 +42,10 @@ type SolverParams struct {
 	TolScale float64
 	// IterScale multiplies the 20*n iteration cap (0 = 1).
 	IterScale float64
+	// Precond selects the preconditioner of the workspace solver
+	// (SolveWorkspace); the reference Solve path always uses Jacobi.
+	// The zero value is PrecondJacobi.
+	Precond Precond
 }
 
 // Layer is one material layer of the stack, bottom to top.
@@ -162,8 +166,18 @@ func (r *Result) LayerTemps(s *Stack, name string) []float64 {
 }
 
 // harm is the harmonic mean used to combine the conductivities of two
-// adjacent half-cells in series.
-func harm(a, b float64) float64 { return 2 * a * b / (a + b) }
+// adjacent half-cells in series. Two zero-conductivity cells would
+// divide 0 by 0; the series conductance of two perfect insulators is
+// zero, so return that instead of NaN (Validate rejects non-positive
+// conductivities, but fault injection and direct Stack construction can
+// still reach this).
+func harm(a, b float64) float64 {
+	s := a + b
+	if s == 0 {
+		return 0
+	}
+	return 2 * a * b / s
+}
 
 // Solve computes the steady-state temperature field.
 func (s *Stack) Solve() (*Result, error) {

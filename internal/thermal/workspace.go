@@ -1,0 +1,505 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Precond selects the conjugate-gradient preconditioner of the
+// workspace solver (Stack.SolveWorkspace). The zero value is Jacobi —
+// the same diagonal scaling the reference solver uses — so a
+// zero-valued SolverParams reproduces the reference preconditioning.
+type Precond int
+
+const (
+	// PrecondJacobi is diagonal scaling. The workspace solver folds it
+	// into the operator once per solve (symmetric scaling
+	// D^-1/2 A D^-1/2, which generates the same Krylov iterates as
+	// Jacobi-preconditioned CG on A), so the per-iteration
+	// preconditioner cost is zero: the CG loop runs in three fused
+	// passes. The fastest wall-clock choice on most hosts.
+	PrecondJacobi Precond = iota
+	// PrecondSSOR is the symmetric successive over-relaxation
+	// preconditioner at omega = 1 (symmetric Gauss-Seidel) applied on
+	// top of the diagonal scaling: M = (I+L)(I+U) over the scaled
+	// operator, computed matrix-free as a forward and a backward
+	// triangular sweep. M is symmetric positive definite, so CG theory
+	// still applies; it cuts the iteration count roughly in half versus
+	// Jacobi at the price of two inherently sequential sweeps per
+	// iteration (see DESIGN.md, "Thermal solver").
+	PrecondSSOR
+)
+
+// FastTolScale is the SolverParams.TolScale the fast evaluation path
+// uses: it loosens the reference convergence target (relative residual
+// 3e-8) to roughly 1e-5. For the package's stacks a relative residual
+// of 1e-5 bounds the temperature error by ~1e-3 C — two orders of
+// magnitude inside the 0.1 C agreement contract of the fast path — and
+// saves about a third of the CG iterations (iterations scale with
+// log(1/tol)). The bound is enforced by TestFastToleranceWithinBand.
+const FastTolScale = 300
+
+// parallelMinNodes is the node count above which the stencil apply fans
+// out across GOMAXPROCS goroutines. The default equals the smallest
+// sweep-scale system (grid 32, four layers); tests lower it to exercise
+// the parallel path on small stacks.
+var parallelMinNodes = 32 * 32 * 4
+
+// maxStencilWorkers caps the stencil fan-out: beyond ~8 workers the
+// apply is memory-bandwidth-bound and more goroutines only add
+// synchronization cost.
+const maxStencilWorkers = 8
+
+// Workspace is a reusable solver arena: the conductance operator, the
+// conjugate-gradient vectors, and the scratch buffers of one solve, all
+// allocated once and recycled across solves (growing monotonically when
+// a larger stack arrives). A Workspace is NOT safe for concurrent use —
+// keep one per goroutine (e.g. via sync.Pool) and reuse it across the
+// annealer's thermal solves; the CG loop then runs with zero
+// allocations.
+//
+// All buffers are padded by one cell-layer (nc = grid*grid nodes) on
+// each side. The pads stay zero forever, which lets the 7-point stencil
+// read x[idx±1], x[idx±grid] and x[idx±nc] unconditionally: boundary
+// couplings multiply a zero conductance against an in-bounds (padded)
+// value instead of branching, so the hot loops are branch-free.
+type Workspace struct {
+	n   int // active nodes (layers * grid * grid)
+	pad int // pad size (grid * grid)
+
+	// Padded scaled operator: conductances of D^-1/2 A D^-1/2 (whose
+	// diagonal is identically 1) plus the scaling vectors.
+	gx, gy, gz, sqrtD, invSqrtD []float64
+	// Padded CG vectors.
+	q, x, r, z, p, ap, y []float64
+	// Per-worker partial sums of the fused stencil dot product.
+	partial []float64
+}
+
+// NewWorkspace returns an empty workspace; buffers are allocated on
+// first use and reused afterwards.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// reserve sizes the workspace for n active nodes with pad-sized guard
+// bands. Buffers are reallocated only when the padded size grows; the
+// guard bands are (re)zeroed only when the geometry changes, because no
+// solve ever writes them.
+func (ws *Workspace) reserve(n, pad int) {
+	total := n + 2*pad
+	if cap(ws.gx) < total {
+		ws.gx = make([]float64, total)
+		ws.gy = make([]float64, total)
+		ws.gz = make([]float64, total)
+		ws.sqrtD = make([]float64, total)
+		ws.invSqrtD = make([]float64, total)
+		ws.q = make([]float64, total)
+		ws.x = make([]float64, total)
+		ws.r = make([]float64, total)
+		ws.z = make([]float64, total)
+		ws.p = make([]float64, total)
+		ws.ap = make([]float64, total)
+		ws.y = make([]float64, total)
+	} else if ws.n != n || ws.pad != pad {
+		// Same backing arrays, different geometry: the old active
+		// window may leak non-zero values into the new guard bands, so
+		// clear everything the stencil can read.
+		for _, b := range [][]float64{ws.gx, ws.gy, ws.gz, ws.x, ws.y, ws.p, ws.z} {
+			clearFloats(b[:total])
+		}
+	}
+	resize := func(s []float64) []float64 { return s[:total] }
+	ws.gx, ws.gy, ws.gz = resize(ws.gx), resize(ws.gy), resize(ws.gz)
+	ws.sqrtD, ws.invSqrtD = resize(ws.sqrtD), resize(ws.invSqrtD)
+	ws.q, ws.x, ws.r, ws.z = resize(ws.q), resize(ws.x), resize(ws.r), resize(ws.z)
+	ws.p, ws.ap, ws.y = resize(ws.p), resize(ws.ap), resize(ws.y)
+	ws.n, ws.pad = n, pad
+	if ws.partial == nil {
+		ws.partial = make([]float64, maxStencilWorkers)
+	}
+}
+
+func clearFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// assemble builds the padded, diagonally-scaled conductance operator:
+// first the raw conductances gx/gy/gz (zero on the far boundary of each
+// axis, so the branch-free stencil couplings vanish there) and the
+// diagonal row sums (plus the ambient film on the top layer), then the
+// symmetric scaling g'[i,j] = g[i,j] / sqrt(d[i] d[j]) that makes the
+// scaled diagonal identically one.
+func (s *Stack) assemble(ws *Workspace) {
+	g := s.Grid
+	nc := g * g
+	nl := len(s.Layers)
+	pad := ws.pad
+
+	for l := 0; l < nl; l++ {
+		t := s.Layers[l].ThicknessM
+		k := s.Layers[l].K
+		base := pad + l*nc
+		for j := 0; j < g; j++ {
+			row := base + j*g
+			crow := j * g
+			for i := 0; i < g; i++ {
+				var vx, vy float64
+				if i+1 < g {
+					vx = t * harm(k[crow+i], k[crow+i+1])
+				}
+				if j+1 < g {
+					vy = t * harm(k[crow+i], k[crow+i+g])
+				}
+				ws.gx[row+i] = vx
+				ws.gy[row+i] = vy
+			}
+		}
+	}
+	area := s.CellM * s.CellM
+	for l := 0; l < nl; l++ {
+		base := pad + l*nc
+		if l+1 >= nl {
+			clearFloats(ws.gz[base : base+nc])
+			continue
+		}
+		tl, tu := s.Layers[l].ThicknessM, s.Layers[l+1].ThicknessM
+		kl, ku := s.Layers[l].K, s.Layers[l+1].K
+		for idx := 0; idx < nc; idx++ {
+			r := tl/(2*kl[idx]) + tu/(2*ku[idx])
+			ws.gz[base+idx] = area / r
+		}
+	}
+	gamb := 1 / (s.ConvectionKPerW * float64(nc))
+	gx, gy, gz := ws.gx, ws.gy, ws.gz
+	lo, hi := pad, pad+ws.n
+	for l := 0; l < nl; l++ {
+		base := pad + l*nc
+		film := 0.0
+		if l == nl-1 {
+			film = gamb
+		}
+		for idx := 0; idx < nc; idx++ {
+			node := base + idx
+			d := gx[node] + gx[node-1] + gy[node] + gy[node-g] + gz[node] + gz[node-nc] + film
+			sq := math.Sqrt(d)
+			ws.sqrtD[node] = sq
+			ws.invSqrtD[node] = 1 / sq
+		}
+	}
+	// Scale the couplings; the pads hold invSqrtD = 0, which keeps the
+	// boundary couplings zero.
+	inv := ws.invSqrtD
+	for idx := lo; idx < hi; idx++ {
+		gx[idx] *= inv[idx] * inv[idx+1]
+		gy[idx] *= inv[idx] * inv[idx+g]
+		gz[idx] *= inv[idx] * inv[idx+nc]
+	}
+}
+
+// stencilSpan computes y = A'*x over the padded index range [lo, hi) of
+// the scaled operator (unit diagonal) and returns the partial dot
+// product sum(x[i]*y[i]). The loop is branch-free: boundary couplings
+// multiply a zero conductance.
+func stencilSpan(gx, gy, gz, x, y []float64, lo, hi, g, nc int) float64 {
+	// Shifted, length-pinned views let the compiler drop every bounds
+	// check from the 7-point gather.
+	n := hi - lo
+	xc, yc := x[lo:hi], y[lo:hi:hi]
+	gxc, gxm := gx[lo:hi][:n], gx[lo-1 : hi-1][:n]
+	gyc, gym := gy[lo:hi][:n], gy[lo-g : hi-g][:n]
+	gzc, gzm := gz[lo:hi][:n], gz[lo-nc : hi-nc][:n]
+	xp1, xm1 := x[lo+1 : hi+1][:n], x[lo-1 : hi-1][:n]
+	xpg, xmg := x[lo+g : hi+g][:n], x[lo-g : hi-g][:n]
+	xpn, xmn := x[lo+nc : hi+nc][:n], x[lo-nc : hi-nc][:n]
+	var dot float64
+	for i := range xc {
+		v := xc[i] -
+			gxc[i]*xp1[i] - gxm[i]*xm1[i] -
+			gyc[i]*xpg[i] - gym[i]*xmg[i] -
+			gzc[i]*xpn[i] - gzm[i]*xmn[i]
+		yc[i] = v
+		dot += xc[i] * v
+	}
+	return dot
+}
+
+// apply computes y = A'*x (padded vectors, scaled operator) and returns
+// dot(x, A'*x), fanning out across goroutines when the system is large
+// enough and more than one CPU is available. Per-worker partial sums
+// keep the reduction deterministic for a fixed worker count.
+func (ws *Workspace) apply(x, y []float64, g, nc int) float64 {
+	lo, hi := ws.pad, ws.pad+ws.n
+	workers := runtime.GOMAXPROCS(0)
+	if workers > maxStencilWorkers {
+		workers = maxStencilWorkers
+	}
+	if ws.n < parallelMinNodes || workers < 2 {
+		return stencilSpan(ws.gx, ws.gy, ws.gz, x, y, lo, hi, g, nc)
+	}
+	chunk := (ws.n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		a := lo + w*chunk
+		b := a + chunk
+		if b > hi {
+			b = hi
+		}
+		if a >= b {
+			ws.partial[w] = 0
+			continue
+		}
+		wg.Add(1)
+		go func(w, a, b int) {
+			defer wg.Done()
+			ws.partial[w] = stencilSpan(ws.gx, ws.gy, ws.gz, x, y, a, b, g, nc)
+		}(w, a, b)
+	}
+	wg.Wait()
+	var dot float64
+	for w := 0; w < workers; w++ {
+		dot += ws.partial[w]
+	}
+	return dot
+}
+
+// ssorApply computes z = M^-1 r for the SSOR preconditioner of the
+// scaled (unit-diagonal) operator, M = (I+L)(I+U), and returns
+// dot(r, z) fused into the final sweep. The triangular sweeps are
+// inherently sequential (each node depends on already-visited
+// neighbors), so they do not fan out; their critical path is a single
+// fused multiply-add per node because the diagonal scaling is already
+// folded into the couplings.
+func (ws *Workspace) ssorApply(g, nc int) float64 {
+	lo, hi := ws.pad, ws.pad+ws.n
+	n := hi - lo
+	gx, gy, gz := ws.gx, ws.gy, ws.gz
+	r, z, y := ws.r[lo:hi], ws.z, ws.y
+	gxm, gym, gzm := gx[lo-1 : hi-1][:n], gy[lo-g : hi-g][:n], gz[lo-nc : hi-nc][:n]
+	yc := y[lo:hi][:n]
+	ym1, ymg, ymn := y[lo-1 : hi-1][:n], y[lo-g : hi-g][:n], y[lo-nc : hi-nc][:n]
+	for i := range yc {
+		yc[i] = r[i] +
+			gxm[i]*ym1[i] + gym[i]*ymg[i] + gzm[i]*ymn[i]
+	}
+	gxc, gyc, gzc := gx[lo:hi][:n], gy[lo:hi][:n], gz[lo:hi][:n]
+	zc := z[lo:hi][:n]
+	zp1, zpg, zpn := z[lo+1 : hi+1][:n], z[lo+g : hi+g][:n], z[lo+nc : hi+nc][:n]
+	var rz float64
+	for i := n - 1; i >= 0; i-- {
+		zi := yc[i] +
+			gxc[i]*zp1[i] + gyc[i]*zpg[i] + gzc[i]*zpn[i]
+		zc[i] = zi
+		rz += r[i] * zi
+	}
+	return rz
+}
+
+// SolveWorkspace computes the steady-state temperature field like
+// SolveWithGuess, but through ws: the operator and every CG vector live
+// in the workspace's reusable arena, the Jacobi preconditioner is
+// folded into the operator by symmetric diagonal scaling (three fused,
+// branch-free passes per iteration instead of the reference's seven
+// branchy ones), the stencil apply runs in parallel for sweep-scale
+// grids on multi-CPU hosts, and Stack.Solver.Precond can layer SSOR on
+// top. The convergence target follows SolverParams exactly as the
+// reference solver does (the residual is measured in the scaled norm),
+// so at default fidelity the fixed point matches SolveWithGuess to
+// solver tolerance; only the route there is cheaper. A nil ws allocates
+// a throwaway workspace.
+func (s *Stack) SolveWorkspace(ws *Workspace, guess []float64) (*Result, error) {
+	res := &Result{}
+	if err := s.SolveWorkspaceInto(ws, guess, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SolveWorkspaceInto is SolveWorkspace writing into a caller-owned
+// Result, reusing its Temps and Rises buffers when already sized: a
+// solve loop that recycles both ws and res runs with zero allocations.
+// res.Rises must not alias a guess the caller still needs — it is
+// overwritten in place.
+func (s *Stack) SolveWorkspaceInto(ws *Workspace, guess []float64, res *Result) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	g := s.Grid
+	nc := g * g
+	nl := len(s.Layers)
+	n := nl * nc
+	ws.reserve(n, nc)
+	s.assemble(ws)
+	pad := ws.pad
+	// Scaled right-hand side q' = D^-1/2 q.
+	for l := 0; l < nl; l++ {
+		base := pad + l*nc
+		if p := s.Layers[l].Power; p != nil {
+			for idx := 0; idx < nc; idx++ {
+				ws.q[base+idx] = p[idx] * ws.invSqrtD[base+idx]
+			}
+		} else {
+			clearFloats(ws.q[base : base+nc])
+		}
+	}
+	iters, err := ws.runCG(s, guess, g, nc)
+	if err != nil {
+		return err
+	}
+	// Unscale in place: x = D^-1/2 x'.
+	lo, hi := pad, pad+n
+	for idx := lo; idx < hi; idx++ {
+		ws.x[idx] *= ws.invSqrtD[idx]
+	}
+	publishResult(s, ws.x[lo:hi], iters, res)
+	return nil
+}
+
+// runCG runs preconditioned conjugate gradients on the scaled system
+// A' x' = q' over the workspace's assembled operator, leaving the
+// scaled solution in ws.x. With the Jacobi choice the scaled system
+// needs no per-iteration preconditioner at all (z = r), so each
+// iteration is one fused matvec+dot, one fused triple update
+// (x, r, |r|^2), and one direction update. It allocates nothing.
+func (ws *Workspace) runCG(s *Stack, guess []float64, g, nc int) (int, error) {
+	lo, hi := ws.pad, ws.pad+ws.n
+	q, x, r, p, ap := ws.q, ws.x, ws.r, ws.p, ws.ap
+	var qnorm float64
+	for idx := lo; idx < hi; idx++ {
+		qnorm += q[idx] * q[idx]
+	}
+	qnorm = math.Sqrt(qnorm)
+	if qnorm == 0 {
+		clearFloats(x[lo:hi])
+		return 0, nil
+	}
+	if len(guess) == ws.n {
+		// Scale the guess into the primed system: x' = D^1/2 x.
+		sq := ws.sqrtD
+		for idx := lo; idx < hi; idx++ {
+			x[idx] = guess[idx-lo] * sq[idx]
+		}
+		ws.apply(x, ap, g, nc)
+		for idx := lo; idx < hi; idx++ {
+			r[idx] = q[idx] - ap[idx]
+		}
+	} else {
+		clearFloats(x[lo:hi])
+		copy(r[lo:hi], q[lo:hi])
+	}
+	ssor := s.Solver.Precond == PrecondSSOR
+	var rz float64
+	if ssor {
+		rz = ws.ssorApply(g, nc)
+		copy(p[lo:hi], ws.z[lo:hi])
+	} else {
+		for idx := lo; idx < hi; idx++ {
+			rz += r[idx] * r[idx]
+		}
+		copy(p[lo:hi], r[lo:hi])
+	}
+	tol := 3e-8 * qnorm
+	if s.Solver.TolScale > 0 {
+		tol *= s.Solver.TolScale
+	}
+	maxIter := 20 * ws.n
+	if s.Solver.IterScale > 0 {
+		maxIter = int(float64(maxIter) * s.Solver.IterScale)
+	}
+	n := ws.n
+	xc, rc := x[lo:hi][:n], r[lo:hi][:n]
+	pc, apc := p[lo:hi][:n], ap[lo:hi][:n]
+	zc := ws.z[lo:hi][:n]
+	var rn float64
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		pap := ws.apply(p, ap, g, nc)
+		alpha := rz / pap
+		var rn2 float64
+		for i := range rc {
+			xc[i] += alpha * pc[i]
+			ri := rc[i] - alpha*apc[i]
+			rc[i] = ri
+			rn2 += ri * ri
+		}
+		rn = math.Sqrt(rn2)
+		if rn < tol {
+			break
+		}
+		var rzNew float64
+		if ssor {
+			rzNew = ws.ssorApply(g, nc)
+			beta := rzNew / rz
+			for i := range pc {
+				pc[i] = zc[i] + beta*pc[i]
+			}
+		} else {
+			rzNew = rn2
+			beta := rzNew / rz
+			for i := range pc {
+				pc[i] = rc[i] + beta*pc[i]
+			}
+		}
+		rz = rzNew
+	}
+	if iters >= maxIter {
+		return 0, fmt.Errorf("%w in %d iterations (residual %g, target %g)", ErrNoConvergence, maxIter, rn, tol)
+	}
+	return iters, nil
+}
+
+// publishResult fills res from the solved temperature-rise vector,
+// reusing res's buffers when their capacity suffices.
+func publishResult(s *Stack, rises []float64, iters int, res *Result) {
+	g := s.Grid
+	nc := g * g
+	nl := len(s.Layers)
+	res.Iterations = iters
+	if cap(res.Rises) >= len(rises) {
+		res.Rises = res.Rises[:len(rises)]
+	} else {
+		res.Rises = make([]float64, len(rises))
+	}
+	copy(res.Rises, rises)
+	if cap(res.Temps) >= nl {
+		res.Temps = res.Temps[:nl]
+	} else {
+		res.Temps = make([][]float64, nl)
+	}
+	res.PeakC = math.Inf(-1)
+	res.PeakLayer, res.PeakCell = 0, 0
+	for l := 0; l < nl; l++ {
+		if cap(res.Temps[l]) >= nc {
+			res.Temps[l] = res.Temps[l][:nc]
+		} else {
+			res.Temps[l] = make([]float64, nc)
+		}
+		base := l * nc
+		for idx := 0; idx < nc; idx++ {
+			t := s.AmbientC + rises[base+idx]
+			res.Temps[l][idx] = t
+			if t > res.PeakC {
+				res.PeakC = t
+				res.PeakLayer = l
+				res.PeakCell = idx
+			}
+		}
+	}
+	res.MeanC = 0
+	for l := nl - 1; l >= 0; l-- {
+		if s.Layers[l].Power == nil {
+			continue
+		}
+		var sum float64
+		for _, t := range res.Temps[l] {
+			sum += t
+		}
+		res.MeanC = sum / float64(nc)
+		break
+	}
+}

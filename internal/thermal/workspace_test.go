@@ -1,0 +1,318 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// testStacks builds the fault-matrix stack configurations: single layer,
+// 2-D MCM (4 layers), and 3-D MCM (6 layers), each with a non-uniform
+// power map and heterogeneous conductivities.
+func testStacks(t *testing.T) map[string]*Stack {
+	t.Helper()
+	grid := 24
+	n := grid * grid
+	coverage := make([]float64, n)
+	power := make([]float64, n)
+	sramPower := make([]float64, n)
+	rng := rand.New(rand.NewSource(7))
+	for j := 8; j < 16; j++ {
+		for i := 4; i < 20; i++ {
+			coverage[j*grid+i] = 1
+			power[j*grid+i] = 0.02 + 0.01*rng.Float64()
+			sramPower[j*grid+i] = 0.005
+		}
+	}
+	m := DefaultMaterials()
+	s2d, err := BuildStack2D(grid, 125e-6, coverage, power, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3d, err := BuildStack3D(grid, 125e-6, coverage, sramPower, power, 0.1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := singleLayer(grid, 0)
+	single.Layers[0].Power[5*grid+7] = 3
+	single.Layers[0].Power[15*grid+18] = 2
+	return map[string]*Stack{"single": single, "mcm2d": s2d, "mcm3d": s3d}
+}
+
+// TestWorkspaceEquivalence: the workspace solver, under both
+// preconditioners, matches the reference solver cell-by-cell well within
+// the 0.1 C acceptance bound across the fault-matrix stack configs.
+func TestWorkspaceEquivalence(t *testing.T) {
+	for name, s := range testStacks(t) {
+		ref, err := s.Solve()
+		if err != nil {
+			t.Fatalf("%s: reference solve: %v", name, err)
+		}
+		for _, pc := range []Precond{PrecondJacobi, PrecondSSOR} {
+			fast := *s
+			fast.Solver.Precond = pc
+			got, err := fast.SolveWorkspace(NewWorkspace(), nil)
+			if err != nil {
+				t.Fatalf("%s/precond=%d: %v", name, pc, err)
+			}
+			for l := range ref.Temps {
+				for i := range ref.Temps[l] {
+					if d := math.Abs(got.Temps[l][i] - ref.Temps[l][i]); d > 0.1 {
+						t.Fatalf("%s/precond=%d: layer %d cell %d differs by %.4f C (fast %.4f, ref %.4f)",
+							name, pc, l, i, d, got.Temps[l][i], ref.Temps[l][i])
+					}
+				}
+			}
+			if d := math.Abs(got.PeakC - ref.PeakC); d > 0.1 {
+				t.Fatalf("%s/precond=%d: peak differs by %.4f C", name, pc, d)
+			}
+			if got.PeakLayer != ref.PeakLayer || got.PeakCell != ref.PeakCell {
+				t.Errorf("%s/precond=%d: hot spot at (%d,%d), ref (%d,%d)",
+					name, pc, got.PeakLayer, got.PeakCell, ref.PeakLayer, ref.PeakCell)
+			}
+			if d := math.Abs(got.MeanC - ref.MeanC); d > 0.1 {
+				t.Errorf("%s/precond=%d: mean differs by %.4f C", name, pc, d)
+			}
+		}
+	}
+}
+
+// TestSSORFewerIterations: SSOR should cut the CG iteration count versus
+// Jacobi on an MCM stack — the whole point of the preconditioner.
+func TestSSORFewerIterations(t *testing.T) {
+	s := testStacks(t)["mcm2d"]
+	jac := *s
+	jac.Solver.Precond = PrecondJacobi
+	rj, err := jac.SolveWorkspace(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ssor := *s
+	ssor.Solver.Precond = PrecondSSOR
+	rs, err := ssor.SolveWorkspace(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Iterations >= rj.Iterations {
+		t.Errorf("SSOR took %d iterations, Jacobi %d — no reduction", rs.Iterations, rj.Iterations)
+	}
+}
+
+// TestWorkspaceWarmStart: warm starts reach the same fixed point through
+// the workspace path, in no more iterations than a cold start.
+func TestWorkspaceWarmStart(t *testing.T) {
+	s := testStacks(t)["mcm2d"]
+	s.Solver.Precond = PrecondSSOR
+	ws := NewWorkspace()
+	cold, err := s.SolveWorkspace(ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.SolveWorkspace(ws, cold.Rises)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range cold.Temps {
+		for i := range cold.Temps[l] {
+			if math.Abs(warm.Temps[l][i]-cold.Temps[l][i]) > 1e-4 {
+				t.Fatalf("layer %d cell %d: warm %.6f != cold %.6f", l, i, warm.Temps[l][i], cold.Temps[l][i])
+			}
+		}
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Errorf("warm start took %d iterations, cold %d", warm.Iterations, cold.Iterations)
+	}
+}
+
+// TestWorkspaceReuseAcrossGeometries: one workspace recycled across
+// stacks of different grid and layer counts stays correct — the guard
+// bands and stale operator entries must not leak between solves.
+func TestWorkspaceReuseAcrossGeometries(t *testing.T) {
+	ws := NewWorkspace()
+	stacks := testStacks(t)
+	small := singleLayer(8, 2)
+	order := []*Stack{stacks["mcm3d"], small, stacks["mcm2d"], stacks["single"], stacks["mcm3d"]}
+	for i, s := range order {
+		fast := *s
+		fast.Solver.Precond = PrecondSSOR
+		got, err := fast.SolveWorkspace(ws, nil)
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+		ref, err := s.Solve()
+		if err != nil {
+			t.Fatalf("ref %d: %v", i, err)
+		}
+		if d := math.Abs(got.PeakC - ref.PeakC); d > 0.1 {
+			t.Fatalf("solve %d: peak differs by %.4f C after workspace reuse", i, d)
+		}
+	}
+}
+
+// TestWorkspacePerGoroutine: concurrent solves, each goroutine with its
+// own workspace, race-free (run under -race) and correct.
+func TestWorkspacePerGoroutine(t *testing.T) {
+	s := testStacks(t)["mcm2d"]
+	s.Solver.Precond = PrecondSSOR
+	ref, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	peaks := make([]float64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ws := NewWorkspace()
+			for it := 0; it < 3; it++ {
+				res, err := s.SolveWorkspace(ws, nil)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				peaks[g] = res.PeakC
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if math.Abs(peaks[g]-ref.PeakC) > 0.1 {
+			t.Fatalf("goroutine %d: peak %.4f, ref %.4f", g, peaks[g], ref.PeakC)
+		}
+	}
+}
+
+// TestParallelStencilEquivalence: forcing the parallel apply path (by
+// dropping the node threshold and raising GOMAXPROCS) yields the same
+// solution as the serial path.
+func TestParallelStencilEquivalence(t *testing.T) {
+	oldMin := parallelMinNodes
+	oldProcs := runtime.GOMAXPROCS(4)
+	defer func() {
+		parallelMinNodes = oldMin
+		runtime.GOMAXPROCS(oldProcs)
+	}()
+	parallelMinNodes = 1
+	for name, s := range testStacks(t) {
+		ref, err := s.Solve()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fast := *s
+		fast.Solver.Precond = PrecondSSOR
+		got, err := fast.SolveWorkspace(NewWorkspace(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for l := range ref.Temps {
+			for i := range ref.Temps[l] {
+				if math.Abs(got.Temps[l][i]-ref.Temps[l][i]) > 0.1 {
+					t.Fatalf("%s: layer %d cell %d diverges under parallel apply", name, l, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveWorkspaceIntoZeroAlloc: recycling both the workspace and the
+// Result runs the whole solve without allocating.
+func TestSolveWorkspaceIntoZeroAlloc(t *testing.T) {
+	s := testStacks(t)["mcm2d"]
+	s.Solver.Precond = PrecondSSOR
+	ws := NewWorkspace()
+	var res Result
+	if err := s.SolveWorkspaceInto(ws, nil, &res); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := s.SolveWorkspaceInto(ws, nil, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("SolveWorkspaceInto allocated %.0f times per solve, want 0", allocs)
+	}
+}
+
+// TestWorkspaceErrors: validation failures and exhausted iteration
+// budgets surface through the workspace path exactly like the reference.
+func TestWorkspaceErrors(t *testing.T) {
+	bad := singleLayer(8, 1)
+	bad.Grid = 0
+	if _, err := bad.SolveWorkspace(nil, nil); err == nil {
+		t.Error("invalid stack accepted")
+	}
+	s := nonuniform(8)
+	s.Solver = SolverParams{IterScale: 1e-9, Precond: PrecondSSOR}
+	if _, err := s.SolveWorkspace(nil, nil); err == nil {
+		t.Error("exhausted budget did not error")
+	}
+}
+
+// TestWorkspaceZeroPower: a zero-power stack returns ambient everywhere
+// even when the workspace holds a stale previous solution.
+func TestWorkspaceZeroPower(t *testing.T) {
+	ws := NewWorkspace()
+	hot := singleLayer(8, 4)
+	if _, err := hot.SolveWorkspace(ws, nil); err != nil {
+		t.Fatal(err)
+	}
+	cold := singleLayer(8, 0)
+	r, err := cold.SolveWorkspace(ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.PeakC-45) > 1e-9 {
+		t.Errorf("zero-power peak %f, want ambient 45", r.PeakC)
+	}
+}
+
+// TestFastToleranceWithinBand: solving at the fast-path tolerance
+// (FastTolScale, ~1e-5 relative residual) stays within 0.02 C of the
+// full-fidelity reference everywhere — five times inside the 0.1 C
+// agreement contract — across the fault-matrix stack configs.
+func TestFastToleranceWithinBand(t *testing.T) {
+	for name, s := range testStacks(t) {
+		ref, err := s.Solve()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fast := *s
+		fast.Solver.TolScale = FastTolScale
+		got, err := fast.SolveWorkspace(nil, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for l := range ref.Temps {
+			for i := range ref.Temps[l] {
+				if d := math.Abs(got.Temps[l][i] - ref.Temps[l][i]); d > 0.02 {
+					t.Fatalf("%s: layer %d cell %d differs by %.5f C at fast tolerance", name, l, i, d)
+				}
+			}
+		}
+		if got.Iterations >= ref.Iterations {
+			t.Errorf("%s: fast tolerance took %d iterations, reference %d — no saving", name, got.Iterations, ref.Iterations)
+		}
+	}
+}
+
+// TestHarmZeroGuard: the harmonic mean of two zero conductivities is
+// zero, not NaN.
+func TestHarmZeroGuard(t *testing.T) {
+	if got := harm(0, 0); got != 0 {
+		t.Errorf("harm(0,0) = %v, want 0", got)
+	}
+	if got := harm(2, 2); math.Abs(got-2) > 1e-12 {
+		t.Errorf("harm(2,2) = %v, want 2", got)
+	}
+	if got := harm(0, 5); got != 0 {
+		t.Errorf("harm(0,5) = %v, want 0", got)
+	}
+}
