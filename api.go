@@ -58,6 +58,7 @@ import (
 	"tesa/internal/core"
 	"tesa/internal/dnn"
 	"tesa/internal/faults"
+	"tesa/internal/memo"
 	"tesa/internal/systolic"
 	"tesa/internal/telemetry"
 )
@@ -277,6 +278,40 @@ type (
 // NewTelemetry returns an enabled hub; sink may be nil for
 // metrics-only collection.
 func NewTelemetry(sink EventSink) *Telemetry { return telemetry.New(sink) }
+
+// Memoization (internal/memo). A MemoStore caches pipeline
+// sub-evaluations (systolic profiles, SRAM estimates, schedules,
+// coverage maps, whole DSE evaluations) under content-addressed keys.
+// Options.Memo gives each evaluator a private store; attach one
+// explicitly with Evaluator.UseMemo to share it across evaluators —
+// e.g. an exhaustive sweep and the annealer validating against it —
+// and warm it from disk with LoadMemoDir:
+//
+//	store := tesa.NewMemoStore()
+//	closeDisk, _ := tesa.LoadMemoDir(store, ".tesa-memo")
+//	defer closeDisk()
+//	ev.UseMemo(store)
+type (
+	// MemoStore is a concurrency-safe content-addressed cache of
+	// pipeline sub-evaluations, shared across evaluators and annealing
+	// chains.
+	MemoStore = memo.Store
+	// MemoStats is a point-in-time snapshot of a store's hit/miss/load
+	// counters, overall and per result kind.
+	MemoStats = memo.Stats
+)
+
+// NewMemoStore returns an empty in-memory memo store.
+func NewMemoStore() *MemoStore { return memo.NewStore() }
+
+// LoadMemoDir warm-starts store from the JSONL cache segments under
+// dir (creating it when absent) and arranges for new results to be
+// persisted there. Segments written by a different model version are
+// skipped. The returned closer flushes pending records; call it before
+// exiting.
+func LoadMemoDir(store *MemoStore, dir string) (func() error, error) {
+	return core.LoadMemoDir(store, dir)
+}
 
 // NewJSONLSink wraps w in a buffered JSONL trace sink; call Flush (or
 // Telemetry.Flush) before exiting.

@@ -14,12 +14,16 @@
 package tesa_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"tesa"
 	"tesa/internal/core"
@@ -391,4 +395,84 @@ func benchSweepThermal(b *testing.B, fast bool, label string) {
 func BenchmarkSweepThermal(b *testing.B) {
 	b.Run("reference", func(b *testing.B) { benchSweepThermal(b, false, "reference") })
 	b.Run("fast", func(b *testing.B) { benchSweepThermal(b, true, "fast") })
+}
+
+// benchSweepEval runs the full default-corner optimization (the
+// acceptance corner of the memoization work: DefaultSpace, 30 fps,
+// 15 W, 75 C, seed 1, fast thermal path) on one configuration and
+// records the winner with its exact reported numbers, so the
+// baseline / memo-cold / memo-warm triple in BENCH_eval.json can be
+// checked for both the speedup and the identical result.
+func benchSweepEval(b *testing.B, label, memoDir string, parallel bool) {
+	opts := tesa.DefaultOptions()
+	opts.ThermalFast = true
+	cons := tesa.DefaultConstraints()
+	var rec map[string]any
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev, err := tesa.NewEvaluator(tesa.ARVRWorkload(), opts, cons, tesa.Models{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var store *tesa.MemoStore
+		memoDone := func() error { return nil }
+		if memoDir != "" {
+			store = tesa.NewMemoStore()
+			if memoDone, err = tesa.LoadMemoDir(store, memoDir); err != nil {
+				b.Fatal(err)
+			}
+			ev.UseMemo(store)
+		}
+		optOpt := &tesa.OptimizeOptions{}
+		if parallel {
+			optOpt.Parallel = runtime.NumCPU()
+		}
+		start := time.Now()
+		res, err := ev.OptimizeContext(context.Background(), tesa.DefaultSpace(), 1, optOpt)
+		elapsed := time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("no feasible configuration at the default corner")
+		}
+		if err := memoDone(); err != nil {
+			b.Fatal(err)
+		}
+		// The identical-result gate compares the winner and the exact
+		// reported objective/cost/latency; the temperature at the CLI's
+		// 2-decimal precision (warm-started CG state may move its last
+		// bits).
+		rec = map[string]any{
+			"path":          label,
+			"parallel":      parallel,
+			"winner":        fmt.Sprint(res.Best.Point),
+			"objective":     res.Best.Objective,
+			"cost_usd":      res.Best.MCMCost.Total,
+			"latency_ms":    res.Best.MakespanSec * 1e3,
+			"temp_c":        fmt.Sprintf("%.2f", res.Best.PeakTempC),
+			"evals_per_sec": float64(res.Evaluations) / elapsed.Seconds(),
+		}
+		if store != nil {
+			st := store.Stats()
+			rec["memo_hit_rate"] = st.HitRate()
+			rec["memo_loaded"] = st.Loaded
+		}
+	}
+	b.Logf("%s: winner %v, objective %v", label, rec["winner"], rec["objective"])
+	emitBench(b, rec)
+}
+
+// BenchmarkSweepEval is the end-to-end acceptance benchmark of the
+// memoization layer: the same default-corner search on the PR's
+// fast-path baseline, then memo-cold (fresh persistent store, pooled
+// chains), then memo-warm (second invocation over the same -memo-dir).
+// The warm leg must re-derive the identical winner at least 5x faster
+// than the baseline. Run with -benchtime 1x so the cold leg really is
+// cold and the warm leg really reloads the cold leg's segments.
+func BenchmarkSweepEval(b *testing.B) {
+	dir := filepath.Join(b.TempDir(), "memo")
+	b.Run("baseline", func(b *testing.B) { benchSweepEval(b, "baseline", "", false) })
+	b.Run("memo-cold", func(b *testing.B) { benchSweepEval(b, "memo-cold", dir, true) })
+	b.Run("memo-warm", func(b *testing.B) { benchSweepEval(b, "memo-warm", dir, true) })
 }

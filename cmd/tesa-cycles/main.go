@@ -6,6 +6,12 @@
 // Usage:
 //
 //	tesa-cycles [-dim 200] [-freq 400] [-channels 0 (auto)]
+//	            [-metrics] [-trace out.jsonl] [-pprof addr]
+//
+// Observability: -metrics prints per-network simulation latency
+// percentiles, -trace streams one JSONL event per simulated network,
+// and -pprof serves net/http/pprof — the same flags as the search
+// commands.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 
 	"tesa"
+	"tesa/internal/cli"
 	"tesa/internal/core"
 	"tesa/internal/dram"
 	"tesa/internal/systolic"
@@ -25,8 +32,15 @@ func main() {
 		dim      = flag.Int("dim", 200, "systolic array dimension")
 		freqMHz  = flag.Float64("freq", 400, "operating frequency in MHz")
 		channels = flag.Int("channels", 0, "DRAM channels (0 = provision from peak bandwidth)")
+		obs      = cli.ObservabilityFlags()
 	)
 	flag.Parse()
+
+	tel, finish, err := obs.Setup(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	sramKB := core.SRAMKBForArray(*dim)
 	a := systolic.Array{
@@ -44,9 +58,11 @@ func main() {
 	w := tesa.ARVRWorkload()
 	for i := range w.Networks {
 		n := &w.Networks[i]
+		span := tel.StartSpan("cycles.network")
 		ana, err := systolic.SimulateNetwork(a, n)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			finish()
 			os.Exit(1)
 		}
 		ch := *channels
@@ -57,15 +73,23 @@ func main() {
 		cyc, err := systolic.SimulateNetworkCycles(a, n, bytesPerCycle)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			finish()
 			os.Exit(1)
 		}
 		free, err := systolic.SimulateNetworkCycles(a, n, math.Inf(1))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			finish()
 			os.Exit(1)
 		}
+		span.End()
+		tel.Emit("cycles.network", map[string]any{
+			"network": n.Name, "analytic": ana.Cycles, "sim": cyc.TotalCycles(),
+			"stall": cyc.StallFraction(), "channels": ch,
+		})
 		if free.ComputeCycles != ana.Cycles {
 			fmt.Fprintf(os.Stderr, "%s: analytic/cycle divergence: %d vs %d\n", n.Name, ana.Cycles, free.ComputeCycles)
+			finish()
 			os.Exit(2)
 		}
 		fmt.Printf("%-14s %12d %12d %7.1f%% %8.1fMB %8.2f %8d\n",
@@ -76,4 +100,5 @@ func main() {
 	}
 	fmt.Println("\nanalytic cyc == stall-free sim cyc for every network (validated above);")
 	fmt.Println("stall% shows how close the provisioned channels come to the stall-free assumption.")
+	finish()
 }

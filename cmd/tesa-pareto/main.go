@@ -9,11 +9,20 @@
 //	            [-faults spec] [-max-failures 0] [-fail-fast]
 //	            [-stage-timeout 0] [-metrics] [-trace out.jsonl]
 //	            [-pprof addr] [-thermal-fast] [-surrogate-band 3]
+//	            [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
 //
 // -thermal-fast runs every weight setting's search on the fast thermal
 // path (workspace CG, warm starts, surrogate pre-screen with a
 // -surrogate-band guard band); the traced front is unchanged, only
 // wall-clock time drops.
+//
+// -memo shares one content-addressed memo store across all weight
+// settings: the Eq. 6 weights enter the objective, not the pipeline
+// stages, so the frequency-independent sub-results (systolic profiles,
+// SRAM estimates, schedules, thermal coverage) computed for the first
+// weight are reused by every later one. -memo-dir persists the store
+// across invocations; -starts-parallel pools the annealing chains.
+// The traced front is identical with or without the flags.
 //
 // With the telemetry flags, all weight settings share one hub, so the
 // -metrics summary aggregates stage timings across the whole front and
@@ -39,7 +48,6 @@ import (
 
 	"tesa"
 	"tesa/internal/cli"
-	"tesa/internal/telemetry"
 )
 
 func main() {
@@ -56,11 +64,10 @@ func main() {
 		maxFail   = flag.Int("max-failures", 0, "abort a weight setting once more than this many points are quarantined (0 = unlimited)")
 		failFast  = flag.Bool("fail-fast", false, "abort on the first failed evaluation instead of quarantining it")
 		stageTO   = flag.Duration("stage-timeout", 0, "quarantine a point when one pipeline stage exceeds this duration (0 = off)")
-		metrics   = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
-		trace     = flag.String("trace", "", "write a JSONL event trace to this file")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		fast      = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
 		band      = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
+		obs       = cli.ObservabilityFlags()
+		mf        = cli.MemoFlagsRegister()
 	)
 	flag.Parse()
 	if *points < 2 {
@@ -73,10 +80,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	tel, telDone, err := telemetry.Setup(*trace, *pprofAddr, *metrics)
+	// The summaries go to stderr so the CSV on stdout stays clean.
+	tel, telFinish, err := obs.Setup(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	store, memoDone, err := mf.Store()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	finish := func() {
+		if store != nil && obs.Metrics {
+			fmt.Fprintf(os.Stderr, "memo: %s\n", store.Stats())
+		}
+		telFinish()
+		if err := memoDone(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
 	}
 
 	base := tesa.DefaultOptions()
@@ -123,11 +145,16 @@ func main() {
 			os.Exit(1)
 		}
 		ev.Instrument(tel)
+		if store != nil {
+			// One store across the whole front: the weight settings
+			// share every weight-independent sub-result.
+			ev.UseMemo(store)
+		}
 		if err := cli.ApplyFaults(ev, *faultSpec, *stageTO); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		optOpt := &tesa.OptimizeOptions{MaxFailures: *maxFail, FailFast: *failFast}
+		optOpt := &tesa.OptimizeOptions{MaxFailures: *maxFail, FailFast: *failFast, Parallel: mf.StartWorkers()}
 		if *progress {
 			alpha, beta := opts.Alpha, opts.Beta
 			optOpt.Progress = func(p tesa.Progress) {
@@ -146,18 +173,14 @@ func main() {
 		case errors.Is(err, context.Canceled):
 			fmt.Fprintf(os.Stderr, "interrupted at weight %d of %d; CSV above is complete for the swept weights\n",
 				i, *points)
-			if *metrics {
-				fmt.Fprint(os.Stderr, tel.Summary())
-			}
-			if err := telDone(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
+			finish()
 			os.Exit(130)
 		case err != nil:
 			if errors.Is(err, tesa.ErrTooManyFailures) {
 				cli.FailureSummary(os.Stderr, ev.QuarantineLedger())
 			}
 			fmt.Fprintln(os.Stderr, err)
+			finish()
 			os.Exit(1)
 		}
 		b := res.Best
@@ -175,14 +198,8 @@ func main() {
 		ledger = append(ledger, q)
 	}
 	sort.Slice(ledger, func(i, j int) bool { return ledger[i].Point.Less(ledger[j].Point) })
-	// The summaries go to stderr so the CSV on stdout stays clean.
 	cli.FailureSummary(os.Stderr, ledger)
-	if *metrics {
-		fmt.Fprint(os.Stderr, tel.Summary())
-	}
-	if err := telDone(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-	}
+	finish()
 	if len(ledger) > 0 {
 		os.Exit(cli.ExitQuarantined)
 	}

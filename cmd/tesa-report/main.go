@@ -4,9 +4,17 @@
 //
 //	tesa-report [-table 3|4|5] [-fig 5|6] [-headline] [-validate] [-all]
 //	            [-grid 32] [-report-grid 88] [-seed 1]
+//	            [-thermal-fast] [-memo]
 //
 // Every experiment prints its reproduction next to the quantity the paper
 // reports; see EXPERIMENTS.md for the recorded comparison.
+//
+// -thermal-fast runs the searches on the fast thermal path and -memo
+// shares one content-addressed memo store across every evaluator of
+// the run; both change wall-clock time only, not the reproduced
+// numbers. With -memo the -validate lines report the store's hit rate
+// (and the warm-start hit rate with -thermal-fast) next to the local
+// cache-hit rate.
 package main
 
 import (
@@ -29,6 +37,8 @@ func main() {
 		grid       = flag.Int("grid", 32, "search-time thermal grid")
 		reportGrid = flag.Int("report-grid", 88, "reporting thermal grid (125 um cells)")
 		seed       = flag.Int64("seed", 1, "optimizer seed")
+		fast       = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
+		memoize    = flag.Bool("memo", false, "share one memo store across every evaluator of the run")
 	)
 	flag.Parse()
 
@@ -36,6 +46,8 @@ func main() {
 	cfg.Grid = *grid
 	cfg.ReportGrid = *reportGrid
 	cfg.Seed = *seed
+	cfg.ThermalFast = *fast
+	cfg.Memo = *memoize
 
 	ran := false
 	fail := func(err error) {
@@ -144,8 +156,15 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			fmt.Printf("%v: space=%d feasible=%d explored=%.1f%% cache-hits=%.1f%% agreement=%v\n",
-				c, v.SpaceSize, v.FeasibleCount, 100*v.ExploredFraction, 100*v.CacheHitRate, v.Agreement)
+			line := fmt.Sprintf("%v: space=%d feasible=%d explored=%.1f%% cache-hits=%.1f%%",
+				c, v.SpaceSize, v.FeasibleCount, 100*v.ExploredFraction, 100*v.CacheHitRate)
+			if *memoize {
+				line += fmt.Sprintf(" memo-hits=%.1f%%", 100*v.MemoHitRate)
+			}
+			if *fast {
+				line += fmt.Sprintf(" warm-hits=%.1f%%", 100*v.WarmStartHitRate)
+			}
+			fmt.Printf("%s agreement=%v\n", line, v.Agreement)
 			if v.ExhaustiveFound {
 				fmt.Printf("  global optimum: %v (objective %.4f)\n", v.ExhaustiveBest.Point, v.ExhaustiveBest.Objective)
 			}

@@ -11,11 +11,19 @@
 //	           [-faults spec] [-max-failures 0] [-fail-fast]
 //	           [-stage-timeout 0] [-metrics] [-trace out.jsonl]
 //	           [-pprof addr] [-thermal-fast] [-surrogate-band 3]
+//	           [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
 //
 // -thermal-fast runs both the exhaustive sweep and the annealer on the
 // fast thermal path (workspace CG, warm starts, surrogate pre-screen
 // with a -surrogate-band guard band); feasibility decisions and the
 // winning points are unchanged, only wall-clock time drops.
+//
+// -memo shares one content-addressed memo store between the exhaustive
+// sweep and the annealer, so the annealer's evaluations are served
+// from the sweep's results; -memo-dir persists the store across
+// invocations and -starts-parallel runs the annealing chains through a
+// worker pool. All three change wall-clock time only — the feasibility
+// counts, both optima, and the agreement verdict are identical.
 //
 // By default the small validation space (64x64..128x128 arrays, coarse
 // ICS) is swept; -full sweeps the whole Table II space — the
@@ -53,7 +61,6 @@ import (
 
 	"tesa"
 	"tesa/internal/cli"
-	"tesa/internal/telemetry"
 )
 
 func main() {
@@ -73,11 +80,10 @@ func main() {
 		maxFailures = flag.Int("max-failures", 0, "abort once more than this many points are quarantined (0 = unlimited)")
 		failFast    = flag.Bool("fail-fast", false, "abort on the first failed evaluation instead of quarantining it")
 		stageTO     = flag.Duration("stage-timeout", 0, "quarantine a point when one pipeline stage exceeds this duration (0 = off)")
-		metrics     = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
-		trace       = flag.String("trace", "", "write a JSONL event trace to this file")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		fast        = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
 		band        = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
+		obs         = cli.ObservabilityFlags()
+		mf          = cli.MemoFlagsRegister()
 	)
 	flag.Parse()
 
@@ -87,16 +93,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	tel, telDone, err := telemetry.Setup(*trace, *pprofAddr, *metrics)
+	tel, telFinish, err := obs.Setup(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	store, memoDone, err := mf.Store()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	finish := func() {
-		if *metrics {
-			fmt.Print(tel.Summary())
+		if store != nil && obs.Metrics {
+			fmt.Printf("memo: %s\n", store.Stats())
 		}
-		if err := telDone(); err != nil {
+		telFinish()
+		if err := memoDone(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}
@@ -158,6 +170,9 @@ func main() {
 		os.Exit(1)
 	}
 	ex.Instrument(tel)
+	if store != nil {
+		ex.UseMemo(store)
+	}
 	if err := cli.ApplyFaults(ex, *faultSpec, *stageTO); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -204,11 +219,16 @@ func main() {
 		os.Exit(1)
 	}
 	op.Instrument(tel)
+	if store != nil {
+		// The same store the sweep filled: the annealer's evaluations
+		// are served from the exhaustive results.
+		op.UseMemo(store)
+	}
 	if err := cli.ApplyFaults(op, *faultSpec, *stageTO); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	optOpt := &tesa.OptimizeOptions{MaxFailures: *maxFailures, FailFast: *failFast}
+	optOpt := &tesa.OptimizeOptions{MaxFailures: *maxFailures, FailFast: *failFast, Parallel: mf.StartWorkers()}
 	if *progress {
 		optOpt.Progress = progressPrinter("anneal")
 	}

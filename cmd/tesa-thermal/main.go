@@ -6,6 +6,12 @@
 //
 //	tesa-thermal -dim 200 -ics 1700 [-tech 2d|3d] [-freq 400] [-fps 30]
 //	             [-grid 88] [-csv out.csv]
+//	             [-metrics] [-trace out.jsonl] [-pprof addr]
+//
+// Observability: -metrics prints the per-stage latency breakdown of
+// the single full-fidelity evaluation (the thermal solve dominates),
+// -trace streams the pipeline's JSONL events, and -pprof serves
+// net/http/pprof — the same flags as the search commands.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"strings"
 
 	"tesa"
+	"tesa/internal/cli"
 )
 
 func main() {
@@ -27,8 +34,15 @@ func main() {
 		tempC   = flag.Float64("temp", 75, "thermal budget in Celsius")
 		grid    = flag.Int("grid", 88, "thermal grid cells per side")
 		csvPath = flag.String("csv", "", "also write the temperature field as CSV")
+		obs     = cli.ObservabilityFlags()
 	)
 	flag.Parse()
+
+	tel, finish, err := obs.Setup(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	opts := tesa.DefaultOptions()
 	if strings.EqualFold(*tech, "3d") {
@@ -45,13 +59,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	ev.Instrument(tel)
 	e, err := ev.EvaluateFull(tesa.DesignPoint{ArrayDim: *dim, ICSUM: *ics})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		finish()
 		os.Exit(1)
 	}
 	if !e.Fits {
 		fmt.Printf("%v does not fit the %.0f mm interposer\n", e.Point, cons.InterposerMM)
+		finish()
 		os.Exit(3)
 	}
 	fmt.Printf("%v: %v grid, peak %.2f C, power %.2f W (dyn %.2f + leak %.2f), feasible=%v %v\n",
@@ -66,12 +83,15 @@ func main() {
 		csv := tesa.ThermalMapCSV(e)
 		if csv == "" {
 			fmt.Fprintln(os.Stderr, "no thermal field available for CSV export")
+			finish()
 			os.Exit(1)
 		}
 		if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			finish()
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
+	finish()
 }

@@ -8,12 +8,22 @@
 //	     [-faults spec] [-max-failures 0] [-fail-fast] [-stage-timeout 0]
 //	     [-metrics] [-trace out.jsonl] [-pprof addr]
 //	     [-thermal-fast] [-surrogate-band 3]
+//	     [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
 //
 // -thermal-fast switches the search to the fast thermal path
 // (allocation-free workspace CG, warm-started solves, surrogate
 // pre-screening with a -surrogate-band guard band); reported tables
 // always come from full-fidelity evaluations, so the flag changes
 // wall-clock time, not results.
+//
+// -memo memoizes pipeline sub-results (systolic profiles, SRAM
+// estimates, schedules, coverage maps, whole evaluations) in a
+// content-addressed store shared by all annealing chains; -memo-dir
+// additionally persists the store so repeated invocations with the
+// same models warm-start from disk. -starts-parallel runs the
+// annealing chains through a worker pool. All three change wall-clock
+// time only: the winning design point and every reported number are
+// identical with or without them.
 //
 // The output reports the winning design point, its derived mesh and SRAM
 // capacity, and the full evaluation (peak temperature, power, cost, DRAM
@@ -44,7 +54,6 @@ import (
 
 	"tesa"
 	"tesa/internal/cli"
-	"tesa/internal/telemetry"
 )
 
 func main() {
@@ -67,11 +76,10 @@ func main() {
 		maxFail    = flag.Int("max-failures", 0, "abort once more than this many points are quarantined (0 = unlimited)")
 		failFast   = flag.Bool("fail-fast", false, "abort on the first failed evaluation instead of quarantining it")
 		stageTO    = flag.Duration("stage-timeout", 0, "quarantine a point when one pipeline stage exceeds this duration (0 = off)")
-		metrics    = flag.Bool("metrics", false, "print an end-of-run telemetry summary")
-		trace      = flag.String("trace", "", "write a JSONL event trace to this file")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		fast       = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
 		band       = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
+		obs        = cli.ObservabilityFlags()
+		mf         = cli.MemoFlagsRegister()
 	)
 	flag.Parse()
 
@@ -85,18 +93,24 @@ func main() {
 		defer cancel()
 	}
 
-	tel, telDone, err := telemetry.Setup(*trace, *pprofAddr, *metrics)
+	tel, telFinish, err := obs.Setup(os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	// finish flushes telemetry before any exit path (os.Exit skips
-	// defers).
+	store, memoDone, err := mf.Store()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// finish flushes telemetry and the on-disk memo cache before any
+	// exit path (os.Exit skips defers).
 	finish := func() {
-		if *metrics {
-			fmt.Print(tel.Summary())
+		if store != nil && obs.Metrics {
+			fmt.Printf("memo: %s\n", store.Stats())
 		}
-		if err := telDone(); err != nil {
+		telFinish()
+		if err := memoDone(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}
@@ -145,6 +159,9 @@ func main() {
 		os.Exit(1)
 	}
 	ev.Instrument(tel)
+	if store != nil {
+		ev.UseMemo(store)
+	}
 	if err := cli.ApplyFaults(ev, *faultSpec, *stageTO); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -154,7 +171,7 @@ func main() {
 	fmt.Printf("constraints: %.0f fps, %.0f W, %.0f C, %.0fx%.0f mm interposer\n\n",
 		cons.FPS, cons.PowerBudgetW, cons.TempBudgetC, cons.InterposerMM, cons.InterposerMM)
 
-	optOpt := &tesa.OptimizeOptions{MaxFailures: *maxFail, FailFast: *failFast}
+	optOpt := &tesa.OptimizeOptions{MaxFailures: *maxFail, FailFast: *failFast, Parallel: mf.StartWorkers()}
 	if *progress {
 		optOpt.Progress = func(p tesa.Progress) {
 			if p.Improved && p.Incumbent != nil {

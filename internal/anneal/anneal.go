@@ -280,22 +280,50 @@ func MultiStart[S any](cfgs []Config, init Init[S], neighbor Neighbor[S], eval E
 // the best result plus the per-start results. On cancellation every
 // start winds down within one evaluation's latency, the goroutines are
 // joined (no leaks), and the first error — ctx.Err() in the
-// cancellation case — is returned.
+// cancellation case — is returned. Objective ties across starts resolve
+// by start order (the legacy behavior; see MultiStartPoolContext for a
+// state-based tie-break).
 func MultiStartContext[S any](ctx context.Context, cfgs []Config, init Init[S], neighbor Neighbor[S], eval Eval[S]) (Result[S], []Result[S], error) {
+	return MultiStartPoolContext(ctx, cfgs, 0, nil, init, neighbor, eval)
+}
+
+// MultiStartPoolContext is MultiStartContext with an explicit worker
+// pool: at most workers chains run concurrently (0, negative, or a value
+// >= len(cfgs) runs every chain concurrently, matching
+// MultiStartContext), drawing configs in index order. Each chain owns
+// its config-seeded PRNG stream, so the pool width changes scheduling
+// only — every per-start Result is identical for any width.
+//
+// less, when non-nil, refines the cross-start winner selection: among
+// starts tied on BestObj, the state that orders first under less wins
+// regardless of start index, making the ensemble winner independent of
+// which chains happen to share the optimum (with nil less, lower start
+// index wins ties, the MultiStartContext behavior).
+func MultiStartPoolContext[S any](ctx context.Context, cfgs []Config, workers int, less func(a, b S) bool, init Init[S], neighbor Neighbor[S], eval Eval[S]) (Result[S], []Result[S], error) {
 	if len(cfgs) == 0 {
 		return Result[S]{}, nil, fmt.Errorf("anneal: no starts configured")
+	}
+	if workers <= 0 || workers > len(cfgs) {
+		workers = len(cfgs)
 	}
 	began := time.Now()
 	results := make([]Result[S], len(cfgs))
 	errs := make([]error, len(cfgs))
+	idxCh := make(chan int)
 	var wg sync.WaitGroup
-	for i, cfg := range cfgs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, cfg Config) {
+		go func() {
 			defer wg.Done()
-			results[i], errs[i] = MinimizeContext(ctx, cfg, init, neighbor, eval)
-		}(i, cfg)
+			for i := range idxCh {
+				results[i], errs[i] = MinimizeContext(ctx, cfgs[i], init, neighbor, eval)
+			}
+		}()
 	}
+	for i := range cfgs {
+		idxCh <- i
+	}
+	close(idxCh)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -311,7 +339,9 @@ func MultiStartContext[S any](ctx context.Context, cfgs []Config, init Init[S], 
 		if r.Levels > best.Levels {
 			best.Levels = r.Levels
 		}
-		if r.Found && (!best.Found || r.BestObj < best.BestObj) {
+		better := r.Found && (!best.Found || r.BestObj < best.BestObj ||
+			(r.BestObj == best.BestObj && less != nil && less(r.Best, best.Best)))
+		if better {
 			best.Best, best.BestObj, best.Found = r.Best, r.BestObj, true
 		}
 	}

@@ -1,0 +1,93 @@
+package anneal
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// poolProblem is a deterministic synthetic minimization shared by the
+// pool-invariance tests: minimize (s-42)^2 over integers, feasible
+// everywhere, with seeded random walks.
+func poolProblem() (Init[int], Neighbor[int], Eval[int]) {
+	init := func(rng *rand.Rand) (int, bool) { return rng.Intn(200) - 100, true }
+	neighbor := func(s int, rng *rand.Rand) int { return s + rng.Intn(21) - 10 }
+	eval := func(s int) (float64, bool) {
+		d := float64(s - 42)
+		return d * d, true
+	}
+	return init, neighbor, eval
+}
+
+// TestMultiStartPoolWidthInvariance: every per-start result (and the
+// merged ensemble result) is identical for any worker-pool width —
+// each chain owns its config-seeded PRNG stream, so the width changes
+// scheduling only.
+func TestMultiStartPoolWidthInvariance(t *testing.T) {
+	cfgs := DefaultStarts(7)
+	init, neighbor, eval := poolProblem()
+	ref, refPer, err := MultiStartContext(context.Background(), cfgs, init, neighbor, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for workers := 1; workers <= len(cfgs)+1; workers++ {
+		got, per, err := MultiStartPoolContext(context.Background(), cfgs, workers, nil, init, neighbor, eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Found != ref.Found || got.Best != ref.Best || got.BestObj != ref.BestObj ||
+			got.Evaluations != ref.Evaluations || got.Accepted != ref.Accepted ||
+			got.Uphill != ref.Uphill || got.Levels != ref.Levels {
+			t.Errorf("workers=%d: ensemble result diverged: %+v, want %+v", workers, got, ref)
+		}
+		if len(per) != len(refPer) {
+			t.Fatalf("workers=%d: %d per-start results, want %d", workers, len(per), len(refPer))
+		}
+		for i := range per {
+			p, w := per[i], refPer[i]
+			if p.Found != w.Found || p.Best != w.Best || p.BestObj != w.BestObj ||
+				p.Evaluations != w.Evaluations || p.Accepted != w.Accepted ||
+				p.Uphill != w.Uphill || p.Levels != w.Levels {
+				t.Errorf("workers=%d start %d: %+v, want %+v", workers, i, p, w)
+			}
+		}
+	}
+}
+
+// TestMultiStartPoolLessTieBreak: when starts tie on the objective, a
+// non-nil less picks the state ordering first regardless of start
+// index, while nil preserves the legacy first-by-index winner.
+func TestMultiStartPoolLessTieBreak(t *testing.T) {
+	cfgs := DefaultStarts(3)
+	// Flat landscape: every state is feasible with objective 0, so each
+	// chain's best stays its seeded init draw and all chains tie.
+	init := func(rng *rand.Rand) (int, bool) { return rng.Intn(1000), true }
+	neighbor := func(s int, rng *rand.Rand) int { return s + rng.Intn(3) - 1 }
+	eval := func(int) (float64, bool) { return 0, true }
+
+	legacy, per, err := MultiStartPoolContext(context.Background(), cfgs, 0, nil, init, neighbor, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Best != per[0].Best {
+		t.Errorf("nil less: winner %d, want start 0's %d", legacy.Best, per[0].Best)
+	}
+
+	less := func(a, b int) bool { return a < b }
+	got, per, err := MultiStartPoolContext(context.Background(), cfgs, 2, less, init, neighbor, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := per[0].Best
+	for _, r := range per[1:] {
+		if r.Best < min {
+			min = r.Best
+		}
+	}
+	if got.Best != min {
+		t.Errorf("less tie-break: winner %d, want minimum per-start best %d", got.Best, min)
+	}
+	if got.BestObj != 0 || !got.Found {
+		t.Errorf("tie-break changed the objective: %+v", got)
+	}
+}

@@ -1,0 +1,117 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"tesa"
+	"tesa/internal/telemetry"
+)
+
+// Observability bundles the -metrics/-trace/-pprof flags every tesa
+// command shares, so each main registers and tears them down the same
+// way instead of repeating the telemetry.Setup boilerplate.
+type Observability struct {
+	// Metrics enables the end-of-run telemetry summary.
+	Metrics bool
+	// Trace is the JSONL event-trace output path ("" = off).
+	Trace string
+	// Pprof is the net/http/pprof listen address ("" = off).
+	Pprof string
+}
+
+// ObservabilityFlags registers -metrics, -trace, and -pprof on the
+// default flag set and returns the struct they populate after
+// flag.Parse.
+func ObservabilityFlags() *Observability {
+	o := &Observability{}
+	flag.BoolVar(&o.Metrics, "metrics", false, "print an end-of-run telemetry summary")
+	flag.StringVar(&o.Trace, "trace", "", "write a JSONL event trace to this file")
+	flag.StringVar(&o.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return o
+}
+
+// Setup builds the telemetry hub from the parsed flags. The returned
+// finish prints the -metrics summary to sum (stdout for most commands,
+// stderr for CSV emitters) and flushes the trace; call it before every
+// exit path — os.Exit skips defers. The hub is nil when no flag asked
+// for it, which disables instrumentation at ~zero cost.
+func (o *Observability) Setup(sum io.Writer) (*telemetry.Telemetry, func(), error) {
+	tel, telDone, err := telemetry.Setup(o.Trace, o.Pprof, o.Metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+	finish := func() {
+		if o.Metrics {
+			fmt.Fprint(sum, tel.Summary())
+		}
+		if err := telDone(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	return tel, finish, nil
+}
+
+// MemoFlags bundles the cross-point memoization and parallel-annealing
+// flags of the search commands: -memo (share one content-addressed
+// store across every evaluator of the run), -memo-dir (persist it
+// across invocations), and -starts-parallel (run the annealing chains
+// through a worker pool with deterministic parallel start sampling).
+type MemoFlags struct {
+	// Enable turns sub-evaluation memoization on (-memo). Off by
+	// default: without it the pipeline byte-for-byte matches the
+	// unmemoized build.
+	Enable bool
+	// Dir is the on-disk cache directory (-memo-dir, implies -memo).
+	Dir string
+	// Parallel runs the multi-start annealing chains concurrently
+	// (-starts-parallel). Results are identical to the sequential
+	// schedule; only wall-clock time changes.
+	Parallel bool
+}
+
+// MemoFlagsRegister registers -memo, -memo-dir, and -starts-parallel on
+// the default flag set and returns the struct they populate after
+// flag.Parse.
+func MemoFlagsRegister() *MemoFlags {
+	m := &MemoFlags{}
+	flag.BoolVar(&m.Enable, "memo", false, "memoize pipeline stages in a store shared across the whole run")
+	flag.StringVar(&m.Dir, "memo-dir", "", "persist the memo store in this directory across invocations (implies -memo)")
+	flag.BoolVar(&m.Parallel, "starts-parallel", false, "run the annealing chains through a worker pool (identical results, less wall-clock)")
+	return m
+}
+
+// Store materializes the flags: nil when memoization is off, otherwise
+// a fresh shared store, warm-started from -memo-dir when one was given.
+// The returned closer flushes the on-disk cache (a no-op without
+// -memo-dir); call it before every exit path.
+func (m *MemoFlags) Store() (*tesa.MemoStore, func() error, error) {
+	if m.Dir != "" {
+		m.Enable = true
+	}
+	if !m.Enable {
+		return nil, func() error { return nil }, nil
+	}
+	s := tesa.NewMemoStore()
+	if m.Dir == "" {
+		return s, func() error { return nil }, nil
+	}
+	closer, err := tesa.LoadMemoDir(s, m.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-memo-dir: %w", err)
+	}
+	return s, closer, nil
+}
+
+// StartWorkers is the OptimizeOptions.Parallel value the flags ask for:
+// 0 (the legacy chain schedule) unless -starts-parallel, then the
+// machine's core count — the annealer clamps it to the chain count.
+func (m *MemoFlags) StartWorkers() int {
+	if !m.Parallel {
+		return 0
+	}
+	return runtime.NumCPU()
+}

@@ -130,6 +130,16 @@ type Options struct {
 	// ThermalFast is set; DefaultSurrogateBandC is the validated
 	// default.
 	SurrogateBandC float64
+	// Memo enables the cross-point memoization layer (the CLIs'
+	// -memo flag): stage results (per-network systolic simulations, SRAM
+	// scalars, schedules, coverage maps) and whole-point DSE evaluations
+	// are served by content-addressed fingerprint from a store shared by
+	// every chain in the process. Every served value is one the plain
+	// pipeline would have computed bit-identically, so results are
+	// unchanged — off by default, like ThermalFast. NewEvaluator creates
+	// a private store; Evaluator.UseMemo attaches a shared one and
+	// LoadMemoDir adds cross-process persistence.
+	Memo bool
 }
 
 // DefaultSurrogateBandC is the default surrogate guard band (Celsius)

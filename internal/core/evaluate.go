@@ -13,10 +13,10 @@ import (
 	"tesa/internal/dnn"
 	"tesa/internal/faults"
 	"tesa/internal/floorplan"
+	"tesa/internal/memo"
 	"tesa/internal/nop"
 	"tesa/internal/power"
 	"tesa/internal/sched"
-	"tesa/internal/sram"
 	"tesa/internal/systolic"
 	"tesa/internal/telemetry"
 	"tesa/internal/thermal"
@@ -115,7 +115,19 @@ type Evaluation struct {
 	// Full records whether thermal analysis ran to completion even after
 	// an early constraint violation (reporting mode).
 	Full bool
+
+	// compact marks an evaluation rebuilt from a persistent memo record:
+	// every scalar above is bit-identical to the original computation,
+	// but Schedule, Placement and the thermal field are nil. See Compact.
+	compact bool
 }
+
+// Compact reports whether this evaluation was served from a persistent
+// memo record and therefore carries only scalar results — Schedule,
+// Placement, ChipletTraffic details and the thermal field structures are
+// absent. Re-evaluate the point through EvaluateFull when the structures
+// are needed; the engines do this automatically for reported winners.
+func (ev *Evaluation) Compact() bool { return ev.compact }
 
 // Evaluator runs the TESA pipeline for design points of one workload
 // under one (Options, Constraints) setting, memoizing both the
@@ -148,6 +160,16 @@ type Evaluator struct {
 	// warm is the ThermalFast warm-start cache: the last converged
 	// temperature-rise field per thermal geometry class (see warmKey).
 	warm warmCache
+
+	// memo is the optional cross-point memoization store (nil =
+	// disabled); see UseMemo and Options.Memo. It may be shared across
+	// evaluators — keys carry configuration fingerprints.
+	memo *memo.Store
+	// fpOnce guards the lazy fingerprint computation below (memoize.go).
+	fpOnce sync.Once
+	cfgFP  string   // whole-evaluation configuration fingerprint
+	perfFP string   // performance-model (systolic/sched) fingerprint
+	netFPs []string // per-network content fingerprints
 
 	mu     sync.Mutex
 	cache  map[DesignPoint]*Evaluation
@@ -238,7 +260,7 @@ func NewEvaluator(w dnn.Workload, opts Options, cons Constraints, models Models)
 	if opts.MaxChiplets == 0 {
 		opts.MaxChiplets = len(w.Networks)
 	}
-	return &Evaluator{
+	e := &Evaluator{
 		Workload: w,
 		Opts:     opts,
 		Cons:     cons,
@@ -246,7 +268,13 @@ func NewEvaluator(w dnn.Workload, opts Options, cons Constraints, models Models)
 		sim:      systolic.NewSimulator(),
 		cache:    make(map[DesignPoint]*Evaluation),
 		failed:   make(map[DesignPoint]*EvalError),
-	}, nil
+	}
+	if opts.Memo {
+		// A private store; callers that want cross-evaluator or
+		// cross-process sharing attach one with UseMemo / LoadMemoDir.
+		e.memo = memo.NewStore()
+	}
+	return e, nil
 }
 
 // Explored returns the number of distinct design points evaluated so far
@@ -332,7 +360,18 @@ func (e *Evaluator) evaluate(p DesignPoint, full bool) (*Evaluation, error) {
 	e.mu.Unlock()
 	e.tel.Registry().Counter("evaluator.cache.miss").Inc()
 
-	ev, err := e.pipeline(p, full)
+	var ev *Evaluation
+	var err error
+	if e.memo != nil && e.injected == nil {
+		// Shared-store path: whole-point results flow through the memo
+		// layer (single-flight across chains and evaluators, optionally
+		// persisted). Bypassed under fault injection — injected faults
+		// must fire at this evaluator's own stage boundaries, so only the
+		// stage-level memoization inside the pipeline applies there.
+		ev, err = e.sharedEvaluate(p, full)
+	} else {
+		ev, err = e.pipeline(p, full)
+	}
 	if err != nil {
 		if ee, ok := asEvalError(err); ok {
 			e.quarantine(ee)
@@ -463,31 +502,13 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (ev *Evaluation, err erro
 		Dataflow:  e.Opts.Dataflow,
 		SRAMBytes: int64(sramKB) * 1024,
 	}
-	profiles := make([]netProfile, len(e.Workload.Networks))
-	est, err := sram.Estimate22nm(int64(sramKB) * 1024)
+	bundle, err := e.profilesFor(arr, threeD)
 	if err != nil {
 		return nil, failStage(stageSystolic, p, err)
 	}
-	var peakSRAMBw, sumLat, sumDyn float64
-	for i := range e.Workload.Networks {
-		st, err := e.sim.Simulate(arr, &e.Workload.Networks[i])
-		if err != nil {
-			return nil, failStage(stageSystolic, p, err)
-		}
-		profiles[i] = netProfile{
-			stats: st,
-			dyn:   e.Models.Power.ChipletDynamic(st, est, e.Opts.FreqHz, threeD),
-		}
-		if st.PeakSRAMBytesPerCycle > peakSRAMBw {
-			peakSRAMBw = st.PeakSRAMBytesPerCycle
-		}
-		// NaN propagates through the sums, so two scalars cover every
-		// per-network latency and power output.
-		sumLat += st.LatencySeconds(e.Opts.FreqHz)
-		sumDyn += profiles[i].dyn.Total()
-	}
+	profiles, est, peakSRAMBw := bundle.profiles, bundle.est, bundle.peakSRAMBw
 	span.End()
-	if err := e.stageGuard(stageSystolic, p, began, sumLat, sumDyn, peakSRAMBw); err != nil {
+	if err := e.stageGuard(stageSystolic, p, began, bundle.sumLat, bundle.sumDyn, peakSRAMBw); err != nil {
 		return nil, err
 	}
 
@@ -542,7 +563,7 @@ func (e *Evaluator) pipeline(p DesignPoint, full bool) (ev *Evaluation, err erro
 		}
 		totalMACs += pr.stats.MACs
 	}
-	schedule, err := sched.Build(sp, mesh.Count(), place.CornerFirstOrder())
+	schedule, err := e.buildSchedule(sp, mesh.Count(), place.CornerFirstOrder())
 	if err != nil {
 		return nil, failStage(stageSched, p, err)
 	}

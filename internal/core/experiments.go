@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tesa/internal/dnn"
+	"tesa/internal/memo"
 )
 
 // ExperimentConfig parameterizes the paper's experiment drivers.
@@ -22,9 +23,42 @@ type ExperimentConfig struct {
 	// ReportGrid is the resolution winners are re-evaluated at for the
 	// reported numbers (the paper's 125 um cells).
 	Grid, ReportGrid int
+	// ThermalFast routes the experiment evaluators through the fast
+	// thermal path (Options.ThermalFast); off by default like the flag.
+	ThermalFast bool
+	// Memo shares one cross-point memoization store across every
+	// evaluator the experiment creates — the exhaustive sweep, the
+	// optimizer, per-corner runs and the fine-grid re-evaluations — so
+	// repeated sub-computations are paid once per experiment instead of
+	// once per evaluator. Results are unchanged (see Options.Memo).
+	Memo bool
 
-	mu      sync.Mutex
-	corners map[Corner]*TableVRow
+	mu        sync.Mutex
+	corners   map[Corner]*TableVRow
+	memoStore *memo.Store
+}
+
+// store lazily creates the experiment-wide shared memo store.
+func (cfg *ExperimentConfig) store() *memo.Store {
+	cfg.mu.Lock()
+	defer cfg.mu.Unlock()
+	if cfg.memoStore == nil {
+		cfg.memoStore = memo.NewStore()
+	}
+	return cfg.memoStore
+}
+
+// newEvaluator builds an evaluator for one corner's options, attaching
+// the shared memo store when Memo is set.
+func (cfg *ExperimentConfig) newEvaluator(opts Options, cons Constraints) (*Evaluator, error) {
+	e, err := NewEvaluator(cfg.Workload, opts, cons, cfg.Models)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Memo {
+		e.UseMemo(cfg.store())
+	}
+	return e, nil
 }
 
 // DefaultExperimentConfig returns the configuration used to regenerate
@@ -60,6 +94,7 @@ func (cfg *ExperimentConfig) optionsFor(c Corner) (Options, Constraints) {
 	opts.Tech = c.Tech
 	opts.FreqHz = c.FreqMHz * 1e6
 	opts.Grid = cfg.Grid
+	opts.ThermalFast = cfg.ThermalFast
 	cons := DefaultConstraints()
 	cons.FPS = c.FPS
 	cons.TempBudgetC = c.BudgetC
@@ -70,7 +105,7 @@ func (cfg *ExperimentConfig) optionsFor(c Corner) (Options, Constraints) {
 func (cfg *ExperimentConfig) reEvaluate(c Corner, p DesignPoint) (*Evaluation, error) {
 	opts, cons := cfg.optionsFor(c)
 	opts.Grid = cfg.ReportGrid
-	e, err := NewEvaluator(cfg.Workload, opts, cons, cfg.Models)
+	e, err := cfg.newEvaluator(opts, cons)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +165,7 @@ func (cfg *ExperimentConfig) RunCornerContext(ctx context.Context, c Corner) (*T
 
 	start := time.Now()
 	opts, cons := cfg.optionsFor(c)
-	e, err := NewEvaluator(cfg.Workload, opts, cons, cfg.Models)
+	e, err := cfg.newEvaluator(opts, cons)
 	if err != nil {
 		return nil, err
 	}
@@ -440,9 +475,16 @@ type ValidationResult struct {
 	ExploredFraction float64
 	// CacheHitRate is the optimizer evaluator's memo-cache hit rate —
 	// how much of the annealers' revisit traffic the cache absorbed.
-	CacheHitRate  float64
-	FeasibleCount int
-	SpaceSize     int
+	CacheHitRate float64
+	// MemoHitRate is the shared memoization store's hit rate across both
+	// evaluators (zero unless ExperimentConfig.Memo is set) — how much
+	// cross-evaluator traffic the memo layer absorbed.
+	MemoHitRate float64
+	// WarmStartHitRate is the thermal warm-start cache hit rate summed
+	// over both evaluators (zero unless ThermalFast ran grid solves).
+	WarmStartHitRate float64
+	FeasibleCount    int
+	SpaceSize        int
 }
 
 // ValidateOptimizer reproduces the paper's Sec. IV-A study: exhaustively
@@ -462,7 +504,7 @@ func (cfg *ExperimentConfig) ValidateOptimizerContext(ctx context.Context, c Cor
 	space := cfg.Space
 	opts, cons := cfg.optionsFor(c)
 
-	ex, err := NewEvaluator(cfg.Workload, opts, cons, cfg.Models)
+	ex, err := cfg.newEvaluator(opts, cons)
 	if err != nil {
 		return nil, err
 	}
@@ -471,7 +513,10 @@ func (cfg *ExperimentConfig) ValidateOptimizerContext(ctx context.Context, c Cor
 		return nil, err
 	}
 
-	op, err := NewEvaluator(cfg.Workload, opts, cons, cfg.Models)
+	// With Memo, the optimizer evaluator shares the sweep's store: every
+	// point the sweep touched is served without recomputation, which is
+	// exactly the cross-evaluator sharing the memo layer exists for.
+	op, err := cfg.newEvaluator(opts, cons)
 	if err != nil {
 		return nil, err
 	}
@@ -488,6 +533,14 @@ func (cfg *ExperimentConfig) ValidateOptimizerContext(ctx context.Context, c Cor
 		SpaceSize:        exRes.Total,
 		ExploredFraction: float64(opRes.Explored) / float64(exRes.Total),
 		CacheHitRate:     op.CacheHitRate(),
+	}
+	if cfg.Memo {
+		res.MemoHitRate = op.MemoStats().HitRate()
+	}
+	exHits, exMisses := ex.WarmStartStats()
+	opHits, opMisses := op.WarmStartStats()
+	if total := exHits + exMisses + opHits + opMisses; total > 0 {
+		res.WarmStartHitRate = float64(exHits+opHits) / float64(total)
 	}
 	res.ExhaustiveBest = exRes.Best
 	if opRes.Found {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"sync"
 
 	"tesa/internal/floorplan"
@@ -27,11 +26,9 @@ const warmCacheCap = 256
 // warmKey identifies a thermal geometry equivalence class: same grid,
 // integration tech (hence layer stack), chiplet mesh, and quantized
 // chiplet dimensions. The grid and tech pin the rise vector's length;
-// the mesh and dimensions pin its rough shape. Inter-chiplet spacing is
-// deliberately absent — an ICS step shifts the hot spots by a fraction
-// of a millimeter, which a CG warm start absorbs in a handful of extra
-// iterations, whereas keying on it would separate exactly the
-// neighboring moves the cache exists for.
+// the mesh and dimensions pin its rough shape. Key construction lives in
+// geom.go (warmKeyFor) alongside the coverage memo's exact-geometry
+// keys, so the two caches' quantization choices stay side by side.
 type warmKey struct {
 	grid       int
 	tech       Tech
@@ -39,35 +36,35 @@ type warmKey struct {
 	wq, hq     int // chiplet width/height in warmQuantMM steps
 }
 
-// warmKeyFor derives the cache key of ev's thermal problem at the given
-// grid resolution.
-func (e *Evaluator) warmKeyFor(ev *Evaluation, grid int) warmKey {
-	q := func(mm float64) int { return int(math.Round(mm / warmQuantMM)) }
-	return warmKey{
-		grid: grid,
-		tech: e.Opts.Tech,
-		rows: ev.Mesh.Rows,
-		cols: ev.Mesh.Cols,
-		wq:   q(ev.Chiplet.WidthMM),
-		hq:   q(ev.Chiplet.HeightMM),
-	}
-}
-
 // warmCache is the thread-safe warm-start store. Stored slices are
 // immutable after insertion, so concurrent evaluations may share one
 // slice as a read-only CG guess while a newer field replaces the map
 // entry.
 type warmCache struct {
-	mu sync.Mutex
-	m  map[warmKey][]float64
+	mu           sync.Mutex
+	m            map[warmKey][]float64
+	hits, misses int64
 }
 
-// get returns the cached temperature-rise field for k, or nil. The
-// returned slice must be treated as read-only.
+// get returns the cached temperature-rise field for k, or nil, counting
+// the lookup. The returned slice must be treated as read-only.
 func (c *warmCache) get(k warmKey) []float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.m[k]
+	rises := c.m[k]
+	if rises != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return rises
+}
+
+// stats returns the cumulative hit and miss counts.
+func (c *warmCache) stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }
 
 // put stores a copy of rises under k, evicting an arbitrary entry once

@@ -1,0 +1,60 @@
+package core
+
+// Geometry key canonicalization, shared by every cache that identifies a
+// floorplan: the thermal warm-start cache (PR 4) and the memo layer's
+// coverage-map records. Keeping all key construction in this one file is
+// deliberate — the two caches quantize differently on purpose (the
+// warm-start cache collapses neighboring geometries because a CG guess
+// tolerates small shifts; the coverage memo must be exact because a
+// coverage map does not), and deriving both from the same primitives
+// makes that difference an explicit choice instead of a drift hazard.
+// The geometry regression test (geom_test.go) pins the relationship.
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"tesa/internal/floorplan"
+	"tesa/internal/memo"
+)
+
+// quantMM quantizes a dimension in millimeters to integer steps of q —
+// the single quantization primitive every geometry key builds on.
+func quantMM(mm, q float64) int { return int(math.Round(mm / q)) }
+
+// warmKeyFor derives the warm-start cache key of ev's thermal problem at
+// the given grid resolution: same grid, integration tech (hence layer
+// stack), chiplet mesh, and warmQuantMM-quantized chiplet dimensions.
+// Inter-chiplet spacing is deliberately absent — an ICS step shifts the
+// hot spots by a fraction of a millimeter, which a CG warm start absorbs
+// in a handful of extra iterations, whereas keying on it would separate
+// exactly the neighboring moves the cache exists for.
+func (e *Evaluator) warmKeyFor(ev *Evaluation, grid int) warmKey {
+	return warmKey{
+		grid: grid,
+		tech: e.Opts.Tech,
+		rows: ev.Mesh.Rows,
+		cols: ev.Mesh.Cols,
+		wq:   quantMM(ev.Chiplet.WidthMM, warmQuantMM),
+		hq:   quantMM(ev.Chiplet.HeightMM, warmQuantMM),
+	}
+}
+
+// covClass renders a placement's exact geometry identity for the
+// coverage memo: mesh shape plus unquantized interposer, chiplet and
+// spacing dimensions (shortest round-trip decimals, so distinct
+// geometries can never collide). Coverage maps are pure functions of
+// exactly these values and the grid; unlike warmKeyFor, nothing is
+// quantized away, because a shared coverage map must be the map, not a
+// neighbor's.
+func covClass(p *floorplan.Placement) string {
+	return strings.Join([]string{
+		strconv.Itoa(p.Mesh.Rows),
+		strconv.Itoa(p.Mesh.Cols),
+		memo.Fnum(p.InterposerMM),
+		memo.Fnum(p.WidthMM),
+		memo.Fnum(p.HeightMM),
+		memo.Fnum(p.ICSmm),
+	}, "|")
+}

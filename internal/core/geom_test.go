@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"tesa/internal/floorplan"
+)
+
+// TestQuantMM pins the shared quantization primitive: round-to-nearest
+// in steps of q, symmetric around the step midpoint.
+func TestQuantMM(t *testing.T) {
+	cases := []struct {
+		mm, q float64
+		want  int
+	}{
+		{0, 0.25, 0},
+		{0.12, 0.25, 0},
+		{0.13, 0.25, 1},
+		{3.1, 0.25, 12},
+		{3.23, 0.25, 13},
+		{10, 1, 10},
+	}
+	for _, c := range cases {
+		if got := quantMM(c.mm, c.q); got != c.want {
+			t.Errorf("quantMM(%g, %g) = %d, want %d", c.mm, c.q, got, c.want)
+		}
+	}
+}
+
+// TestGeometryKeyConsistency is the regression guard for the deliberate
+// difference between the two geometry-keyed caches: the thermal
+// warm-start key collapses sub-quantum chiplet-dimension differences
+// (a CG guess tolerates small shifts) and ignores the inter-chiplet
+// spacing entirely, while the coverage memo class is exact in every
+// dimension (a coverage map is a pure function of its precise
+// geometry). Both derive from the same primitives in geom.go; this
+// test pins the contract so neither drifts to match the other by
+// accident.
+func TestGeometryKeyConsistency(t *testing.T) {
+	e := testEvaluator(t, Tech2D, 400, 15, 85)
+	base := &Evaluation{Mesh: floorplan.Mesh{Rows: 2, Cols: 2}}
+	base.Chiplet.WidthMM, base.Chiplet.HeightMM = 3.10, 3.10
+	near := &Evaluation{Mesh: floorplan.Mesh{Rows: 2, Cols: 2}}
+	near.Chiplet.WidthMM, near.Chiplet.HeightMM = 3.12, 3.10 // sub-quantum shift
+	far := &Evaluation{Mesh: floorplan.Mesh{Rows: 2, Cols: 2}}
+	far.Chiplet.WidthMM, far.Chiplet.HeightMM = 3.23, 3.10 // next quantum
+
+	if e.warmKeyFor(base, 24) != e.warmKeyFor(near, 24) {
+		t.Error("warm-start key separated two geometries within one quantum")
+	}
+	if e.warmKeyFor(base, 24) == e.warmKeyFor(far, 24) {
+		t.Error("warm-start key collapsed geometries a full quantum apart")
+	}
+	if e.warmKeyFor(base, 24) == e.warmKeyFor(base, 32) {
+		t.Error("warm-start key ignored the grid resolution")
+	}
+
+	place := func(w, ics float64) *floorplan.Placement {
+		return &floorplan.Placement{
+			Mesh: floorplan.Mesh{Rows: 2, Cols: 2}, InterposerMM: 8,
+			WidthMM: w, HeightMM: 3.10, ICSmm: ics,
+		}
+	}
+	if covClass(place(3.10, 0.5)) == covClass(place(3.12, 0.5)) {
+		t.Error("coverage class collapsed distinct chiplet widths")
+	}
+	if covClass(place(3.10, 0.5)) == covClass(place(3.10, 0.5000001)) {
+		t.Error("coverage class collapsed distinct inter-chiplet spacings")
+	}
+	if covClass(place(3.10, 0.5)) != covClass(place(3.10, 0.5)) {
+		t.Error("coverage class not deterministic for equal geometry")
+	}
+}

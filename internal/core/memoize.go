@@ -1,0 +1,487 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"tesa/internal/area"
+	"tesa/internal/cost"
+	"tesa/internal/floorplan"
+	"tesa/internal/memo"
+	"tesa/internal/sched"
+	"tesa/internal/sram"
+	"tesa/internal/systolic"
+)
+
+// ModelVersion names the current revision of every analytical model the
+// pipeline composes (systolic, SRAM, area, floorplan, sched, DRAM, cost,
+// power, thermal). It versions the persistent memo cache: segments
+// written under a different ModelVersion are skipped wholesale on load.
+// Bump it whenever a model change can alter any memoized value — that is
+// the cache's only invalidation rule, so reviewers should treat a model
+// edit without a version bump as a bug.
+const ModelVersion = "tesa-models-1"
+
+// UseMemo attaches (and enables) a cross-point memoization store: stage
+// results and whole-point DSE evaluations are served by content-addressed
+// fingerprint, so evaluators sharing one store — sweep shards, annealing
+// chains, the validation experiment's exhaustive and optimizer
+// evaluators — compute each distinct input once. Every served value is
+// one a plain evaluator would have computed bit-identically, so results
+// are unchanged; only wall-clock drops. Call before the first Evaluate.
+// Options.Memo makes NewEvaluator attach a fresh private store instead.
+//
+// The store must not be shared between evaluators with different
+// workloads, options, constraints or models — keys are fingerprinted by
+// configuration, so mixing is safe but pointless — and eval-level
+// sharing is automatically bypassed while a fault-injection plan is
+// armed (stage guards must run per point for injection determinism).
+func (e *Evaluator) UseMemo(s *memo.Store) { e.memo = s }
+
+// Memo returns the attached memoization store (nil when disabled).
+func (e *Evaluator) Memo() *memo.Store { return e.memo }
+
+// MemoStats returns a snapshot of the attached store's traffic counters
+// (the zero Stats when memoization is disabled). Shared stores aggregate
+// across every attached evaluator.
+func (e *Evaluator) MemoStats() memo.Stats {
+	if e.memo == nil {
+		return memo.Stats{}
+	}
+	return e.memo.Stats()
+}
+
+// WarmStartStats returns the thermal warm-start cache's hit and miss
+// counts (both zero unless Options.ThermalFast ran solves).
+func (e *Evaluator) WarmStartStats() (hits, misses int64) {
+	return e.warm.stats()
+}
+
+// LoadMemoDir opens (creating if needed) a persistent memo cache
+// directory, seeds store with every record committed under the current
+// ModelVersion, and attaches the directory so the store's subsequent
+// evaluations are persisted for future processes. The returned closer
+// flushes and closes this process's segment; call it before exit.
+func LoadMemoDir(store *memo.Store, dir string) (func() error, error) {
+	d, err := memo.OpenDisk(dir, ModelVersion)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range d.Records() {
+		switch memo.Kind(rec.K) {
+		case "eval":
+			var r evalRecord
+			if json.Unmarshal(rec.V, &r) == nil {
+				store.Seed(rec.K, r.evaluation())
+			}
+		case "systolic":
+			st := new(systolic.NetworkStats)
+			if json.Unmarshal(rec.V, st) == nil {
+				store.Seed(rec.K, st)
+			}
+		case "sram":
+			var est sram.Estimate
+			if json.Unmarshal(rec.V, &est) == nil {
+				store.Seed(rec.K, est)
+			}
+		}
+	}
+	store.AttachDisk(d)
+	return d.Close, nil
+}
+
+// fingerprints lazily computes the evaluator's canonical configuration
+// fingerprints. cfgFP binds whole-point evaluations to everything that
+// can change one: workload content, options (with the memo switch zeroed
+// — it never changes results), constraints, every model parameter, and
+// the stage timeout. perfFP binds the performance-model stages
+// (systolic + power decomposition + schedule), which see only the
+// workload, tech, frequency, dataflow and power parameters. netFPs
+// fingerprint each network's content for per-network systolic keys.
+func (e *Evaluator) fingerprints() {
+	e.fpOnce.Do(func() {
+		o := e.Opts
+		o.Memo = false
+		e.cfgFP = memo.Hash("cfg", e.Workload, o, e.Cons, e.Models, int64(e.stageTimeout))
+		e.perfFP = memo.Hash("perf", e.Workload, o.Tech, o.FreqHz, fmt.Sprint(o.Dataflow), e.Models.Power)
+		e.netFPs = make([]string, len(e.Workload.Networks))
+		for i := range e.Workload.Networks {
+			e.netFPs[i] = memo.Hash("net", e.Workload.Networks[i])
+		}
+	})
+}
+
+// memoCounter mirrors a store lookup into the telemetry hub as
+// memo.hit.<kind> / memo.miss.<kind> counters.
+func (e *Evaluator) memoCounter(kind string, hit bool) {
+	if !e.tel.Enabled() {
+		return
+	}
+	if hit {
+		e.tel.Registry().Counter("memo.hit." + kind).Inc()
+	} else {
+		e.tel.Registry().Counter("memo.miss." + kind).Inc()
+	}
+}
+
+// evalKey is the whole-point evaluation key: configuration fingerprint
+// plus the design vector.
+func (e *Evaluator) evalKey(p DesignPoint) string {
+	e.fingerprints()
+	return memo.Key("eval", e.cfgFP, strconv.Itoa(p.ArrayDim), strconv.Itoa(p.ICSUM))
+}
+
+// sharedEvaluate is the memoized pipeline entry: whole-point DSE
+// evaluations are shared through the store (single-flight across
+// concurrent chains and evaluators, persisted when a disk is attached),
+// while reporting-mode evaluations are only ever served by an equally
+// full record — a compact or DSE record is upgraded by recomputing, as
+// the local cache does.
+func (e *Evaluator) sharedEvaluate(p DesignPoint, full bool) (*Evaluation, error) {
+	key := e.evalKey(p)
+	if full {
+		if v, ok := e.memo.Get(key); ok {
+			if ev := v.(*Evaluation); ev.Full {
+				e.memoCounter("eval", true)
+				return ev, nil
+			}
+		}
+		ev, err := e.pipeline(p, true)
+		if err != nil {
+			return nil, err
+		}
+		e.memoCounter("eval", false)
+		e.memo.Put(key, ev)
+		return ev, nil
+	}
+	v, hit, err := e.memo.GetOrCompute(key, func() (any, error) {
+		ev, err := e.pipeline(p, false)
+		if err != nil {
+			return nil, err
+		}
+		e.persistEval(key, ev)
+		return ev, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.memoCounter("eval", hit)
+	return v.(*Evaluation), nil
+}
+
+// profileBundle is the memoized output of the systolic stage for one
+// array dimension: per-network simulation stats and dynamic power, the
+// SRAM macro estimate, and the aggregates the stage guard validates.
+// Bundles are immutable after construction and shared read-only.
+type profileBundle struct {
+	profiles   []netProfile
+	est        sram.Estimate
+	peakSRAMBw float64
+	sumLat     float64
+	sumDyn     float64
+}
+
+// profilesFor returns the systolic-stage bundle for arr, through the
+// store when memoization is enabled (keyed by the performance
+// fingerprint and the array dimensions — dataflow and SRAM sizing are
+// functions of those under one fingerprint).
+func (e *Evaluator) profilesFor(arr systolic.Array, threeD bool) (*profileBundle, error) {
+	if e.memo == nil {
+		return e.computeProfiles(arr, threeD, nil)
+	}
+	e.fingerprints()
+	key := memo.Key("profiles", e.perfFP, strconv.Itoa(arr.Rows), strconv.Itoa(arr.Cols))
+	v, hit, err := e.memo.GetOrCompute(key, func() (any, error) {
+		return e.computeProfiles(arr, threeD, e.memo)
+	})
+	e.memoCounter("profiles", hit)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*profileBundle), nil
+}
+
+// computeProfiles runs the systolic stage: the SRAM macro estimate, one
+// simulation per network, and the power decomposition. With a store, the
+// per-network simulations and the SRAM scalar are themselves memoized
+// (and persisted), so bundles for new configurations reuse every
+// sub-result other evaluators or prior runs computed.
+func (e *Evaluator) computeProfiles(arr systolic.Array, threeD bool, store *memo.Store) (*profileBundle, error) {
+	est, err := e.sramEstimate(arr.SRAMBytes, store)
+	if err != nil {
+		return nil, err
+	}
+	b := &profileBundle{
+		profiles: make([]netProfile, len(e.Workload.Networks)),
+		est:      est,
+	}
+	for i := range e.Workload.Networks {
+		st, err := e.networkStats(arr, i, store)
+		if err != nil {
+			return nil, err
+		}
+		b.profiles[i] = netProfile{
+			stats: st,
+			dyn:   e.Models.Power.ChipletDynamic(st, est, e.Opts.FreqHz, threeD),
+		}
+		if st.PeakSRAMBytesPerCycle > b.peakSRAMBw {
+			b.peakSRAMBw = st.PeakSRAMBytesPerCycle
+		}
+		// NaN propagates through the sums, so two scalars cover every
+		// per-network latency and power output.
+		b.sumLat += st.LatencySeconds(e.Opts.FreqHz)
+		b.sumDyn += b.profiles[i].dyn.Total()
+	}
+	return b, nil
+}
+
+// networkStats returns one network's simulation stats, memoized by array
+// geometry, dataflow, SRAM capacity and network content — deliberately
+// not by frequency or power parameters, so records are shared across
+// corners that only change those.
+func (e *Evaluator) networkStats(arr systolic.Array, i int, store *memo.Store) (*systolic.NetworkStats, error) {
+	if store == nil {
+		return e.sim.Simulate(arr, &e.Workload.Networks[i])
+	}
+	key := memo.Key("systolic",
+		strconv.Itoa(arr.Rows), strconv.Itoa(arr.Cols),
+		fmt.Sprint(arr.Dataflow), strconv.FormatInt(arr.SRAMBytes, 10),
+		e.netFPs[i])
+	v, hit, err := store.GetOrCompute(key, func() (any, error) {
+		st, err := e.sim.Simulate(arr, &e.Workload.Networks[i])
+		if err != nil {
+			return nil, err
+		}
+		if store.HasDisk() {
+			if raw, err := json.Marshal(st); err == nil {
+				_ = store.Persist(key, raw)
+			}
+		}
+		return st, nil
+	})
+	e.memoCounter("systolic", hit)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*systolic.NetworkStats), nil
+}
+
+// sramEstimate returns the SRAM macro characterization, memoized by
+// capacity alone (the model has no other inputs).
+func (e *Evaluator) sramEstimate(bytes int64, store *memo.Store) (sram.Estimate, error) {
+	if store == nil {
+		return sram.Estimate22nm(bytes)
+	}
+	key := memo.Key("sram", strconv.FormatInt(bytes, 10))
+	v, hit, err := store.GetOrCompute(key, func() (any, error) {
+		est, err := sram.Estimate22nm(bytes)
+		if err != nil {
+			return nil, err
+		}
+		if store.HasDisk() {
+			if raw, err := json.Marshal(est); err == nil {
+				_ = store.Persist(key, raw)
+			}
+		}
+		return est, nil
+	})
+	e.memoCounter("sram", hit)
+	if err != nil {
+		return sram.Estimate{}, err
+	}
+	return v.(sram.Estimate), nil
+}
+
+// buildSchedule returns the static DNN-to-chiplet assignment, memoized
+// by the content of its exact inputs (profile scalars, chiplet count,
+// corner order) — immune to model reasoning, since equal inputs mean
+// sched.Build returns an equal schedule.
+func (e *Evaluator) buildSchedule(sp []sched.DNNProfile, n int, order []int) (*sched.Schedule, error) {
+	if e.memo == nil {
+		return sched.Build(sp, n, order)
+	}
+	key := memo.Key("sched", memo.Hash(sp, n, order))
+	v, hit, err := e.memo.GetOrCompute(key, func() (any, error) {
+		return sched.Build(sp, n, order)
+	})
+	e.memoCounter("sched", hit)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sched.Schedule), nil
+}
+
+// coverageFor returns the floorplan's silicon coverage map at the given
+// grid, memoized by the exact geometry class (see covClass): the
+// surrogate pre-screen and the retry ladder rasterize the same placement
+// up to three times per point, and sweeps revisit the same few
+// geometries constantly.
+func (e *Evaluator) coverageFor(place *floorplan.Placement, grid int) []float64 {
+	if e.memo == nil {
+		return place.Coverage(grid)
+	}
+	key := memo.Key("cov", strconv.Itoa(grid), covClass(place))
+	v, hit, _ := e.memo.GetOrCompute(key, func() (any, error) {
+		return place.Coverage(grid), nil
+	})
+	e.memoCounter("cov", hit)
+	return v.([]float64)
+}
+
+// persistEval appends a compact record of a computed DSE evaluation to
+// the store's persistent segment, if one is attached. Only DSE-mode
+// results are persisted: reporting-mode evaluations differ in objective
+// semantics for infeasible points and carry structures (schedule,
+// placement, thermal field) not worth serializing.
+func (e *Evaluator) persistEval(key string, ev *Evaluation) {
+	if !e.memo.HasDisk() || ev.Full {
+		return
+	}
+	raw, err := json.Marshal(newEvalRecord(ev))
+	if err != nil {
+		return
+	}
+	_ = e.memo.Persist(key, raw)
+}
+
+// jf is a float64 that survives JSON: NaN and the infinities — which
+// infeasible evaluations legitimately carry (PeakTempC, Objective) —
+// round-trip as strings, everything else as a shortest-round-trip
+// number, so decoded values are bit-identical to encoded ones.
+type jf float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jf) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *jf) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = jf(math.NaN())
+		case "+Inf":
+			*f = jf(math.Inf(1))
+		case "-Inf":
+			*f = jf(math.Inf(-1))
+		default:
+			return fmt.Errorf("core: bad persisted float %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jf(v)
+	return nil
+}
+
+// evalRecord is the persisted form of a DSE evaluation: every scalar a
+// DSE consumer (annealer, sweep, progress reporting) reads, none of the
+// per-point structures. A decoded record yields a compact Evaluation.
+type evalRecord struct {
+	Dim             int            `json:"dim"`
+	ICS             int            `json:"ics"`
+	Feasible        bool           `json:"feasible"`
+	Violations      []string       `json:"violations,omitempty"`
+	Fits            bool           `json:"fits"`
+	Mesh            floorplan.Mesh `json:"mesh"`
+	Chiplet         area.Chiplet   `json:"chiplet"`
+	MakespanSec     jf             `json:"makespan_sec"`
+	LatencyFactor   jf             `json:"latency_factor"`
+	PeakTempC       jf             `json:"peak_temp_c"`
+	Runaway         bool           `json:"runaway,omitempty"`
+	LeakIters       int            `json:"leak_iters"`
+	ThermalFidelity string         `json:"thermal_fidelity,omitempty"`
+	ThermalRetries  int            `json:"thermal_retries,omitempty"`
+	TotalPowerW     jf             `json:"total_power_w"`
+	DynamicPowerW   jf             `json:"dynamic_power_w"`
+	LeakageW        jf             `json:"leakage_w"`
+	MCMCost         cost.Breakdown `json:"mcm_cost"`
+	DRAMPowerW      jf             `json:"dram_power_w"`
+	DRAMChannels    int            `json:"dram_channels"`
+	OPS             jf             `json:"ops"`
+	PeakOPS         jf             `json:"peak_ops"`
+	Objective       jf             `json:"objective"`
+	ChipletTraffic  []int64        `json:"chiplet_traffic,omitempty"`
+}
+
+// newEvalRecord flattens a DSE evaluation into its persisted form.
+func newEvalRecord(ev *Evaluation) *evalRecord {
+	return &evalRecord{
+		Dim:             ev.Point.ArrayDim,
+		ICS:             ev.Point.ICSUM,
+		Feasible:        ev.Feasible,
+		Violations:      ev.Violations,
+		Fits:            ev.Fits,
+		Mesh:            ev.Mesh,
+		Chiplet:         ev.Chiplet,
+		MakespanSec:     jf(ev.MakespanSec),
+		LatencyFactor:   jf(ev.LatencyFactor),
+		PeakTempC:       jf(ev.PeakTempC),
+		Runaway:         ev.Runaway,
+		LeakIters:       ev.LeakIters,
+		ThermalFidelity: ev.ThermalFidelity,
+		ThermalRetries:  ev.ThermalRetries,
+		TotalPowerW:     jf(ev.TotalPowerW),
+		DynamicPowerW:   jf(ev.DynamicPowerW),
+		LeakageW:        jf(ev.LeakageW),
+		MCMCost:         ev.MCMCost,
+		DRAMPowerW:      jf(ev.DRAMPowerW),
+		DRAMChannels:    ev.DRAMChannels,
+		OPS:             jf(ev.OPS),
+		PeakOPS:         jf(ev.PeakOPS),
+		Objective:       jf(ev.Objective),
+		ChipletTraffic:  ev.ChipletTraffic,
+	}
+}
+
+// evaluation rebuilds the compact Evaluation a record encodes. Schedule,
+// Placement and the thermal field are nil — Compact reports that, and
+// the engines upgrade a compact winner through EvaluateFull before
+// reporting it.
+func (r *evalRecord) evaluation() *Evaluation {
+	return &Evaluation{
+		Point:           DesignPoint{ArrayDim: r.Dim, ICSUM: r.ICS},
+		Feasible:        r.Feasible,
+		Violations:      r.Violations,
+		Fits:            r.Fits,
+		Mesh:            r.Mesh,
+		Chiplet:         r.Chiplet,
+		MakespanSec:     float64(r.MakespanSec),
+		LatencyFactor:   float64(r.LatencyFactor),
+		PeakTempC:       float64(r.PeakTempC),
+		Runaway:         r.Runaway,
+		LeakIters:       r.LeakIters,
+		ThermalFidelity: r.ThermalFidelity,
+		ThermalRetries:  r.ThermalRetries,
+		TotalPowerW:     float64(r.TotalPowerW),
+		DynamicPowerW:   float64(r.DynamicPowerW),
+		LeakageW:        float64(r.LeakageW),
+		MCMCost:         r.MCMCost,
+		DRAMPowerW:      float64(r.DRAMPowerW),
+		DRAMChannels:    r.DRAMChannels,
+		OPS:             float64(r.OPS),
+		PeakOPS:         float64(r.PeakOPS),
+		Objective:       float64(r.Objective),
+		ChipletTraffic:  r.ChipletTraffic,
+		compact:         true,
+	}
+}

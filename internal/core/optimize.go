@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tesa/internal/anneal"
@@ -61,6 +62,17 @@ type OptimizeOptions struct {
 	// FailFast aborts the run on the first failed evaluation, returning
 	// the *EvalError itself instead of quarantining the point.
 	FailFast bool
+	// Parallel, when > 0, bounds the multi-start worker pool (the CLIs'
+	// -starts-parallel flag): at most Parallel annealing chains run
+	// concurrently, and each chain's initialization samples are
+	// evaluated by Parallel workers too. Results are identical for any
+	// value — chains keep their per-start PRNG streams, initialization
+	// pre-draws its samples from the chain stream before fanning out,
+	// and cross-start objective ties resolve with the deterministic
+	// DesignPoint.Less tie-break instead of start order. 0 (the default)
+	// preserves the legacy scheduling (all starts concurrent, sequential
+	// initialization, start-order ties) bit for bit.
+	Parallel int
 }
 
 // initAttempts bounds the random search for a feasible starting MCM on
@@ -103,6 +115,57 @@ func sampleFeasibleStart(ctx context.Context, space Space, rng *rand.Rand, budge
 		}
 		if o := obj(ev); !found || o < bestObj {
 			best, bestObj, found = p, o, true
+		}
+	}
+	return best, found
+}
+
+// sampleFeasibleStartParallel is sampleFeasibleStart with a worker pool:
+// the budget's draws are taken from rng up front (consuming the same
+// PRNG stream the sequential path would), evaluated by up to workers
+// goroutines, and the winner is selected sequentially in draw order with
+// the same strict-improvement rule — so the returned start is identical
+// to the sequential path's for every seed. On cancellation it reports
+// ok=false like the sequential path.
+func sampleFeasibleStartParallel(ctx context.Context, space Space, rng *rand.Rand, budget, workers int,
+	eval func(DesignPoint) (*Evaluation, error), obj objectiveFn, feas feasibleFn) (DesignPoint, bool) {
+	draws := make([]DesignPoint, budget)
+	for i := range draws {
+		draws[i] = space.Random(rng)
+	}
+	if workers > budget {
+		workers = budget
+	}
+	evs := make([]*Evaluation, budget)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= budget || ctx.Err() != nil {
+					return
+				}
+				if ev, err := eval(draws[i]); err == nil {
+					evs[i] = ev
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var best DesignPoint
+	bestObj, found := 0.0, false
+	if ctx.Err() != nil {
+		return best, false
+	}
+	for i, ev := range evs {
+		if ev == nil || !feas(ev) {
+			continue
+		}
+		if o := obj(ev); !found || o < bestObj {
+			best, bestObj, found = draws[i], o, true
 		}
 	}
 	return best, found
@@ -205,6 +268,9 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		return nil, err
 	}
 	init := func(rng *rand.Rand) (DesignPoint, bool) {
+		if o.Parallel > 0 {
+			return sampleFeasibleStartParallel(runCtx, space, rng, budget, o.Parallel, evalQ, objective, feasible)
+		}
 		return sampleFeasibleStart(runCtx, space, rng, budget, evalQ, objective, feasible)
 	}
 	eval := func(p DesignPoint) (float64, bool) {
@@ -251,7 +317,18 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		}
 	}
 	span := e.tel.StartSpan("optimize.total")
-	best, per, err := anneal.MultiStartContext(runCtx, cfgs, init, space.Neighbor, annealEval)
+	var best anneal.Result[DesignPoint]
+	var per []anneal.Result[DesignPoint]
+	var err error
+	if o.Parallel > 0 {
+		// Worker-pool mode: bounded chain concurrency plus the
+		// state-based tie-break, so the ensemble winner is deterministic
+		// under any pool width.
+		less := func(a, b DesignPoint) bool { return a.Less(b) }
+		best, per, err = anneal.MultiStartPoolContext(runCtx, cfgs, o.Parallel, less, init, space.Neighbor, annealEval)
+	} else {
+		best, per, err = anneal.MultiStartContext(runCtx, cfgs, init, space.Neighbor, annealEval)
+	}
 	span.End()
 	// The failure policy cancels runCtx, so the annealers report a bare
 	// context.Canceled; the recorded evalErr is the real cause and must
@@ -294,11 +371,13 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		if err != nil {
 			return nil, err
 		}
-		if strings.HasPrefix(ev.ThermalFidelity, "surrogate-") {
+		if ev.Compact() || strings.HasPrefix(ev.ThermalFidelity, "surrogate-") {
 			// The winner's memoized DSE evaluation was surrogate-gated
-			// (conservative cool-side temperatures); the reported incumbent
-			// must carry grid-solved numbers, so re-evaluate in reporting
-			// mode, which bypasses the gate.
+			// (conservative cool-side temperatures) or served compact from
+			// a persistent memo record (no schedule/placement); the
+			// reported incumbent must carry grid-solved numbers and the
+			// full structures, so re-evaluate in reporting mode, which
+			// bypasses both.
 			if ev, err = e.EvaluateFull(best.Best); err != nil {
 				return nil, err
 			}

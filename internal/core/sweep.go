@@ -253,6 +253,15 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 		}
 		bestEval = ev
 	}
+	if found && bestEval.Compact() {
+		// The winner was served from a persistent memo record; upgrade it
+		// so the reported Best carries the schedule and placement.
+		ev, err := e.EvaluateFullContext(ctx, bestPt)
+		if err != nil {
+			return nil, err
+		}
+		bestEval = ev
+	}
 	res.Best = bestEval
 	// Workers append ledger entries in completion order; sort for a
 	// deterministic report.

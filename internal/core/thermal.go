@@ -217,7 +217,7 @@ func (e *Evaluator) thermalAttempt(ev *Evaluation, phases []phasePower, place *f
 			e.tel.Registry().Counter("thermal.warmstart.miss").Inc()
 		}
 	}
-	coverage := place.Coverage(grid)
+	coverage := e.coverageFor(place, grid)
 	// Power is injected only into the active die area (inside the 3-D
 	// assembly margin); the margin silicon still conducts.
 	powerPlace := place.Inset(ev.Chiplet.ActiveInsetMM)

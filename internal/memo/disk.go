@@ -1,0 +1,200 @@
+package memo
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// segmentHeader is the first record of every segment file. Version binds
+// the records to the producing model revision: a reader with a different
+// version skips the whole segment, which is the memo layer's
+// invalidation rule — bump the version constant whenever a model change
+// alters any memoized value.
+type segmentHeader struct {
+	Memo    string `json:"memo"`
+	Version string `json:"version"`
+}
+
+// Record is one persisted key/value pair from a segment file. The value
+// stays raw JSON; the owner of the key kind decodes it.
+type Record struct {
+	// K is the store key.
+	K string `json:"k"`
+	// V is the encoded value.
+	V json.RawMessage `json:"v"`
+}
+
+// diskFlushEvery bounds data loss: the segment is flushed and fsynced
+// after this many appends (and on Close). A torn tail from a crash
+// between syncs is tolerated by Open.
+const diskFlushEvery = 64
+
+// Disk is an append-only persistent cache directory of JSONL segment
+// files, written FileSink-style: each process creates its own segment
+// via tmp+rename (so concurrent processes never interleave writes) and
+// appends records to it, fsyncing every diskFlushEvery appends. Open
+// loads every committed segment whose header version matches.
+type Disk struct {
+	dir     string
+	version string
+	loaded  []Record
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	pending int
+	err     error
+}
+
+// OpenDisk opens (creating if needed) a persistent cache directory,
+// loads the records of every segment committed with a matching version,
+// and prepares a fresh segment for this process's appends. Segments with
+// a different version, an unreadable header, or torn trailing records
+// are skipped or truncated silently — a persistent cache is advisory.
+func OpenDisk(dir, version string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("memo: create cache dir: %w", err)
+	}
+	d := &Disk{dir: dir, version: version}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("memo: scan cache dir: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d.loadSegment(name)
+	}
+	if err := d.openSegment(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// loadSegment reads one segment file, appending its committed records to
+// d.loaded. Decode errors end the file early (torn tail from a crash);
+// version mismatches skip it entirely.
+func (d *Disk) loadSegment(name string) {
+	f, err := os.Open(name)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return
+	}
+	var hdr segmentHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Memo != "header" || hdr.Version != d.version {
+		return
+	}
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.K == "" {
+			return // torn or corrupt tail: keep what decoded so far
+		}
+		d.loaded = append(d.loaded, rec)
+	}
+}
+
+// openSegment creates this process's append segment via tmp+rename so a
+// crash mid-creation never leaves a half-written header visible.
+func (d *Disk) openSegment() error {
+	name := fmt.Sprintf("seg-%d-%d.jsonl", time.Now().UnixNano(), os.Getpid())
+	tmp := filepath.Join(d.dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("memo: create segment: %w", err)
+	}
+	hdr, _ := json.Marshal(segmentHeader{Memo: "header", Version: d.version})
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("memo: write segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("memo: sync segment header: %w", err)
+	}
+	final := filepath.Join(d.dir, name)
+	if err := os.Rename(tmp, final); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("memo: commit segment: %w", err)
+	}
+	d.f = f
+	d.w = bufio.NewWriter(f)
+	return nil
+}
+
+// Records returns the key/value pairs loaded from committed segments at
+// open time, in segment-name then append order. Later records for a key
+// shadow earlier ones when seeded in order via Store.Seed (Seed keeps
+// the first, so callers should iterate as returned — the values are
+// interchangeable anyway, since equal keys address equal contents).
+func (d *Disk) Records() []Record {
+	return d.loaded
+}
+
+// Dir returns the cache directory path.
+func (d *Disk) Dir() string { return d.dir }
+
+// Append writes one record to this process's segment. Writes are
+// buffered and fsynced every diskFlushEvery appends; the first write
+// error sticks and is returned from then on.
+func (d *Disk) Append(key string, raw []byte) error {
+	rec, err := json.Marshal(Record{K: key, V: raw})
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return d.err
+	}
+	if d.w == nil {
+		return fmt.Errorf("memo: segment closed")
+	}
+	if _, err := d.w.Write(append(rec, '\n')); err != nil {
+		d.err = err
+		return err
+	}
+	d.pending++
+	if d.pending >= diskFlushEvery {
+		d.err = d.flushLocked()
+	}
+	return d.err
+}
+
+func (d *Disk) flushLocked() error {
+	if err := d.w.Flush(); err != nil {
+		return err
+	}
+	d.pending = 0
+	return d.f.Sync()
+}
+
+// Close flushes, fsyncs and closes this process's segment.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.w == nil {
+		return d.err
+	}
+	err := d.flushLocked()
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	d.w, d.f = nil, nil
+	if d.err == nil {
+		d.err = err
+	}
+	return err
+}

@@ -1,0 +1,264 @@
+package memo
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestKeyAndKind(t *testing.T) {
+	k := Key("systolic", "abc", "64", "0.25")
+	if k != "systolic:abc|64|0.25" {
+		t.Fatalf("key = %q", k)
+	}
+	if Kind(k) != "systolic" {
+		t.Fatalf("kind = %q", Kind(k))
+	}
+	if Kind("plain") != "plain" {
+		t.Fatalf("kind of kindless key = %q", Kind("plain"))
+	}
+}
+
+func TestFnumRoundTrips(t *testing.T) {
+	for _, v := range []float64{0, 1.0 / 3, math.Pi, 6.25e-5, -17.125} {
+		s := Fnum(v)
+		var back float64
+		if _, err := fmt.Sscanf(s, "%g", &back); err != nil || back != v {
+			t.Fatalf("Fnum(%v) = %q did not round-trip (got %v, err %v)", v, s, back, err)
+		}
+	}
+}
+
+func TestHashDeterministicAndSensitive(t *testing.T) {
+	type cfg struct {
+		A int
+		B float64
+	}
+	h1 := Hash(cfg{1, 2.5}, "x")
+	h2 := Hash(cfg{1, 2.5}, "x")
+	if h1 != h2 {
+		t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+	}
+	if Hash(cfg{1, 2.5}, "x") == Hash(cfg{2, 2.5}, "x") {
+		t.Fatal("hash insensitive to field change")
+	}
+	// Concatenation must not alias: ("ab","c") != ("a","bc").
+	if Hash("ab", "c") == Hash("a", "bc") {
+		t.Fatal("hash aliases across value boundaries")
+	}
+}
+
+func TestGetOrComputeCachesValuesNotErrors(t *testing.T) {
+	s := NewStore()
+	calls := 0
+	fn := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, errors.New("transient")
+		}
+		return 42, nil
+	}
+	if _, _, err := s.GetOrCompute("k:1", fn); err == nil {
+		t.Fatal("want error from first compute")
+	}
+	v, hit, err := s.GetOrCompute("k:1", fn)
+	if err != nil || hit || v.(int) != 42 {
+		t.Fatalf("second compute: v=%v hit=%v err=%v", v, hit, err)
+	}
+	v, hit, _ = s.GetOrCompute("k:1", fn)
+	if !hit || v.(int) != 42 {
+		t.Fatalf("third lookup should hit: v=%v hit=%v", v, hit)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (error not cached, value cached)", calls)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit / 2 misses", st.KindStats)
+	}
+}
+
+func TestGetOrComputeSingleFlight(t *testing.T) {
+	s := NewStore()
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := s.GetOrCompute("slow:key", func() (any, error) {
+				computes.Add(1)
+				<-gate
+				return 7, nil
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", i, err)
+				return
+			}
+			results[i] = v.(int)
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computed %d times, want 1 (single-flight)", got)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("worker %d got %d", i, v)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits+st.Deduped != workers-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hit/deduped", st.KindStats, workers-1)
+	}
+}
+
+func TestSeedDoesNotReplaceLiveValue(t *testing.T) {
+	s := NewStore()
+	s.Put("k:1", "live")
+	s.Seed("k:1", "stale")
+	if v, _ := s.Get("k:1"); v != "live" {
+		t.Fatalf("seed replaced live value: %v", v)
+	}
+	s.Seed("k:2", "loaded")
+	if v, _ := s.Get("k:2"); v != "loaded" {
+		t.Fatalf("seed missing: %v", v)
+	}
+	if st := s.Stats(); st.Loaded != 1 {
+		t.Fatalf("loaded = %d, want 1", st.Loaded)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		raw, _ := json.Marshal(map[string]int{"i": i})
+		if err := d.Append(fmt.Sprintf("eval:%d", i), raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDisk(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	recs := d2.Records()
+	if len(recs) != 100 {
+		t.Fatalf("loaded %d records, want 100", len(recs))
+	}
+	if recs[3].K != "eval:3" {
+		t.Fatalf("record order broken: %q", recs[3].K)
+	}
+}
+
+func TestDiskVersionMismatchSkipsSegment(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append("k:1", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(dir, "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if n := len(d2.Records()); n != 0 {
+		t.Fatalf("version-mismatched segment served %d records", n)
+	}
+}
+
+func TestDiskToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append("k:1", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append("k:2", []byte(`{"x":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half, as a crash mid-write would.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %v", segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0], data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	recs := d2.Records()
+	if len(recs) != 1 || recs[0].K != "k:1" {
+		t.Fatalf("torn tail: got %+v, want just k:1", recs)
+	}
+}
+
+func TestDiskConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				raw, _ := json.Marshal(g*1000 + i)
+				if err := d.Append(fmt.Sprintf("k:%d-%d", g, i), raw); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if n := len(d2.Records()); n != 400 {
+		t.Fatalf("loaded %d records, want 400", n)
+	}
+}
