@@ -273,11 +273,36 @@ type (
 	// rename creation, fsync per flush) — what the CLIs use for sweep
 	// checkpoints.
 	FileSink = telemetry.FileSink
+	// MetricsServer is the live exposition HTTP server: /metrics
+	// (Prometheus text), /debug/vars (JSON snapshot), /progress, and
+	// /debug/pprof. The nil server is the disabled state.
+	MetricsServer = telemetry.Server
+	// Manifest is a run's identity card: run id, command, argv, and
+	// arbitrary run-defining facts, emitted as "run.manifest" JSONL
+	// records at start and end of a run.
+	Manifest = telemetry.Manifest
 )
 
 // NewTelemetry returns an enabled hub; sink may be nil for
 // metrics-only collection.
 func NewTelemetry(sink EventSink) *Telemetry { return telemetry.New(sink) }
+
+// ServeMetrics starts a MetricsServer for tel's registry on addr
+// (e.g. "localhost:9090"); close it with Server.Close.
+func ServeMetrics(addr string, tel *Telemetry) (*MetricsServer, error) {
+	return telemetry.Serve(addr, tel)
+}
+
+// NewManifest starts a run manifest for the named command; see
+// telemetry.Manifest for the record schema.
+func NewManifest(command string, argv []string) *Manifest {
+	return telemetry.NewManifest(command, argv)
+}
+
+// ModelVersion names the revision of the analytical models baked into
+// this build; memo cache segments and run manifests carry it so stale
+// artifacts are detected across binary upgrades.
+const ModelVersion = core.ModelVersion
 
 // Memoization (internal/memo). A MemoStore caches pipeline
 // sub-evaluations (systolic profiles, SRAM estimates, schedules,

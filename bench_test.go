@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -324,6 +325,44 @@ func BenchmarkOptimizeTelemetryOff(b *testing.B) {
 // registry plus a JSONL trace sink swallowing every annealer event.
 func BenchmarkOptimizeTelemetryOn(b *testing.B) {
 	benchOptimizeTelemetry(b, telemetry.New(telemetry.NewJSONLSink(io.Discard)))
+}
+
+// BenchmarkOptimizeTelemetryExposed prices live exposition on top of
+// ...On: the same instrumented run with a metrics server attached and a
+// scraper hitting /metrics at a Prometheus-like cadence. Serving reads
+// registry snapshots off the hot path, so this must stay within 2% of
+// the ...On baseline.
+func BenchmarkOptimizeTelemetryExposed(b *testing.B) {
+	tel := telemetry.New(telemetry.NewJSONLSink(io.Discard))
+	srv, err := telemetry.Serve("127.0.0.1:0", tel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		client := &http.Client{Timeout: time.Second}
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				resp, err := client.Get("http://" + srv.Addr() + "/metrics")
+				if err == nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+	benchOptimizeTelemetry(b, tel)
+	close(stop)
+	wg.Wait()
 }
 
 // emitBench appends one JSONL record for this benchmark invocation to

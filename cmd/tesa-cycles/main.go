@@ -7,11 +7,13 @@
 //
 //	tesa-cycles [-dim 200] [-freq 400] [-channels 0 (auto)]
 //	            [-metrics] [-trace out.jsonl] [-pprof addr]
+//	            [-metrics-addr addr] [-manifest run.jsonl]
 //
 // Observability: -metrics prints per-network simulation latency
 // percentiles, -trace streams one JSONL event per simulated network,
-// and -pprof serves net/http/pprof — the same flags as the search
-// commands.
+// -pprof serves net/http/pprof, -metrics-addr serves the live
+// exposition endpoints, and -manifest writes the run manifest — the
+// same flags as the search commands.
 package main
 
 import (
@@ -36,11 +38,13 @@ func main() {
 	)
 	flag.Parse()
 
-	tel, finish, err := obs.Setup(os.Stdout)
+	sess, err := obs.Setup("tesa-cycles", os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	tel := sess.Tel
+	sess.Manifest.Set("dim", *dim)
 
 	sramKB := core.SRAMKBForArray(*dim)
 	a := systolic.Array{
@@ -62,7 +66,7 @@ func main() {
 		ana, err := systolic.SimulateNetwork(a, n)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			finish()
+			sess.Finish("error")
 			os.Exit(1)
 		}
 		ch := *channels
@@ -73,13 +77,13 @@ func main() {
 		cyc, err := systolic.SimulateNetworkCycles(a, n, bytesPerCycle)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			finish()
+			sess.Finish("error")
 			os.Exit(1)
 		}
 		free, err := systolic.SimulateNetworkCycles(a, n, math.Inf(1))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			finish()
+			sess.Finish("error")
 			os.Exit(1)
 		}
 		span.End()
@@ -89,7 +93,7 @@ func main() {
 		})
 		if free.ComputeCycles != ana.Cycles {
 			fmt.Fprintf(os.Stderr, "%s: analytic/cycle divergence: %d vs %d\n", n.Name, ana.Cycles, free.ComputeCycles)
-			finish()
+			sess.Finish("divergence")
 			os.Exit(2)
 		}
 		fmt.Printf("%-14s %12d %12d %7.1f%% %8.1fMB %8.2f %8d\n",
@@ -100,5 +104,5 @@ func main() {
 	}
 	fmt.Println("\nanalytic cyc == stall-free sim cyc for every network (validated above);")
 	fmt.Println("stall% shows how close the provisioned channels come to the stall-free assumption.")
-	finish()
+	sess.Finish("ok")
 }

@@ -8,7 +8,8 @@
 //	            [-points 9] [-grid 32] [-seed 1]
 //	            [-faults spec] [-max-failures 0] [-fail-fast]
 //	            [-stage-timeout 0] [-metrics] [-trace out.jsonl]
-//	            [-pprof addr] [-thermal-fast] [-surrogate-band 3]
+//	            [-pprof addr] [-metrics-addr addr] [-manifest run.jsonl]
+//	            [-thermal-fast] [-surrogate-band 3]
 //	            [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
 //
 // -thermal-fast runs every weight setting's search on the fast thermal
@@ -81,21 +82,22 @@ func main() {
 	defer stop()
 
 	// The summaries go to stderr so the CSV on stdout stays clean.
-	tel, telFinish, err := obs.Setup(os.Stderr)
+	sess, err := obs.Setup("tesa-pareto", os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	tel := sess.Tel
 	store, memoDone, err := mf.Store()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	finish := func() {
+	finish := func(status string) {
 		if store != nil && obs.Metrics {
 			fmt.Fprintf(os.Stderr, "memo: %s\n", store.Stats())
 		}
-		telFinish()
+		sess.Finish(status)
 		if err := memoDone(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
@@ -114,6 +116,12 @@ func main() {
 	cons.TempBudgetC = *tempC
 	w := tesa.ARVRWorkload()
 	space := tesa.DefaultSpace()
+	sess.Manifest.Set("space", space.Fingerprint())
+	sess.Manifest.Set("seed", *seed)
+	sess.Manifest.Set("workload", w.Name)
+	if *faultSpec != "" {
+		sess.Manifest.Set("faults", *faultSpec)
+	}
 
 	fmt.Println("alpha,beta,arrayDim,sramKBper,icsUM,meshRows,meshCols,peakC,powerW,costUSD,dramW")
 	seen := map[tesa.DesignPoint]bool{}
@@ -164,6 +172,7 @@ func main() {
 				}
 			}
 		}
+		optOpt.Progress = sess.Progress(optOpt.Progress)
 		res, err := ev.OptimizeContext(ctx, space, *seed, optOpt)
 		collect(res.Poisoned)
 		switch {
@@ -173,14 +182,14 @@ func main() {
 		case errors.Is(err, context.Canceled):
 			fmt.Fprintf(os.Stderr, "interrupted at weight %d of %d; CSV above is complete for the swept weights\n",
 				i, *points)
-			finish()
+			finish("interrupted")
 			os.Exit(130)
 		case err != nil:
 			if errors.Is(err, tesa.ErrTooManyFailures) {
 				cli.FailureSummary(os.Stderr, ev.QuarantineLedger())
 			}
 			fmt.Fprintln(os.Stderr, err)
-			finish()
+			finish("error")
 			os.Exit(1)
 		}
 		b := res.Best
@@ -199,8 +208,9 @@ func main() {
 	}
 	sort.Slice(ledger, func(i, j int) bool { return ledger[i].Point.Less(ledger[j].Point) })
 	cli.FailureSummary(os.Stderr, ledger)
-	finish()
 	if len(ledger) > 0 {
+		finish("ok-quarantined")
 		os.Exit(cli.ExitQuarantined)
 	}
+	finish("ok")
 }

@@ -5,9 +5,17 @@
 //	tesa-report [-table 3|4|5] [-fig 5|6] [-headline] [-validate] [-all]
 //	            [-grid 32] [-report-grid 88] [-seed 1]
 //	            [-thermal-fast] [-memo]
+//	            [-metrics] [-trace out.jsonl] [-pprof addr]
+//	            [-metrics-addr addr] [-manifest run.jsonl]
 //
 // Every experiment prints its reproduction next to the quantity the paper
 // reports; see EXPERIMENTS.md for the recorded comparison.
+//
+// Observability: the standard flag set of the search commands. One hub
+// instruments every evaluator the experiments create, so the -metrics
+// summary aggregates stage timings across all regenerated tables and
+// figures, -metrics-addr serves the live exposition endpoints while
+// the (long) report runs, and -manifest records which sections ran.
 //
 // -thermal-fast runs the searches on the fast thermal path and -memo
 // shares one content-addressed memo store across every evaluator of
@@ -24,6 +32,7 @@ import (
 	"time"
 
 	"tesa"
+	"tesa/internal/cli"
 	"tesa/internal/core"
 )
 
@@ -39,8 +48,15 @@ func main() {
 		seed       = flag.Int64("seed", 1, "optimizer seed")
 		fast       = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
 		memoize    = flag.Bool("memo", false, "share one memo store across every evaluator of the run")
+		obs        = cli.ObservabilityFlags()
 	)
 	flag.Parse()
+
+	sess, err := obs.Setup("tesa-report", os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	cfg := core.DefaultExperimentConfig()
 	cfg.Grid = *grid
@@ -48,10 +64,15 @@ func main() {
 	cfg.Seed = *seed
 	cfg.ThermalFast = *fast
 	cfg.Memo = *memoize
+	cfg.Telemetry = sess.Tel
+	sess.Manifest.Set("space", cfg.Space.Fingerprint())
+	sess.Manifest.Set("seed", *seed)
+	sess.Manifest.Set("workload", cfg.Workload.Name)
 
 	ran := false
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
+		sess.Finish("error")
 		os.Exit(1)
 	}
 	section := func(name string) func() {
@@ -177,6 +198,8 @@ func main() {
 
 	if !ran {
 		flag.Usage()
+		sess.Finish("usage")
 		os.Exit(2)
 	}
+	sess.Finish("ok")
 }

@@ -10,7 +10,8 @@
 //	           [-checkpoint sweep.ckpt] [-resume sweep.ckpt] [-progress]
 //	           [-faults spec] [-max-failures 0] [-fail-fast]
 //	           [-stage-timeout 0] [-metrics] [-trace out.jsonl]
-//	           [-pprof addr] [-thermal-fast] [-surrogate-band 3]
+//	           [-pprof addr] [-metrics-addr addr] [-manifest run.jsonl]
+//	           [-thermal-fast] [-surrogate-band 3]
 //	           [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
 //
 // -thermal-fast runs both the exhaustive sweep and the annealer on the
@@ -46,6 +47,11 @@
 // The telemetry flags instrument both the exhaustive and the annealer
 // evaluator, so the -metrics summary contrasts the sweep's pure
 // pipeline throughput with the annealer's cache-amplified one.
+// -metrics-addr additionally serves live /metrics (Prometheus text),
+// /debug/vars, /progress and /debug/pprof for the whole run, and
+// -manifest writes the run manifest as JSONL start/end records whose
+// run id is also stamped into the checkpoint header, joining the
+// checkpoint, trace, and manifest streams of one run.
 package main
 
 import (
@@ -93,21 +99,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	tel, telFinish, err := obs.Setup(os.Stdout)
+	sess, err := obs.Setup("tesa-sweep", os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	tel := sess.Tel
 	store, memoDone, err := mf.Store()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	finish := func() {
+	finish := func(status string) {
 		if store != nil && obs.Metrics {
 			fmt.Printf("memo: %s\n", store.Stats())
 		}
-		telFinish()
+		sess.Finish(status)
 		if err := memoDone(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
@@ -131,7 +138,18 @@ func main() {
 	}
 	w := tesa.ARVRWorkload()
 
-	sweepOpt := &tesa.SweepOptions{ShardSize: *shard, MaxFailures: *maxFailures, FailFast: *failFast}
+	sess.Manifest.Set("space", space.Fingerprint())
+	sess.Manifest.Set("seed", *seed)
+	sess.Manifest.Set("workload", w.Name)
+	if *faultSpec != "" {
+		sess.Manifest.Set("faults", *faultSpec)
+	}
+
+	// RunID stamps the manifest's run id into the checkpoint header, so
+	// a cold checkpoint names the manifest and trace records of the run
+	// that wrote it.
+	sweepOpt := &tesa.SweepOptions{ShardSize: *shard, MaxFailures: *maxFailures, FailFast: *failFast,
+		RunID: sess.Manifest.RunID()}
 	if *resumePath != "" {
 		f, err := os.Open(*resumePath)
 		if err != nil {
@@ -163,6 +181,7 @@ func main() {
 	if *progress {
 		sweepOpt.Progress = progressPrinter("sweep")
 	}
+	sweepOpt.Progress = sess.Progress(sweepOpt.Progress)
 
 	ex, err := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
 	if err != nil {
@@ -188,14 +207,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "resume with: tesa-sweep -resume %s -checkpoint %s [same flags]\n",
 					*ckptPath, *ckptPath)
 			}
-			finish()
+			finish("interrupted")
 			os.Exit(130)
 		}
 		if errors.Is(err, tesa.ErrTooManyFailures) {
 			cli.FailureSummary(os.Stderr, ex.QuarantineLedger())
 		}
 		fmt.Fprintln(os.Stderr, err)
-		finish()
+		finish("error")
 		os.Exit(1)
 	}
 	exElapsed := time.Since(start)
@@ -232,6 +251,7 @@ func main() {
 	if *progress {
 		optOpt.Progress = progressPrinter("anneal")
 	}
+	optOpt.Progress = sess.Progress(optOpt.Progress)
 	start = time.Now()
 	opRes, err := op.OptimizeContext(ctx, space, *seed, optOpt)
 	switch {
@@ -240,14 +260,14 @@ func main() {
 		// sweep below, via opRes.Found == false.
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "\ninterrupted during annealer run")
-		finish()
+		finish("interrupted")
 		os.Exit(130)
 	case err != nil:
 		if errors.Is(err, tesa.ErrTooManyFailures) {
 			cli.FailureSummary(os.Stderr, op.QuarantineLedger())
 		}
 		fmt.Fprintln(os.Stderr, err)
-		finish()
+		finish("error")
 		os.Exit(1)
 	}
 	fmt.Printf("\nmulti-start annealer: explored %d points (%.1f%% of the space, %.1f%% cache hits), %.1fs\n",
@@ -275,7 +295,14 @@ func main() {
 		// lets chaos harnesses tell "survived with losses" from success.
 		exit = cli.ExitQuarantined
 	}
-	finish()
+	switch exit {
+	case 0:
+		finish("ok")
+	case cli.ExitQuarantined:
+		finish("ok-quarantined")
+	default:
+		finish("disagreement")
+	}
 	if exit != 0 {
 		os.Exit(exit)
 	}

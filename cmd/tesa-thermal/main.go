@@ -7,11 +7,14 @@
 //	tesa-thermal -dim 200 -ics 1700 [-tech 2d|3d] [-freq 400] [-fps 30]
 //	             [-grid 88] [-csv out.csv]
 //	             [-metrics] [-trace out.jsonl] [-pprof addr]
+//	             [-metrics-addr addr] [-manifest run.jsonl]
 //
 // Observability: -metrics prints the per-stage latency breakdown of
 // the single full-fidelity evaluation (the thermal solve dominates),
-// -trace streams the pipeline's JSONL events, and -pprof serves
-// net/http/pprof — the same flags as the search commands.
+// -trace streams the pipeline's JSONL events, -pprof serves
+// net/http/pprof, -metrics-addr serves the live exposition endpoints,
+// and -manifest writes the run manifest — the same flags as the
+// search commands.
 package main
 
 import (
@@ -38,11 +41,12 @@ func main() {
 	)
 	flag.Parse()
 
-	tel, finish, err := obs.Setup(os.Stdout)
+	sess, err := obs.Setup("tesa-thermal", os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	tel := sess.Tel
 
 	opts := tesa.DefaultOptions()
 	if strings.EqualFold(*tech, "3d") {
@@ -60,15 +64,16 @@ func main() {
 		os.Exit(1)
 	}
 	ev.Instrument(tel)
+	sess.Manifest.Set("point", fmt.Sprintf("%dx%d@%d", *dim, *dim, *ics))
 	e, err := ev.EvaluateFull(tesa.DesignPoint{ArrayDim: *dim, ICSUM: *ics})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		finish()
+		sess.Finish("error")
 		os.Exit(1)
 	}
 	if !e.Fits {
 		fmt.Printf("%v does not fit the %.0f mm interposer\n", e.Point, cons.InterposerMM)
-		finish()
+		sess.Finish("no-fit")
 		os.Exit(3)
 	}
 	fmt.Printf("%v: %v grid, peak %.2f C, power %.2f W (dyn %.2f + leak %.2f), feasible=%v %v\n",
@@ -83,15 +88,15 @@ func main() {
 		csv := tesa.ThermalMapCSV(e)
 		if csv == "" {
 			fmt.Fprintln(os.Stderr, "no thermal field available for CSV export")
-			finish()
+			sess.Finish("error")
 			os.Exit(1)
 		}
 		if err := os.WriteFile(*csvPath, []byte(csv), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			finish()
+			sess.Finish("error")
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
-	finish()
+	sess.Finish("ok")
 }

@@ -1,0 +1,114 @@
+// Command tesa-trace analyzes the JSONL streams the other tesa
+// commands emit — -trace event streams, -manifest run manifests, and
+// checkpoint files — without re-running anything.
+//
+// Usage:
+//
+//	tesa-trace report run.jsonl [more.jsonl ...]
+//	tesa-trace diff [-threshold 0.10] [-strict] before.jsonl after.jsonl
+//
+// report prints, per file: the run's identity (id, command, status,
+// wall/CPU time from its run.manifest records), the per-stage latency
+// breakdown (count, p50/p95/p99, total self time, self% of summed
+// stage time, cum% of end-to-end pipeline time), the effectiveness of
+// the caching layers (evaluator cache, memo store, thermal warm
+// starts, surrogate pre-screen), the thermal fidelity-ladder tallies,
+// quarantine counts, and the stream's event histogram.
+//
+// diff compares two runs stage-by-stage on p95 latency (mean alongside)
+// and effectiveness rates, flagging changes beyond -threshold as
+// REGRESSION / improved. With -strict the command exits 3 when any
+// regression is flagged — the CI guard mode. A stage present in only
+// the second run always counts as a regression (new latency).
+//
+// Both modes want streams that contain run.manifest records: every
+// command writes them into -trace and -manifest files automatically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tesa/internal/trace"
+)
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "report":
+		report(args[1:])
+	case "diff":
+		diff(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  tesa-trace report run.jsonl [more.jsonl ...]
+  tesa-trace diff [-threshold 0.10] [-strict] before.jsonl after.jsonl
+`)
+}
+
+// report summarizes each file independently.
+func report(paths []string) {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "report: need at least one JSONL file")
+		os.Exit(2)
+	}
+	for i, path := range paths {
+		if i > 0 {
+			fmt.Println()
+		}
+		s, err := trace.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		trace.WriteReport(os.Stdout, s)
+	}
+}
+
+// diff compares exactly two files, before then after.
+func diff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", trace.DefaultDiffThreshold,
+		"relative change flagged as significant (0.10 = 10%)")
+	strict := fs.Bool("strict", false, "exit 3 when any regression is flagged")
+	fs.Usage = usage
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "diff: need exactly two JSONL files (before, after)")
+		os.Exit(2)
+	}
+	before, err := trace.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	after, err := trace.Load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, s := range []*trace.Summary{before, after} {
+		if !s.HasManifest() {
+			fmt.Fprintf(os.Stderr, "%s: no finalized run.manifest record; latency comparison will be empty\n", s.Path)
+		}
+	}
+	d := trace.Compare(before, after, *threshold)
+	trace.WriteDiff(os.Stdout, d)
+	if *strict && d.Regressions > 0 {
+		os.Exit(3)
+	}
+}

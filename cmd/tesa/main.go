@@ -7,6 +7,7 @@
 //	     [-interposer 8] [-grid 32] [-seed 1] [-alpha 1] [-beta 1]
 //	     [-faults spec] [-max-failures 0] [-fail-fast] [-stage-timeout 0]
 //	     [-metrics] [-trace out.jsonl] [-pprof addr]
+//	     [-metrics-addr addr] [-manifest run.jsonl]
 //	     [-thermal-fast] [-surrogate-band 3]
 //	     [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
 //
@@ -31,7 +32,11 @@
 //
 // Observability: -metrics prints an end-of-run summary (per-stage
 // latency percentiles, evals/sec, cache hit rate), -trace streams
-// annealer-level JSONL events, and -pprof serves net/http/pprof.
+// annealer-level JSONL events, -pprof serves net/http/pprof,
+// -metrics-addr serves live /metrics (Prometheus text), /debug/vars,
+// /progress and /debug/pprof while the search runs, and -manifest
+// writes the run manifest (command, flags, space fingerprint, seeds,
+// quarantine tallies, wall/CPU time) as JSONL start/end records.
 //
 // Failure handling: a design point whose evaluation fails (panic, NaN,
 // diverged thermal solve, timeout) is quarantined and the search
@@ -93,23 +98,24 @@ func main() {
 		defer cancel()
 	}
 
-	tel, telFinish, err := obs.Setup(os.Stdout)
+	sess, err := obs.Setup("tesa", os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	tel := sess.Tel
 	store, memoDone, err := mf.Store()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	// finish flushes telemetry and the on-disk memo cache before any
-	// exit path (os.Exit skips defers).
-	finish := func() {
+	// finish finalizes the run manifest and flushes telemetry and the
+	// on-disk memo cache before any exit path (os.Exit skips defers).
+	finish := func(status string) {
 		if store != nil && obs.Metrics {
 			fmt.Printf("memo: %s\n", store.Stats())
 		}
-		telFinish()
+		sess.Finish(status)
 		if err := memoDone(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
@@ -166,6 +172,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	sess.Manifest.Set("space", tesa.DefaultSpace().Fingerprint())
+	sess.Manifest.Set("seed", *seed)
+	sess.Manifest.Set("workload", w.Name)
+	if *faultSpec != "" {
+		sess.Manifest.Set("faults", *faultSpec)
+	}
 
 	fmt.Printf("TESA: %s MCM at %.0f MHz for the %d-DNN %s workload\n", opts.Tech, *freqMHz, len(w.Networks), w.Name)
 	fmt.Printf("constraints: %.0f fps, %.0f W, %.0f C, %.0fx%.0f mm interposer\n\n",
@@ -180,6 +192,7 @@ func main() {
 			}
 		}
 	}
+	optOpt.Progress = sess.Progress(optOpt.Progress)
 
 	start := time.Now()
 	res, err := ev.OptimizeContext(ctx, tesa.DefaultSpace(), *seed, optOpt)
@@ -188,14 +201,14 @@ func main() {
 		// res carries the exploration counters; reported below.
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		fmt.Fprintf(os.Stderr, "search aborted: %v\n", err)
-		finish()
+		finish("interrupted")
 		os.Exit(130)
 	case err != nil:
 		if errors.Is(err, tesa.ErrTooManyFailures) {
 			cli.FailureSummary(os.Stderr, ev.QuarantineLedger())
 		}
 		fmt.Fprintln(os.Stderr, err)
-		finish()
+		finish("error")
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
@@ -205,7 +218,7 @@ func main() {
 		fmt.Printf("(explored %d of %d design vectors in %.1fs)\n", res.Explored, tesa.DefaultSpace().Size(), elapsed.Seconds())
 		fmt.Println("remedial options: relax the thermal budget, reduce frequency, or enlarge the interposer")
 		cli.FailureSummary(os.Stderr, res.Poisoned)
-		finish()
+		finish("no-solution")
 		os.Exit(3)
 	}
 
@@ -242,8 +255,9 @@ func main() {
 	fmt.Println()
 	fmt.Print(tesa.FloorplanASCII(best))
 	cli.FailureSummary(os.Stderr, res.Poisoned)
-	finish()
 	if res.Quarantined > 0 {
+		finish("ok-quarantined")
 		os.Exit(cli.ExitQuarantined)
 	}
+	finish("ok")
 }

@@ -85,6 +85,9 @@ type LevelEvent struct {
 	Rejected    int     // rejected moves at this level (incl. infeasible)
 	Infeasible  int     // rejections due to constraint violations
 	Evaluations int     // cumulative evaluations so far
+	// Duration is the wall time this level took — the per-level latency
+	// observability tooling plots to show where annealing time goes.
+	Duration time.Duration
 }
 
 // DoneEvent summarizes one annealer's run.
@@ -217,6 +220,7 @@ func MinimizeContext[S any](ctx context.Context, cfg Config, init Init[S], neigh
 
 	for ta := cfg.TInit; ta > cfg.TFinal; ta *= cfg.Decay {
 		prevAcc, prevUp, infeasible := res.Accepted, res.Uphill, 0
+		levelStart := time.Now()
 		for i := 0; i < cfg.PerturbationsPerLevel; i++ {
 			if cerr := ctx.Err(); cerr != nil {
 				return res, cerr
@@ -262,6 +266,7 @@ func MinimizeContext[S any](ctx context.Context, cfg Config, init Init[S], neigh
 				Rejected:    cfg.PerturbationsPerLevel - acc,
 				Infeasible:  infeasible,
 				Evaluations: res.Evaluations,
+				Duration:    time.Since(levelStart),
 			})
 		}
 	}

@@ -65,6 +65,12 @@ type CheckpointState struct {
 	Total     int
 	ShardSize int
 	Shards    int
+	// RunID is the run identifier stamped into the first header, joining
+	// the checkpoint to that run's manifest and trace records. Optional
+	// ("" when the writing run carried none); resumed runs append their
+	// own header with a fresh id, which Load deliberately ignores — the
+	// state keeps the id of the run that created the file.
+	RunID string
 	// Done maps shard index to its record.
 	Done map[int]ShardCheckpoint
 	// Poisoned maps each quarantined design point to its record; a
@@ -144,6 +150,9 @@ func LoadCheckpoint(r io.Reader) (*CheckpointState, error) {
 				continue
 			}
 			if sawHeader {
+				// The run id is NOT compared: every resumed run appends a
+				// header carrying its own fresh id over the same
+				// decomposition.
 				if space != st.Fingerprint || total != st.Total || size != st.ShardSize || shards != st.Shards {
 					// Two complete, disagreeing headers are never a torn
 					// write: the file mixes different sweeps.
@@ -153,6 +162,7 @@ func LoadCheckpoint(r io.Reader) (*CheckpointState, error) {
 			}
 			sawHeader = true
 			st.Fingerprint, st.Total, st.ShardSize, st.Shards = space, total, size, shards
+			st.RunID, _ = rec["run"].(string)
 		case ckptShardEvent:
 			if !sawHeader {
 				badLine = fmt.Errorf("%w: line %d: shard record before header", ErrCheckpointCorrupt, line)
@@ -195,8 +205,16 @@ func LoadCheckpoint(r io.Reader) (*CheckpointState, error) {
 			}
 			stage, _ := rec["stage"].(string)
 			reason, _ := rec["reason"].(string)
+			var trace []string
+			if arr, ok := rec["trace"].([]any); ok {
+				for _, v := range arr {
+					if s, ok := v.(string); ok {
+						trace = append(trace, s)
+					}
+				}
+			}
 			p := DesignPoint{ArrayDim: dim, ICSUM: ics}
-			st.Poisoned[p] = QuarantinedPoint{Point: p, Stage: stage, Reason: reason}
+			st.Poisoned[p] = QuarantinedPoint{Point: p, Stage: stage, Reason: reason, Trace: trace}
 		default:
 			// Foreign trace events interleaved in the same sink.
 		}
@@ -219,14 +237,19 @@ func ckptInt(rec map[string]any, key string) (int, bool) {
 	return int(f), true
 }
 
-// writeCheckpointHeader emits the decomposition-binding record.
-func writeCheckpointHeader(sink telemetry.EventSink, fingerprint string, total, shardSize, shards int) error {
-	sink.Emit(ckptHeaderEvent, map[string]any{
+// writeCheckpointHeader emits the decomposition-binding record; runID
+// ("" = none) joins the stream to the writing run's manifest.
+func writeCheckpointHeader(sink telemetry.EventSink, fingerprint string, total, shardSize, shards int, runID string) error {
+	fields := map[string]any{
 		"space":      fingerprint,
 		"total":      total,
 		"shard_size": shardSize,
 		"shards":     shards,
-	})
+	}
+	if runID != "" {
+		fields["run"] = runID
+	}
+	sink.Emit(ckptHeaderEvent, fields)
 	return sink.Flush()
 }
 
@@ -251,12 +274,18 @@ func writeShardCheckpoint(sink telemetry.EventSink, cp ShardCheckpoint) error {
 // immediately: the record lands before the point's shard completes, so
 // even a kill mid-shard never loses a known-poisoned point.
 func writePoisonedCheckpoint(sink telemetry.EventSink, q QuarantinedPoint) error {
-	sink.Emit(ckptPoisonEvent, map[string]any{
+	fields := map[string]any{
 		"dim":    q.Point.ArrayDim,
 		"ics":    q.Point.ICSUM,
 		"stage":  q.Stage,
 		"reason": q.Reason,
-	})
+	}
+	if len(q.Trace) > 0 {
+		// The failing goroutine's flight-recorder dump rides along, so a
+		// poisoned point in a cold checkpoint still explains itself.
+		fields["trace"] = q.Trace
+	}
+	sink.Emit(ckptPoisonEvent, fields)
 	return sink.Flush()
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -222,7 +223,7 @@ func TestLoadCheckpointTolerance(t *testing.T) {
 func TestLoadCheckpointRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	sink := telemetry.NewJSONLSink(&buf)
-	if err := writeCheckpointHeader(sink, "cafe0123cafe0123", 17, 5, 4); err != nil {
+	if err := writeCheckpointHeader(sink, "cafe0123cafe0123", 17, 5, 4, "deadbeef00112233"); err != nil {
 		t.Fatal(err)
 	}
 	shards := []ShardCheckpoint{
@@ -235,7 +236,8 @@ func TestLoadCheckpointRoundTrip(t *testing.T) {
 		}
 	}
 	poisoned := []QuarantinedPoint{
-		{Point: DesignPoint{ArrayDim: 200, ICSUM: 400}, Stage: "thermal", Reason: "solver-diverged"},
+		{Point: DesignPoint{ArrayDim: 200, ICSUM: 400}, Stage: "thermal", Reason: "solver-diverged",
+			Trace: []string{"+0s stage.systolic dim=200 ics=400", "+1ms stage.thermal dim=200 ics=400"}},
 		{Point: DesignPoint{ArrayDim: 204, ICSUM: 0}, Stage: "systolic", Reason: "panic"},
 	}
 	for _, q := range poisoned {
@@ -250,6 +252,9 @@ func TestLoadCheckpointRoundTrip(t *testing.T) {
 	if st.Fingerprint != "cafe0123cafe0123" || st.Total != 17 || st.ShardSize != 5 || st.Shards != 4 {
 		t.Errorf("header round-trip: %+v", st)
 	}
+	if st.RunID != "deadbeef00112233" {
+		t.Errorf("run id round-trip: %q", st.RunID)
+	}
 	for _, cp := range shards {
 		if got := st.Done[cp.Shard]; got != cp {
 			t.Errorf("shard %d round-trip: %+v != %+v", cp.Shard, got, cp)
@@ -259,7 +264,7 @@ func TestLoadCheckpointRoundTrip(t *testing.T) {
 		t.Fatalf("poisoned round-trip: %d records, want %d", len(st.Poisoned), len(poisoned))
 	}
 	for _, q := range poisoned {
-		if got := st.Poisoned[q.Point]; got != q {
+		if got := st.Poisoned[q.Point]; !reflect.DeepEqual(got, q) {
 			t.Errorf("poisoned %v round-trip: %+v != %+v", q.Point, got, q)
 		}
 	}

@@ -74,6 +74,12 @@ type EvalError struct {
 	Point DesignPoint
 	// Err is the underlying cause.
 	Err error
+	// Trace is the failing goroutine's flight-recorder dump — its most
+	// recent stage events, oldest first — captured when the point was
+	// quarantined. Nil when the evaluator was not instrumented (or the
+	// pipeline ran on another goroutine via the shared memo store's
+	// single-flight path).
+	Trace []string
 }
 
 // Error formats the failure with its full context.
@@ -110,6 +116,9 @@ type QuarantinedPoint struct {
 	Point  DesignPoint
 	Stage  string
 	Reason string
+	// Trace is the flight-recorder dump captured at quarantine time (see
+	// EvalError.Trace); nil when flight recording was off.
+	Trace []string
 }
 
 // String formats the ledger entry for CLI failure summaries.

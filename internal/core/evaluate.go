@@ -145,6 +145,11 @@ type Evaluator struct {
 	// tel is the optional observability hub (nil = disabled fast path);
 	// see Instrument.
 	tel *telemetry.Telemetry
+	// flight retains each worker goroutine's recent stage events so a
+	// quarantine record carries its own causal trace. Non-nil exactly
+	// when tel is (Instrument creates it), so the disabled path pays one
+	// nil check.
+	flight *telemetry.FlightRecorder
 
 	// injected is the optional fault-injection plan (nil = no
 	// injection); see InjectFaults.
@@ -180,11 +185,19 @@ type Evaluator struct {
 
 // Instrument attaches an observability hub: the pipeline records
 // per-stage wall time into tel's timing histograms and counts cache
-// hits/misses, and Optimize forwards annealer progress as trace events.
-// A nil tel (the default) disables all of it at the cost of a nil check
-// per probe. Call before the first Evaluate; the hub may be shared
-// across evaluators.
-func (e *Evaluator) Instrument(tel *telemetry.Telemetry) { e.tel = tel }
+// hits/misses, Optimize forwards annealer progress as trace events, and
+// a per-goroutine flight recorder starts retaining recent stage events
+// for quarantine records. A nil tel (the default) disables all of it at
+// the cost of a nil check per probe. Call before the first Evaluate;
+// the hub may be shared across evaluators.
+func (e *Evaluator) Instrument(tel *telemetry.Telemetry) {
+	e.tel = tel
+	if tel.Enabled() {
+		e.flight = telemetry.NewFlightRecorder()
+	} else {
+		e.flight = nil
+	}
+}
 
 // Telemetry returns the hub attached with Instrument (nil when
 // uninstrumented).
@@ -225,7 +238,7 @@ func (e *Evaluator) QuarantineLedger() []QuarantinedPoint {
 	e.mu.Lock()
 	out := make([]QuarantinedPoint, 0, len(e.failed))
 	for p, ee := range e.failed {
-		out = append(out, QuarantinedPoint{Point: p, Stage: ee.Stage, Reason: ee.Reason()})
+		out = append(out, QuarantinedPoint{Point: p, Stage: ee.Stage, Reason: ee.Reason(), Trace: ee.Trace})
 	}
 	e.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Point.Less(out[j].Point) })
@@ -400,17 +413,28 @@ func (e *Evaluator) quarantine(ee *EvalError) {
 		e.mu.Unlock()
 		return
 	}
+	// Best-effort flight dump: under the shared memo store the pipeline
+	// may have run on another goroutine (single-flight), whose ring this
+	// goroutine cannot see — the trace is then whatever this goroutine
+	// last recorded, possibly nothing.
+	if ee.Trace == nil {
+		ee.Trace = e.flight.Dump()
+	}
 	e.failed[ee.Point] = ee
 	e.mu.Unlock()
 	reason := ee.Reason()
 	e.tel.Registry().Counter("eval.quarantined").Inc()
 	e.tel.Registry().Counter("eval.quarantine." + reason).Inc()
-	e.tel.Emit("eval.quarantined", map[string]any{
+	fields := map[string]any{
 		"dim":    ee.Point.ArrayDim,
 		"ics":    ee.Point.ICSUM,
 		"stage":  ee.Stage,
 		"reason": reason,
-	})
+	}
+	if len(ee.Trace) > 0 {
+		fields["trace"] = ee.Trace
+	}
+	e.tel.Emit("eval.quarantined", fields)
 }
 
 // stageGuard closes a stage boundary: it fires any matching injected
@@ -419,6 +443,10 @@ func (e *Evaluator) quarantine(ee *EvalError) {
 // scalar outputs are finite so a NaN cannot flow into downstream
 // stages, the memo cache, or a checkpoint.
 func (e *Evaluator) stageGuard(stage string, p DesignPoint, began time.Time, vals ...float64) error {
+	if e.flight != nil {
+		e.flight.Record(fmt.Sprintf("stage.%s dim=%d ics=%d took=%s",
+			stage, p.ArrayDim, p.ICSUM, time.Since(began).Round(time.Microsecond)))
+	}
 	if e.injected != nil {
 		if o := e.injected.At(stage, p.ArrayDim, p.ICSUM); o != nil {
 			if o.Delay > 0 {

@@ -11,6 +11,7 @@ import (
 
 	"tesa/internal/dnn"
 	"tesa/internal/memo"
+	"tesa/internal/telemetry"
 )
 
 // ExperimentConfig parameterizes the paper's experiment drivers.
@@ -32,6 +33,10 @@ type ExperimentConfig struct {
 	// repeated sub-computations are paid once per experiment instead of
 	// once per evaluator. Results are unchanged (see Options.Memo).
 	Memo bool
+	// Telemetry, when non-nil, instruments every evaluator the
+	// experiment creates, so one hub aggregates stage timings and
+	// counters across all tables and figures of a report run.
+	Telemetry *telemetry.Telemetry
 
 	mu        sync.Mutex
 	corners   map[Corner]*TableVRow
@@ -58,6 +63,7 @@ func (cfg *ExperimentConfig) newEvaluator(opts Options, cons Constraints) (*Eval
 	if cfg.Memo {
 		e.UseMemo(cfg.store())
 	}
+	e.Instrument(cfg.Telemetry)
 	return e, nil
 }
 

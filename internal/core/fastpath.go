@@ -141,6 +141,7 @@ func (e *Evaluator) surrogatePrescreen(ev *Evaluation, phases []phasePower, plac
 	if err := e.thermalAttempt(ev, phases, place, domainMM, est, hot); err == nil {
 		if ev.Runaway || ev.PeakTempC > e.Cons.TempBudgetC+band || ev.TotalPowerW > e.Cons.PowerBudgetW {
 			ev.ThermalFidelity = hot.name
+			e.tel.Registry().Counter("thermal.fidelity." + hot.name).Inc()
 			e.tel.Registry().Counter("thermal.surrogate.skip.hot").Inc()
 			return true
 		}
@@ -163,6 +164,7 @@ func (e *Evaluator) surrogatePrescreen(ev *Evaluation, phases []phasePower, plac
 		for _, fid := range tiers {
 			if coolOK(fid) {
 				ev.ThermalFidelity = fid.name
+				e.tel.Registry().Counter("thermal.fidelity." + fid.name).Inc()
 				e.tel.Registry().Counter("thermal.surrogate.skip.cool").Inc()
 				return true
 			}

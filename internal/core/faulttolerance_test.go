@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -112,7 +113,7 @@ func TestFaultMatrix(t *testing.T) {
 				if res.Evaluated != res.Total {
 					t.Errorf("evaluated %d of %d: the sweep did not continue past the fault", res.Evaluated, res.Total)
 				}
-				if got := e.QuarantineLedger(); len(got) != 1 || got[0] != q {
+				if got := e.QuarantineLedger(); len(got) != 1 || !reflect.DeepEqual(got[0], q) {
 					t.Errorf("evaluator ledger %v disagrees with sweep result %v", got, q)
 				}
 			})

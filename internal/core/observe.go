@@ -44,6 +44,7 @@ func (o *annealObserver) AnnealLevel(e anneal.LevelEvent) {
 		"rejected":    e.Rejected,
 		"infeasible":  e.Infeasible,
 		"evaluations": e.Evaluations,
+		"duration_ms": float64(e.Duration.Microseconds()) / 1e3,
 	})
 }
 

@@ -70,6 +70,11 @@ type SweepOptions struct {
 	// pre-hardening behavior, useful when any failure indicates a
 	// modeling bug rather than a pathological corner of the space.
 	FailFast bool
+	// RunID, when non-empty, is stamped into the checkpoint header so
+	// the checkpoint stream can be joined against the run's manifest and
+	// trace records (telemetry.Manifest.RunID). Resumed runs write their
+	// own header with their own id; LoadCheckpoint keeps the first.
+	RunID string
 }
 
 // Exhaustive evaluates every design vector in the space in parallel and
@@ -146,7 +151,7 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 		res.Quarantined = len(skip)
 	}
 	if o.Checkpoint != nil {
-		if err := writeCheckpointHeader(o.Checkpoint, fingerprint, len(pts), size, nShards); err != nil {
+		if err := writeCheckpointHeader(o.Checkpoint, fingerprint, len(pts), size, nShards, o.RunID); err != nil {
 			return nil, fmt.Errorf("core: sweep checkpoint: %w", err)
 		}
 	}
@@ -174,7 +179,7 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 	// nothing), and enforces the failure policy; a non-nil return aborts
 	// the sweep.
 	onPoison := func(ee *EvalError) error {
-		q := QuarantinedPoint{Point: ee.Point, Stage: ee.Stage, Reason: ee.Reason()}
+		q := QuarantinedPoint{Point: ee.Point, Stage: ee.Stage, Reason: ee.Reason(), Trace: ee.Trace}
 		mu.Lock()
 		defer mu.Unlock()
 		res.Quarantined++

@@ -164,6 +164,7 @@ func (e *Evaluator) thermalAnalysis(ev *Evaluation, profiles []netProfile, place
 		if err == nil {
 			ev.ThermalFidelity = fid.name
 			ev.ThermalRetries = attempt
+			e.tel.Registry().Counter("thermal.fidelity." + fid.name).Inc()
 			if attempt > 0 {
 				e.tel.Registry().Counter("thermal.retry.degraded").Inc()
 			}

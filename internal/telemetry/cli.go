@@ -10,21 +10,24 @@ import (
 
 // Setup wires the standard CLI observability flags:
 //
-//	-trace out.jsonl   tracePath: JSONL event trace (""=off)
-//	-metrics           metrics:   collect + print the summary table
-//	-pprof addr        pprofAddr: serve net/http/pprof (""=off)
+//	-trace out.jsonl    tracePath:   JSONL event trace (""=off)
+//	-metrics            metrics:     collect + print the summary table
+//	-metrics-addr addr  metricsAddr: serve /metrics, /debug/vars,
+//	                    /progress and /debug/pprof (""=off)
+//	-pprof addr         pprofAddr:   serve net/http/pprof alone (""=off)
 //
-// It returns the hub (nil when neither tracing nor metrics was
-// requested, preserving the disabled fast path) and a cleanup that
-// flushes and closes the trace file. The pprof server, if requested,
-// binds synchronously — a bad address fails here, not in a goroutine —
-// and serves for the life of the process.
-func Setup(tracePath, pprofAddr string, metrics bool) (*Telemetry, func() error, error) {
+// It returns the hub (nil when nothing asked for telemetry, preserving
+// the disabled fast path — note -metrics-addr implies a live registry),
+// the exposition server (nil unless metricsAddr was given), and a
+// cleanup that flushes and closes the trace file and shuts the server
+// down. Both listeners bind synchronously — a bad address fails here,
+// not in a goroutine.
+func Setup(tracePath, pprofAddr, metricsAddr string, metrics bool) (*Telemetry, *Server, func() error, error) {
 	cleanup := func() error { return nil }
 	if pprofAddr != "" {
 		ln, err := net.Listen("tcp", pprofAddr)
 		if err != nil {
-			return nil, cleanup, fmt.Errorf("telemetry: pprof listen: %w", err)
+			return nil, nil, cleanup, fmt.Errorf("telemetry: pprof listen: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof\n", ln.Addr())
 		go func() {
@@ -34,14 +37,15 @@ func Setup(tracePath, pprofAddr string, metrics bool) (*Telemetry, func() error,
 		}()
 	}
 	var sink EventSink
+	var closeTrace func() error
 	if tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
-			return nil, cleanup, fmt.Errorf("telemetry: trace: %w", err)
+			return nil, nil, cleanup, fmt.Errorf("telemetry: trace: %w", err)
 		}
 		js := NewJSONLSink(f)
 		sink = js
-		cleanup = func() error {
+		closeTrace = func() error {
 			if err := js.Flush(); err != nil {
 				f.Close()
 				return err
@@ -49,8 +53,30 @@ func Setup(tracePath, pprofAddr string, metrics bool) (*Telemetry, func() error,
 			return f.Close()
 		}
 	}
-	if sink == nil && !metrics {
-		return nil, cleanup, nil
+	if sink == nil && !metrics && metricsAddr == "" {
+		return nil, nil, cleanup, nil
 	}
-	return New(sink), cleanup, nil
+	tel := New(sink)
+	var srv *Server
+	if metricsAddr != "" {
+		var err error
+		srv, err = Serve(metricsAddr, tel)
+		if err != nil {
+			if closeTrace != nil {
+				_ = closeTrace()
+			}
+			return nil, nil, cleanup, err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", srv.Addr())
+	}
+	cleanup = func() error {
+		err := srv.Close()
+		if closeTrace != nil {
+			if terr := closeTrace(); err == nil {
+				err = terr
+			}
+		}
+		return err
+	}
+	return tel, srv, cleanup, nil
 }

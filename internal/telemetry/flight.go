@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// flightDepth is the per-goroutine ring capacity: the last N stage
+// events retained for a quarantine dump. Deep enough to span a full
+// pipeline evaluation (six stages) plus the preceding point's tail.
+const flightDepth = 16
+
+// maxFlightRings bounds the number of per-goroutine rings; beyond it,
+// registering a new goroutine evicts the least recently active ring.
+// Evaluator goroutines come from bounded worker pools, so eviction only
+// fires in long-lived multi-sweep processes (the future tesa-server).
+const maxFlightRings = 128
+
+// FlightRecorder is a bounded per-goroutine ring of recent stage
+// events — a flight recorder for the evaluation pipeline. Each worker
+// goroutine's last flightDepth Record calls are retained; when an
+// evaluation fails, Dump returns the calling goroutine's recent history
+// so the quarantine record carries its own causal trace. All methods
+// are safe for concurrent use; a nil *FlightRecorder is a valid no-op.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	rings map[uint64]*flightRing
+}
+
+type flightRing struct {
+	events [flightDepth]flightEvent
+	n      int // total events ever recorded
+	touch  time.Time
+}
+
+type flightEvent struct {
+	what string
+	at   time.Time
+}
+
+// NewFlightRecorder returns an empty recorder.
+func NewFlightRecorder() *FlightRecorder {
+	return &FlightRecorder{rings: make(map[uint64]*flightRing)}
+}
+
+// Record appends one event to the calling goroutine's ring. The event
+// string should be short and self-contained, e.g.
+// "stage.thermal dim=24 ics=6".
+func (f *FlightRecorder) Record(what string) {
+	if f == nil {
+		return
+	}
+	now := time.Now()
+	id := goid()
+	f.mu.Lock()
+	r, ok := f.rings[id]
+	if !ok {
+		if len(f.rings) >= maxFlightRings {
+			f.evictStalestLocked()
+		}
+		r = &flightRing{}
+		f.rings[id] = r
+	}
+	r.events[r.n%flightDepth] = flightEvent{what: what, at: now}
+	r.n++
+	r.touch = now
+	f.mu.Unlock()
+}
+
+// Dump returns the calling goroutine's recorded events, oldest first,
+// each prefixed with its offset from the oldest dumped event
+// ("+1.2ms stage.thermal dim=24 ics=6"). Returns nil when the
+// goroutine has recorded nothing (or the recorder is nil).
+func (f *FlightRecorder) Dump() []string {
+	if f == nil {
+		return nil
+	}
+	id := goid()
+	f.mu.Lock()
+	r, ok := f.rings[id]
+	if !ok || r.n == 0 {
+		f.mu.Unlock()
+		return nil
+	}
+	count := r.n
+	if count > flightDepth {
+		count = flightDepth
+	}
+	events := make([]flightEvent, count)
+	for i := 0; i < count; i++ {
+		// Oldest retained event is at index n%depth when the ring has
+		// wrapped, 0 otherwise.
+		idx := i
+		if r.n > flightDepth {
+			idx = (r.n + i) % flightDepth
+		}
+		events[i] = r.events[idx]
+	}
+	f.mu.Unlock()
+	out := make([]string, count)
+	t0 := events[0].at
+	for i, e := range events {
+		out[i] = fmt.Sprintf("+%s %s", e.at.Sub(t0).Round(time.Microsecond), e.what)
+	}
+	return out
+}
+
+// evictStalestLocked drops the least recently touched ring. Caller
+// holds f.mu.
+func (f *FlightRecorder) evictStalestLocked() {
+	var stalest uint64
+	var when time.Time
+	first := true
+	for id, r := range f.rings {
+		if first || r.touch.Before(when) {
+			stalest, when, first = id, r.touch, false
+		}
+	}
+	if !first {
+		delete(f.rings, stalest)
+	}
+}
+
+// goid parses the current goroutine's id from runtime.Stack. Go
+// deliberately hides goroutine ids, but a per-goroutine ring keyed any
+// other way would need the pipeline to thread a context through every
+// stage; parsing the stack header costs ~1µs, paid only on Record —
+// i.e. only when flight recording is enabled.
+func goid() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	// Header shape: "goroutine 123 [running]:".
+	var id uint64
+	for i := len("goroutine "); i < n; i++ {
+		c := buf[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

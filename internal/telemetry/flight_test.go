@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRingBounds(t *testing.T) {
+	f := NewFlightRecorder()
+	if got := f.Dump(); got != nil {
+		t.Fatalf("empty dump = %v, want nil", got)
+	}
+	for i := 0; i < flightDepth+5; i++ {
+		f.Record(fmt.Sprintf("stage.%d", i))
+	}
+	got := f.Dump()
+	if len(got) != flightDepth {
+		t.Fatalf("dump length = %d, want %d", len(got), flightDepth)
+	}
+	// Oldest retained event is #5; newest is #flightDepth+4.
+	if !strings.HasSuffix(got[0], "stage.5") {
+		t.Errorf("oldest = %q, want stage.5", got[0])
+	}
+	if !strings.HasSuffix(got[len(got)-1], fmt.Sprintf("stage.%d", flightDepth+4)) {
+		t.Errorf("newest = %q", got[len(got)-1])
+	}
+	if !strings.HasPrefix(got[0], "+0s ") {
+		t.Errorf("first event should be at +0s: %q", got[0])
+	}
+}
+
+func TestFlightRecorderPerGoroutine(t *testing.T) {
+	f := NewFlightRecorder()
+	f.Record("main.event")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				f.Record(fmt.Sprintf("worker%d.%d", w, i))
+			}
+			dump := f.Dump()
+			want := fmt.Sprintf("worker%d.", w)
+			for _, line := range dump {
+				if !strings.Contains(line, want) {
+					t.Errorf("goroutine %d dump leaked foreign event %q", w, line)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The main goroutine's ring is untouched by the workers.
+	dump := f.Dump()
+	if len(dump) != 1 || !strings.HasSuffix(dump[0], "main.event") {
+		t.Fatalf("main dump = %v", dump)
+	}
+}
+
+func TestFlightRecorderEviction(t *testing.T) {
+	f := NewFlightRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < maxFlightRings+32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Record("ephemeral")
+		}()
+		wg.Wait() // serialize so each goroutine gets a distinct ring
+		wg = sync.WaitGroup{}
+	}
+	f.mu.Lock()
+	n := len(f.rings)
+	f.mu.Unlock()
+	if n > maxFlightRings {
+		t.Fatalf("rings = %d, want <= %d", n, maxFlightRings)
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record("x")
+	if got := f.Dump(); got != nil {
+		t.Fatalf("nil dump = %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestManifestStartEndRecords(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+
+	m := NewManifest("tesa-sweep", []string{"-full", "-trace", "t.jsonl"})
+	if len(m.RunID()) != 16 {
+		t.Fatalf("run id %q: want 16 hex chars", m.RunID())
+	}
+	m.Set("space", "fp:abc123")
+	m.Set("model_version", "tesa-models-1")
+	if err := m.EmitStart(sink); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	reg.Counter("eval.quarantined").Add(2)
+	m.Set("shards", 8) // facts may accrue during the run
+	if err := m.EmitEnd(sink, reg, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	sink.Flush()
+
+	sc := bufio.NewScanner(&buf)
+	var recs []map[string]any
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL: %v: %s", err, sc.Text())
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	start, end := recs[0], recs[1]
+	if start["event"] != ManifestEvent || end["event"] != ManifestEvent {
+		t.Fatalf("wrong events: %v / %v", start["event"], end["event"])
+	}
+	if start["phase"] != "start" || end["phase"] != "end" {
+		t.Fatalf("phases: %v / %v", start["phase"], end["phase"])
+	}
+	if start["run"] != m.RunID() || end["run"] != m.RunID() {
+		t.Fatal("run id must bind both records")
+	}
+	if start["command"] != "tesa-sweep" || start["space"] != "fp:abc123" {
+		t.Fatalf("start record: %v", start)
+	}
+	if _, ok := start["shards"]; ok {
+		t.Fatal("start record must not contain facts set later")
+	}
+	if end["shards"] != float64(8) || end["status"] != "ok" {
+		t.Fatalf("end record: %v", end)
+	}
+	if _, ok := end["wall_sec"].(float64); !ok {
+		t.Fatalf("end record missing wall_sec: %v", end)
+	}
+	metrics, ok := end["metrics"].(map[string]any)
+	if !ok {
+		t.Fatalf("end record missing metrics: %v", end)
+	}
+	counters, _ := metrics["counters"].(map[string]any)
+	if counters["eval.quarantined"] != float64(2) {
+		t.Fatalf("quarantine tally not in manifest: %v", metrics)
+	}
+}
+
+func TestManifestNilSafe(t *testing.T) {
+	var m *Manifest
+	if m.RunID() != "" {
+		t.Error("nil RunID")
+	}
+	m.Set("k", 1)
+	if m.Snapshot() != nil || m.Finalize(nil, "ok") != nil {
+		t.Error("nil manifest snapshots must be nil")
+	}
+	if err := m.EmitStart(nil); err != nil {
+		t.Error(err)
+	}
+	if err := m.EmitEnd(nil, nil, "ok"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRunIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRunID()
+		if len(id) != 16 || strings.ContainsAny(id, " \t\n") {
+			t.Fatalf("bad run id %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate run id %q", id)
+		}
+		seen[id] = true
+	}
+}

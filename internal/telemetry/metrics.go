@@ -75,9 +75,12 @@ type Histogram struct {
 	rng     uint64 // splitmix64 state for reservoir admission
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values (NaN, ±Inf) are dropped
+// at the door: a single poisoned observation would otherwise turn Sum —
+// and every derived mean — into NaN for the rest of the run, and the
+// exposition layer promises JSON output that never contains NaN.
 func (h *Histogram) Observe(v float64) {
-	if h == nil {
+	if h == nil || math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	h.mu.Lock()
@@ -117,19 +120,21 @@ type HistogramSnapshot struct {
 	sorted   []float64
 }
 
-// Mean returns the arithmetic mean (0 when empty).
+// Mean returns the arithmetic mean — 0 when the histogram is empty or
+// its state is somehow non-finite, never NaN.
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {
 		return 0
 	}
-	return s.Sum / float64(s.Count)
+	return finiteOr0(s.Sum / float64(s.Count))
 }
 
 // Quantile returns the q-quantile (q in [0,1]) estimated from the
-// sample reservoir; 0 when empty.
+// sample reservoir — 0 when the histogram is empty or the selected
+// sample is non-finite, never NaN.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	n := len(s.sorted)
-	if n == 0 {
+	if n == 0 || math.IsNaN(q) {
 		return 0
 	}
 	idx := int(math.Ceil(q*float64(n))) - 1
@@ -139,7 +144,16 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if idx >= n {
 		idx = n - 1
 	}
-	return s.sorted[idx]
+	return finiteOr0(s.sorted[idx])
+}
+
+// finiteOr0 clamps non-finite values to 0 — the exposition layer's
+// "never NaN in JSON" guarantee in one place.
+func finiteOr0(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // Snapshot returns a consistent copy for reporting (zero value for a

@@ -1,0 +1,8 @@
+//go:build !unix
+
+package telemetry
+
+// cpuTime reports zero CPU time on platforms without getrusage; the
+// manifest fields stay present (and zero) so consumers need no
+// platform-specific schema.
+func cpuTime() (user, sys float64) { return 0, 0 }

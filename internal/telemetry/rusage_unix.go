@@ -1,0 +1,19 @@
+//go:build unix
+
+package telemetry
+
+import "syscall"
+
+// cpuTime returns the process's cumulative user and system CPU time in
+// seconds, via getrusage(RUSAGE_SELF).
+func cpuTime() (user, sys float64) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	return tvSec(ru.Utime), tvSec(ru.Stime)
+}
+
+func tvSec(tv syscall.Timeval) float64 {
+	return float64(tv.Sec) + float64(tv.Usec)/1e6
+}

@@ -1,0 +1,149 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Server is the live exposition surface of a TESA process: a small HTTP
+// server publishing the metrics registry, run manifest, and sweep
+// progress. It is the scrape endpoint a future tesa-server mounts
+// unchanged. Endpoints:
+//
+//	/metrics       Prometheus text format 0.0.4 (Registry.WritePrometheus)
+//	/debug/vars    JSON: {"metrics": MetricsSnapshot, "manifest": {...},
+//	               "progress": {...}} — all values finite, always valid JSON
+//	/progress      JSON: the most recently published progress snapshot
+//	/debug/pprof/  the standard net/http/pprof handlers
+//	/              a plain-text index of the above
+//
+// All methods are nil-safe so CLIs hold a possibly-nil *Server and call
+// it unconditionally, mirroring the *Telemetry convention.
+type Server struct {
+	tel *Telemetry
+	ln  net.Listener
+	srv *http.Server
+	// progress and manifest hold map[string]any snapshots published by
+	// the run loop. Snapshots, not live pointers: the publisher hands
+	// over ownership, so request handlers never race run-loop mutation.
+	progress atomic.Value
+	manifest atomic.Value
+}
+
+// Serve binds addr (e.g. "localhost:9090", ":0" for an ephemeral port)
+// and serves the exposition endpoints for tel until Close. The listener
+// binds synchronously — a bad address fails here, not in a goroutine.
+func Serve(addr string, tel *Telemetry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: serve: %w", err)
+	}
+	s := &Server{tel: tel, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/vars", s.handleVars)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.handleIndex)
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		// http.ErrServerClosed is the normal Close path; anything else
+		// has nowhere useful to go once the CLI is deep in a sweep.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the server's bound address ("" for a nil server) —
+// useful with ":0" to discover the ephemeral port.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// PublishProgress stores a progress snapshot for /progress. The server
+// takes ownership of the map; callers must not mutate it afterwards.
+// Safe to call from the sweep's progress callback (it only swaps an
+// atomic pointer).
+func (s *Server) PublishProgress(fields map[string]any) {
+	if s == nil || fields == nil {
+		return
+	}
+	s.progress.Store(fields)
+}
+
+// PublishManifest stores the run-manifest snapshot served under
+// /debug/vars. The server takes ownership of the map.
+func (s *Server) PublishManifest(fields map[string]any) {
+	if s == nil || fields == nil {
+		return
+	}
+	s.manifest.Store(fields)
+}
+
+// Close stops serving and releases the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.tel.Registry().WritePrometheus(w)
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	payload := map[string]any{
+		"metrics": s.tel.Registry().Export(),
+	}
+	if m, ok := s.manifest.Load().(map[string]any); ok {
+		payload["manifest"] = m
+	}
+	if p, ok := s.progress.Load().(map[string]any); ok {
+		payload["progress"] = p
+	}
+	writeJSON(w, payload)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	p, ok := s.progress.Load().(map[string]any)
+	if !ok {
+		p = map[string]any{}
+	}
+	writeJSON(w, p)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "tesa exposition endpoints:\n"+
+		"  /metrics      Prometheus text format\n"+
+		"  /debug/vars   JSON metrics + manifest + progress\n"+
+		"  /progress     JSON live progress\n"+
+		"  /debug/pprof  runtime profiles\n")
+}
+
+// writeJSON marshals v (every exported snapshot is finite-by-
+// construction, so marshaling cannot fail on NaN) and writes it with
+// the JSON content type.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerEndpoints(t *testing.T) {
+	tel := New(nil)
+	tel.Registry().Counter("evaluator.cache.hit").Add(5)
+	tel.Registry().Histogram("stage.thermal").Observe(0.125)
+
+	srv, err := Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	t.Run("metrics", func(t *testing.T) {
+		body, ct := getBody(t, base+"/metrics")
+		if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+			t.Errorf("content type = %q", ct)
+		}
+		for _, want := range []string{
+			"tesa_evaluator_cache_hit 5",
+			"# TYPE tesa_stage_thermal summary",
+			"tesa_stage_thermal_count 1",
+			"tesa_uptime_seconds",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("missing %q in /metrics:\n%s", want, body)
+			}
+		}
+	})
+
+	t.Run("vars", func(t *testing.T) {
+		srv.PublishManifest(map[string]any{"run": "deadbeef", "command": "tesa-test"})
+		body, ct := getBody(t, base+"/debug/vars")
+		if !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("content type = %q", ct)
+		}
+		var v struct {
+			Metrics  MetricsSnapshot `json:"metrics"`
+			Manifest map[string]any  `json:"manifest"`
+		}
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("invalid JSON: %v\n%s", err, body)
+		}
+		if v.Metrics.Counters["evaluator.cache.hit"] != 5 {
+			t.Errorf("metrics snapshot missing counter: %+v", v.Metrics)
+		}
+		if v.Manifest["run"] != "deadbeef" {
+			t.Errorf("manifest not served: %+v", v.Manifest)
+		}
+	})
+
+	t.Run("progress", func(t *testing.T) {
+		body, _ := getBody(t, base+"/progress")
+		if strings.TrimSpace(body) != "{}" {
+			t.Errorf("empty progress should serve {}: %q", body)
+		}
+		srv.PublishProgress(map[string]any{"phase": "sweep", "done": 3, "total": 10})
+		body, _ = getBody(t, base+"/progress")
+		var p map[string]any
+		if err := json.Unmarshal([]byte(body), &p); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		if p["phase"] != "sweep" || p["done"] != float64(3) {
+			t.Errorf("progress = %v", p)
+		}
+	})
+
+	t.Run("pprof", func(t *testing.T) {
+		body, _ := getBody(t, base+"/debug/pprof/cmdline")
+		if body == "" {
+			t.Error("pprof cmdline empty")
+		}
+	})
+
+	t.Run("index", func(t *testing.T) {
+		body, _ := getBody(t, base+"/")
+		if !strings.Contains(body, "/metrics") {
+			t.Errorf("index = %q", body)
+		}
+	})
+}
+
+// TestServerConcurrentScrapeAndWrite races scrapes against metric
+// writes and progress publishes — the live-sweep scenario. Run with
+// -race in CI.
+func TestServerConcurrentScrapeAndWrite(t *testing.T) {
+	tel := New(nil)
+	srv, err := Serve("127.0.0.1:0", tel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tel.Registry().Histogram("pipeline.total")
+			c := tel.Registry().Counter("evaluator.cache.hit")
+			for i := 0; i < 200; i++ {
+				h.Observe(float64(i))
+				c.Inc()
+				srv.PublishProgress(map[string]any{"done": i, "worker": w})
+			}
+		}(w)
+	}
+	// t.Fatal is off-limits outside the test goroutine, so the scrape
+	// loop reports through t.Error.
+	scrape := func(url string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Errorf("GET %s: %v", url, err)
+			return
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			t.Errorf("read %s: %v", url, err)
+		}
+	}
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				scrape(base + "/metrics")
+				scrape(base + "/progress")
+				scrape(base + "/debug/vars")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestServerNil(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" {
+		t.Error("nil Addr should be empty")
+	}
+	s.PublishProgress(map[string]any{"x": 1})
+	s.PublishManifest(map[string]any{"x": 1})
+	if err := s.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

@@ -60,7 +60,7 @@ func (r *Registry) Summary() string {
 	if len(gauges) > 0 {
 		fmt.Fprintf(&b, "%-24s %9s\n", "gauge", "value")
 		for _, name := range names(gauges) {
-			fmt.Fprintf(&b, "%-24s %9.4g\n", name, gauges[name].Value())
+			fmt.Fprintf(&b, "%-24s %9.4g\n", name, finiteOr0(gauges[name].Value()))
 		}
 	}
 
@@ -82,9 +82,11 @@ func (r *Registry) Summary() string {
 }
 
 // fmtSec renders seconds with a unit that keeps 3-4 significant digits
-// across the ns..hours range the pipeline spans.
+// across the ns..hours range the pipeline spans. Non-finite inputs
+// render as 0s — the histograms drop them at Observe, so this is a
+// belt-and-suspenders guard for hand-built snapshots.
 func fmtSec(s float64) string {
-	d := time.Duration(s * float64(time.Second))
+	d := time.Duration(finiteOr0(s) * float64(time.Second))
 	switch {
 	case d == 0:
 		return "0s"

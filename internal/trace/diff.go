@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tesa/internal/telemetry"
+)
+
+// DefaultDiffThreshold is the relative change below which a stage delta
+// is considered noise.
+const DefaultDiffThreshold = 0.10
+
+// StageDelta is one stage's A/B comparison between two runs.
+type StageDelta struct {
+	Name          string
+	Before, After telemetry.HistogramStats
+	// P95Delta and MeanDelta are relative changes ((after-before)/before);
+	// 0 when the before side has no signal to compare against.
+	P95Delta  float64
+	MeanDelta float64
+	// OnlyIn marks a stage present in just one run ("before"/"after",
+	// "" when both have it).
+	OnlyIn string
+	// Regression is set when the stage got slower beyond the threshold
+	// (or exists only in the after run).
+	Regression bool
+	// Improvement is set when it got faster beyond the threshold.
+	Improvement bool
+}
+
+// RateDelta is one effectiveness rate's A/B comparison. Deltas are in
+// absolute fraction points (an 0.90 → 0.80 hit rate is -0.10).
+type RateDelta struct {
+	Name          string
+	Before, After Rate
+	Delta         float64
+	// Regression is set when the hit rate dropped beyond the threshold.
+	Regression bool
+}
+
+// Diff is the stage-by-stage comparison of two runs.
+type Diff struct {
+	Before, After *Summary
+	// Threshold is the relative change that was considered significant.
+	Threshold float64
+	Stages    []StageDelta
+	Rates     []RateDelta
+	// WallDelta is the relative end-to-end wall-clock change.
+	WallDelta float64
+	// Regressions counts the flagged stage and rate regressions.
+	Regressions int
+}
+
+// Compare diffs two run summaries stage-by-stage and rate-by-rate,
+// flagging changes beyond threshold (<= 0 selects the default 10%).
+// Latency comparisons use p95 — the tail is what sweeps feel — with the
+// mean reported alongside.
+func Compare(before, after *Summary, threshold float64) *Diff {
+	if threshold <= 0 {
+		threshold = DefaultDiffThreshold
+	}
+	d := &Diff{Before: before, After: after, Threshold: threshold}
+
+	stages := map[string]*StageDelta{}
+	for _, st := range before.Stages() {
+		stages[st.Name] = &StageDelta{Name: st.Name, Before: st.Stats, OnlyIn: "before"}
+	}
+	for _, st := range after.Stages() {
+		sd, ok := stages[st.Name]
+		if !ok {
+			sd = &StageDelta{Name: st.Name, OnlyIn: "after"}
+			stages[st.Name] = sd
+		} else {
+			sd.OnlyIn = ""
+		}
+		sd.After = st.Stats
+	}
+	for _, sd := range stages {
+		switch sd.OnlyIn {
+		case "after":
+			// A stage that appeared is new latency: always worth a flag.
+			sd.Regression = true
+		case "":
+			sd.P95Delta = relDelta(sd.Before.P95, sd.After.P95)
+			sd.MeanDelta = relDelta(sd.Before.Mean, sd.After.Mean)
+			sd.Regression = sd.P95Delta > threshold
+			sd.Improvement = sd.P95Delta < -threshold
+		}
+		if sd.Regression {
+			d.Regressions++
+		}
+		d.Stages = append(d.Stages, *sd)
+	}
+	sort.Slice(d.Stages, func(i, j int) bool {
+		if d.Stages[i].Regression != d.Stages[j].Regression {
+			return d.Stages[i].Regression
+		}
+		if d.Stages[i].P95Delta != d.Stages[j].P95Delta {
+			return d.Stages[i].P95Delta > d.Stages[j].P95Delta
+		}
+		return d.Stages[i].Name < d.Stages[j].Name
+	})
+
+	beforeRates := map[string]Rate{}
+	for _, r := range before.Effectiveness() {
+		beforeRates[r.Name] = r
+	}
+	for _, r := range after.Effectiveness() {
+		b, ok := beforeRates[r.Name]
+		if !ok {
+			continue // a rate only one run exercised is not comparable
+		}
+		rd := RateDelta{Name: r.Name, Before: b, After: r, Delta: r.Frac - b.Frac}
+		rd.Regression = rd.Delta < -threshold
+		if rd.Regression {
+			d.Regressions++
+		}
+		d.Rates = append(d.Rates, rd)
+	}
+	sort.Slice(d.Rates, func(i, j int) bool { return d.Rates[i].Name < d.Rates[j].Name })
+
+	d.WallDelta = relDelta(before.WallSec, after.WallSec)
+	return d
+}
+
+// relDelta is the relative change from a to b, 0 when a carries no
+// signal (avoids Inf/NaN on empty or zero baselines).
+func relDelta(a, b float64) float64 {
+	if a <= 0 {
+		return 0
+	}
+	return (b - a) / a
+}
+
+// WriteDiff renders the comparison: per-stage p95/mean deltas with
+// REGRESSION/improved flags, effectiveness-rate deltas, and the
+// wall-clock change.
+func WriteDiff(w io.Writer, d *Diff) {
+	fmt.Fprintf(w, "A: %s  (run %s, %.2fs wall)\n", orDash(d.Before.Path), orDash(d.Before.RunID), d.Before.WallSec)
+	fmt.Fprintf(w, "B: %s  (run %s, %.2fs wall)\n", orDash(d.After.Path), orDash(d.After.RunID), d.After.WallSec)
+	fmt.Fprintf(w, "threshold: %.0f%%\n\n", 100*d.Threshold)
+
+	if len(d.Stages) > 0 {
+		fmt.Fprintf(w, "%-11s %10s %10s %8s %8s  %s\n", "stage", "A p95", "B p95", "p95", "mean", "")
+		for _, sd := range d.Stages {
+			flag := ""
+			switch {
+			case sd.OnlyIn == "before":
+				flag = "gone in B"
+			case sd.OnlyIn == "after":
+				flag = "REGRESSION (new in B)"
+			case sd.Regression:
+				flag = "REGRESSION"
+			case sd.Improvement:
+				flag = "improved"
+			}
+			fmt.Fprintf(w, "%-11s %10s %10s %7.1f%% %7.1f%%  %s\n",
+				sd.Name, fmtLatency(sd.Before.P95), fmtLatency(sd.After.P95),
+				100*sd.P95Delta, 100*sd.MeanDelta, flag)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, rd := range d.Rates {
+		flag := ""
+		if rd.Regression {
+			flag = "  REGRESSION"
+		}
+		fmt.Fprintf(w, "%-22s %5.1f%% -> %5.1f%%  (%+.1f pts)%s\n",
+			rd.Name, 100*rd.Before.Frac, 100*rd.After.Frac, 100*rd.Delta, flag)
+	}
+	if len(d.Rates) > 0 {
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "wall clock: %.2fs -> %.2fs (%+.1f%%)\n", d.Before.WallSec, d.After.WallSec, 100*d.WallDelta)
+	if d.Regressions > 0 {
+		fmt.Fprintf(w, "%d regression(s) beyond the %.0f%% threshold\n", d.Regressions, 100*d.Threshold)
+	} else {
+		fmt.Fprintln(w, "no regressions beyond the threshold")
+	}
+}
