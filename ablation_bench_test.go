@@ -5,6 +5,7 @@
 package tesa_test
 
 import (
+	"context"
 	"testing"
 
 	"tesa"
@@ -120,7 +121,7 @@ func BenchmarkAblationObjective(b *testing.B) {
 			ev := ablationEvaluator(b, func(o *tesa.Options, _ *tesa.Constraints) {
 				o.Alpha, o.Beta = w.alpha, w.beta
 			})
-			res, err := ev.Optimize(space, 1)
+			res, err := ev.OptimizeContext(context.Background(), space, 1, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -185,7 +186,7 @@ func BenchmarkAblationSearchStrategy(b *testing.B) {
 		return ev
 	}
 	for i := 0; i < b.N; i++ {
-		msa, err := mk().Optimize(space, 5)
+		msa, err := mk().OptimizeContext(context.Background(), space, 5, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -31,8 +31,8 @@
 //	opts := tesa.DefaultOptions()           // 2-D, 400 MHz, Eq.6 weights 1/1
 //	cons := tesa.DefaultConstraints()       // 30 fps, 15 W, 75 C, 8x8 mm
 //	ev, _ := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
-//	res, _ := ev.Optimize(tesa.DefaultSpace(), 1)
-//	if res.Found {
+//	res, _ := ev.OptimizeContext(context.Background(), tesa.DefaultSpace(), 1, nil)
+//	if res != nil && res.Found {
 //	    fmt.Println(res.Best.Point, res.Best.PeakTempC)
 //	}
 //
@@ -48,17 +48,22 @@
 // incremental incumbents through a ProgressFunc. Failures use the
 // exported sentinel errors (ErrInvalidSpace, ErrNoFeasibleStart,
 // ErrCheckpointCorrupt) and support errors.Is. The legacy Optimize and
-// Exhaustive methods remain as context.Background() wrappers with their
-// historical semantics.
+// Exhaustive methods remain as deprecated context.Background() wrappers
+// with their historical semantics; new code should use the context
+// entrypoints.
 package tesa
 
 import (
+	"context"
 	"io"
+	"net/http"
 
 	"tesa/internal/core"
 	"tesa/internal/dnn"
 	"tesa/internal/faults"
+	"tesa/internal/jobspec"
 	"tesa/internal/memo"
+	"tesa/internal/server"
 	"tesa/internal/systolic"
 	"tesa/internal/telemetry"
 )
@@ -259,7 +264,7 @@ func FloorplanASCII(ev *Evaluation) string { return core.FloorplanASCII(ev) }
 //
 //	tel := tesa.NewTelemetry(tesa.NewJSONLSink(traceFile)) // or NewTelemetry(nil)
 //	ev.Instrument(tel)
-//	res, _ := ev.Optimize(tesa.DefaultSpace(), 1)
+//	res, _ := ev.OptimizeContext(ctx, tesa.DefaultSpace(), 1, nil)
 //	fmt.Print(tel.Summary())
 type (
 	// Telemetry is the observability hub: metrics registry, optional
@@ -352,3 +357,50 @@ func MarshalWorkload(w *Workload) ([]byte, error) { return dnn.MarshalWorkload(w
 
 // UnmarshalWorkload parses and validates a workload from JSON.
 func UnmarshalWorkload(data []byte) (Workload, error) { return dnn.UnmarshalWorkload(data) }
+
+// Jobs (internal/jobspec, internal/server). A JobSpec is the versioned
+// JSON description of one DSE request — optimize, sweep, or pareto —
+// consumed identically by the CLIs' -job flag, by RunJob in-process, and
+// by a tesa-server over HTTP. The spec is the single source of truth for
+// a run's configuration, so the three paths produce byte-identical
+// JobResults:
+//
+//	spec, _ := tesa.LoadJobSpec("job.json")
+//	res, _ := tesa.RunJob(ctx, spec, ".", nil)        // in-process
+//	cli := tesa.NewJobClient("http://localhost:8080", nil)
+//	res, _ = cli.Run(ctx, raw, nil)                   // same bytes, via a server
+type (
+	// JobSpec is the versioned ("tesa.jobspec/v1") JSON job request.
+	JobSpec = jobspec.Spec
+	// JobResult is the canonical, NaN-safe result document of a job.
+	JobResult = jobspec.Result
+	// JobClient is an HTTP client for a tesa-server job API: submit,
+	// poll, stream progress over SSE, cancel.
+	JobClient = server.Client
+)
+
+// ParseJobSpec strictly decodes and validates a JobSpec from JSON:
+// unknown fields, a wrong version, or an invalid kind are errors.
+func ParseJobSpec(data []byte) (*JobSpec, error) { return jobspec.Parse(data) }
+
+// LoadJobSpec reads and parses a JobSpec file.
+func LoadJobSpec(path string) (*JobSpec, error) { return jobspec.Load(path) }
+
+// RunJob resolves spec (workload_file paths are relative to baseDir)
+// and executes it, observing ctx for cancellation and the spec's own
+// deadline_sec. A non-nil store memoizes pipeline stages across calls —
+// pass one process-wide store to get tesa-server's warm-state behaviour
+// in-process; nil runs cold. Results are bit-identical either way.
+func RunJob(ctx context.Context, spec *JobSpec, baseDir string, store *MemoStore) (*JobResult, error) {
+	r, err := spec.Resolve(baseDir)
+	if err != nil {
+		return nil, err
+	}
+	return jobspec.Run(ctx, r, jobspec.Runtime{Store: store})
+}
+
+// NewJobClient returns a JobClient for a tesa-server base URL (e.g.
+// "http://localhost:8080"). A nil httpClient uses http.DefaultClient.
+func NewJobClient(base string, httpClient *http.Client) *JobClient {
+	return server.NewClient(base, httpClient)
+}

@@ -1,6 +1,7 @@
 package tesa_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -36,7 +37,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 
 	space := tesa.Space{ArrayDims: []int{196, 212, 228, 244}, ICSUMs: []int{200, 600, 1000}}
-	res, err := ev.Optimize(space, 1)
+	res, err := ev.OptimizeContext(context.Background(), space, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -304,7 +304,7 @@ func benchOptimizeTelemetry(b *testing.B, tel *telemetry.Telemetry) {
 			b.Fatal(err)
 		}
 		ev.Instrument(tel)
-		if _, err := ev.Optimize(tesa.ValidationSpace(), 1); err != nil {
+		if _, err := ev.OptimizeContext(context.Background(), tesa.ValidationSpace(), 1, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -414,7 +414,7 @@ func benchSweepThermal(b *testing.B, fast bool, label string) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := ev.Optimize(tesa.ValidationSpace(), 1)
+		res, err := ev.OptimizeContext(context.Background(), tesa.ValidationSpace(), 1, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,349 @@
+// Command tesa-load replays a configurable job mix against a running
+// tesa-server and reports end-to-end latency percentiles, error rates,
+// and quarantine rates. It drives two identical legs — "cold" against a
+// fresh process-wide memo store, then "warm" re-submitting the same
+// request sequence — so the delta isolates the service's cross-request
+// memo sharing.
+//
+// Usage:
+//
+//	tesa-load [-server http://127.0.0.1:8080] [-requests 24]
+//	          [-qps 4] [-qps-peak 0] [-arrival poisson|uniform]
+//	          [-mix optimize=0.6,sweep=0.2,pareto=0.2] [-seed 1]
+//	          [-grid 8] [-pareto-points 3] [-out BENCH_serve.json]
+//	          [-warm] [-verify]
+//
+// The generator draws each request's kind from -mix and its design
+// sub-space from a seeded RNG, so distinct requests overlap partially:
+// exactly the regime where a shared store pays. -qps sets the arrival
+// rate (-qps-peak > 0 ramps linearly from -qps to -qps-peak across the
+// leg); -arrival picks Poisson or uniform interarrival times. The same
+// -seed replays the same sequence, which is how the warm leg re-issues
+// the cold leg's work.
+//
+// -out writes a BENCH_serve.json with per-leg p50/p95/p99 latency,
+// error and quarantine rates, and the cold/warm p50 speedup. -verify
+// exits 1 unless every job in both legs completed successfully; -warm
+// skips the cold leg (for probing an already-warm server).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tesa/internal/jobspec"
+	"tesa/internal/server"
+	"tesa/internal/telemetry"
+)
+
+func main() {
+	var (
+		base     = flag.String("server", "http://127.0.0.1:8080", "tesa-server base URL")
+		requests = flag.Int("requests", 24, "jobs per leg")
+		qps      = flag.Float64("qps", 4, "target arrival rate in jobs/sec")
+		qpsPeak  = flag.Float64("qps-peak", 0, "ramp the rate linearly from -qps to this across each leg (0 = flat)")
+		arrival  = flag.String("arrival", "poisson", "interarrival process: poisson or uniform")
+		mixSpec  = flag.String("mix", "optimize=0.6,sweep=0.2,pareto=0.2", "job-kind ratios")
+		seed     = flag.Int64("seed", 1, "request-generator seed (same seed = same sequence)")
+		grid     = flag.Int("grid", 8, "thermal grid for generated jobs")
+		points   = flag.Int("pareto-points", 3, "front size for generated pareto jobs")
+		out      = flag.String("out", "", "write the benchmark report JSON here")
+		warmOnly = flag.Bool("warm", false, "skip the cold leg (probe an already-warm server)")
+		verify   = flag.Bool("verify", false, "exit 1 unless every job in every leg succeeded")
+	)
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *arrival != "poisson" && *arrival != "uniform" {
+		fmt.Fprintf(os.Stderr, "unknown -arrival %q\n", *arrival)
+		os.Exit(2)
+	}
+
+	cl := server.NewClient(*base, nil)
+	ctx := context.Background()
+	if h, err := cl.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "tesa-load: server unreachable: %v\n", err)
+		os.Exit(1)
+	} else if ok, _ := h["ok"].(bool); !ok {
+		fmt.Fprintf(os.Stderr, "tesa-load: server not accepting jobs: %v\n", h)
+		os.Exit(1)
+	}
+
+	gen := generator{mix: mix, grid: *grid, points: *points}
+	legs := []string{"cold", "warm"}
+	if *warmOnly {
+		legs = []string{"warm"}
+	}
+	report := report{
+		Bench:    "serve",
+		Server:   *base,
+		Requests: *requests,
+		Mix:      *mixSpec,
+		Arrival:  *arrival,
+		QPS:      *qps,
+		QPSPeak:  *qpsPeak,
+		Seed:     *seed,
+	}
+	failures := 0
+	for _, name := range legs {
+		// Same seed per leg: the warm leg replays the cold leg's exact
+		// request sequence against the now-populated store.
+		specs := gen.sequence(rand.New(rand.NewSource(*seed)), *requests)
+		leg := runLeg(ctx, cl, name, specs, *qps, *qpsPeak, *arrival, rand.New(rand.NewSource(*seed+1)))
+		report.Legs = append(report.Legs, leg)
+		failures += leg.Failed
+		fmt.Printf("%s: %d jobs in %.1fs  p50 %.0fms  p95 %.0fms  p99 %.0fms  errors %.1f%%  quarantined %d\n",
+			name, leg.Done+leg.Failed, leg.WallSec, leg.P50Ms, leg.P95Ms, leg.P99Ms, 100*leg.ErrorRate, leg.Quarantined)
+	}
+	if len(report.Legs) == 2 && report.Legs[1].P50Ms > 0 {
+		report.WarmSpeedupP50 = report.Legs[0].P50Ms / report.Legs[1].P50Ms
+		report.WarmSpeedupP95 = report.Legs[0].P95Ms / report.Legs[1].P95Ms
+		fmt.Printf("warm speedup: %.2fx p50, %.2fx p95\n", report.WarmSpeedupP50, report.WarmSpeedupP95)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *verify && failures > 0 {
+		fmt.Fprintf(os.Stderr, "tesa-load: %d job(s) failed\n", failures)
+		os.Exit(1)
+	}
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	Bench          string  `json:"bench"`
+	Server         string  `json:"server"`
+	Requests       int     `json:"requests_per_leg"`
+	Mix            string  `json:"mix"`
+	Arrival        string  `json:"arrival"`
+	QPS            float64 `json:"qps"`
+	QPSPeak        float64 `json:"qps_peak,omitempty"`
+	Seed           int64   `json:"seed"`
+	Legs           []leg   `json:"legs"`
+	WarmSpeedupP50 float64 `json:"warm_speedup_p50,omitempty"`
+	WarmSpeedupP95 float64 `json:"warm_speedup_p95,omitempty"`
+}
+
+// leg aggregates one replay of the request sequence.
+type leg struct {
+	Name        string  `json:"name"`
+	Done        int     `json:"done"`
+	Failed      int     `json:"failed"`
+	Quarantined int     `json:"quarantined"`
+	ErrorRate   float64 `json:"error_rate"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+	WallSec     float64 `json:"wall_sec"`
+}
+
+// runLeg submits specs at the configured arrival rate, waits for every
+// job, and aggregates latencies on a per-leg telemetry registry.
+func runLeg(ctx context.Context, cl *server.Client, name string, specs [][]byte,
+	qps, qpsPeak float64, arrival string, rng *rand.Rand) leg {
+	reg := telemetry.NewRegistry()
+	hist := reg.Histogram("load_job_seconds")
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		done        int
+		failed      int
+		quarantined int
+	)
+	start := time.Now()
+	for i, spec := range specs {
+		if i > 0 {
+			frac := float64(i) / float64(len(specs))
+			rate := qps
+			if qpsPeak > 0 {
+				rate = qps + (qpsPeak-qps)*frac
+			}
+			mean := 1 / rate
+			wait := mean
+			if arrival == "poisson" {
+				wait = rng.ExpFloat64() * mean
+			}
+			time.Sleep(time.Duration(wait * float64(time.Second)))
+		}
+		wg.Add(1)
+		go func(spec []byte) {
+			defer wg.Done()
+			t0 := time.Now()
+			res, err := cl.Run(ctx, spec, nil)
+			hist.ObserveDuration(time.Since(t0))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failed++
+				fmt.Fprintf(os.Stderr, "%s: job failed: %v\n", name, err)
+				return
+			}
+			done++
+			quarantined += res.Quarantined
+		}(spec)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	snap := hist.Snapshot()
+	l := leg{
+		Name:        name,
+		Done:        done,
+		Failed:      failed,
+		Quarantined: quarantined,
+		P50Ms:       1e3 * snap.Quantile(0.50),
+		P95Ms:       1e3 * snap.Quantile(0.95),
+		P99Ms:       1e3 * snap.Quantile(0.99),
+		MeanMs:      1e3 * snap.Mean(),
+		WallSec:     wall.Seconds(),
+	}
+	if done+failed > 0 {
+		l.ErrorRate = float64(failed) / float64(done+failed)
+	}
+	return l
+}
+
+// generator draws deterministic jobspec documents whose sub-spaces
+// partially overlap, so a shared memo store has cross-request hits.
+type generator struct {
+	mix    []kindWeight
+	grid   int
+	points int
+}
+
+type kindWeight struct {
+	kind   string
+	weight float64
+}
+
+// sequence renders n spec documents from rng.
+func (g generator) sequence(rng *rand.Rand, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = g.one(rng)
+	}
+	return out
+}
+
+// one renders a single spec: a kind drawn from the mix and a small
+// design sub-space drawn from the feasible region around 180-256 PEs.
+func (g generator) one(rng *rand.Rand) []byte {
+	kind := g.mix[len(g.mix)-1].kind
+	u := rng.Float64()
+	for _, kw := range g.mix {
+		if u < kw.weight {
+			kind = kw.kind
+			break
+		}
+		u -= kw.weight
+	}
+	// 2-3 array dims from {180..256 step 4}, 2 ICS pitches from
+	// {0..1000 step 250}: small jobs that overlap across requests.
+	dims := pick(rng, ints(180, 256, 4), 2+rng.Intn(2))
+	ics := pick(rng, ints(0, 1000, 250), 2)
+
+	grid := g.grid
+	spec := jobspec.Spec{
+		Version:     jobspec.Version,
+		Kind:        kind,
+		Options:     &jobspec.Options{Grid: &grid},
+		Constraints: &jobspec.Constraints{FPS: f(15), TempC: f(85)},
+		Space:       &jobspec.Space{ArrayDims: dims, ICSUMs: ics},
+	}
+	s := int64(1 + rng.Intn(4))
+	spec.Seed = &s
+	if kind == jobspec.KindPareto {
+		spec.Pareto = &jobspec.Pareto{Points: g.points}
+	}
+	raw, err := spec.Marshal()
+	if err != nil {
+		panic(err) // a generator bug, not a runtime condition
+	}
+	return raw
+}
+
+func f(v float64) *float64 { return &v }
+
+// ints returns {lo, lo+step, ..., hi}.
+func ints(lo, hi, step int) []int {
+	var out []int
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// pick draws k distinct values from vals, sorted ascending.
+func pick(rng *rand.Rand, vals []int, k int) []int {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	idx := rng.Perm(len(vals))[:k]
+	out := make([]int, k)
+	for i, j := range idx {
+		out[i] = vals[j]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// parseMix parses "optimize=0.6,sweep=0.2,pareto=0.2" into normalized
+// weights.
+func parseMix(s string) ([]kindWeight, error) {
+	var mix []kindWeight
+	total := 0.0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, ws, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-mix: %q is not kind=weight", part)
+		}
+		switch kind {
+		case jobspec.KindOptimize, jobspec.KindSweep, jobspec.KindPareto:
+		default:
+			return nil, fmt.Errorf("-mix: unknown kind %q", kind)
+		}
+		w, err := strconv.ParseFloat(ws, 64)
+		if err != nil || w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("-mix: bad weight %q", ws)
+		}
+		if w == 0 {
+			continue
+		}
+		mix = append(mix, kindWeight{kind: kind, weight: w})
+		total += w
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("-mix: no kinds with positive weight in %q", s)
+	}
+	for i := range mix {
+		mix[i].weight /= total
+	}
+	return mix, nil
+}

@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	tesa-pareto [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
+//	tesa-pareto [-job spec.json]
+//	            [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
 //	            [-points 9] [-grid 32] [-seed 1]
 //	            [-faults spec] [-max-failures 0] [-fail-fast]
 //	            [-stage-timeout 0] [-metrics] [-trace out.jsonl]
 //	            [-pprof addr] [-metrics-addr addr] [-manifest run.jsonl]
 //	            [-thermal-fast] [-surrogate-band 3]
 //	            [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
+//
+// -job runs a versioned jobspec document (tesa.jobspec/v1, kind
+// "pareto") instead of per-setting flags: the same file drives this
+// command, the library, and tesa-server to an identical front. Config
+// flags conflict with -job; operational flags (-progress, -memo*,
+// telemetry) compose with it.
 //
 // -thermal-fast runs every weight setting's search on the fast thermal
 // path (workspace CG, warm starts, surrogate pre-screen with a
@@ -69,8 +76,21 @@ func main() {
 		band      = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
 		obs       = cli.ObservabilityFlags()
 		mf        = cli.MemoFlagsRegister()
+		jobPath   = cli.JobFlag()
 	)
 	flag.Parse()
+
+	job, err := cli.ResolveJob(*jobPath, "pareto",
+		"tech", "freq", "fps", "temp", "points", "grid", "seed",
+		"faults", "max-failures", "fail-fast", "stage-timeout",
+		"thermal-fast", "surrogate-band")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if job != nil {
+		*points = job.ParetoPoints
+	}
 	if *points < 2 {
 		fmt.Fprintln(os.Stderr, "need at least 2 sweep points")
 		os.Exit(2)
@@ -80,6 +100,11 @@ func main() {
 	// remains valid, so a killed run loses only the unswept weights.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if job != nil && job.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.Deadline)
+		defer cancel()
+	}
 
 	// The summaries go to stderr so the CSV on stdout stays clean.
 	sess, err := obs.Setup("tesa-pareto", os.Stderr)
@@ -116,6 +141,14 @@ func main() {
 	cons.TempBudgetC = *tempC
 	w := tesa.ARVRWorkload()
 	space := tesa.DefaultSpace()
+	if job != nil {
+		// The spec is the configuration: everything the config flags
+		// would have assembled comes from the resolved job instead.
+		base, cons, w, space = job.Opts, job.Cons, job.Workload, job.Space
+		*seed = job.Seed
+		*maxFail, *failFast, *stageTO = job.MaxFailures, job.FailFast, job.StageTimeout
+		*faultSpec = job.Faults
+	}
 	sess.Manifest.Set("space", space.Fingerprint())
 	sess.Manifest.Set("seed", *seed)
 	sess.Manifest.Set("workload", w.Name)
@@ -174,7 +207,11 @@ func main() {
 		}
 		optOpt.Progress = sess.Progress(optOpt.Progress)
 		res, err := ev.OptimizeContext(ctx, space, *seed, optOpt)
-		collect(res.Poisoned)
+		if res != nil {
+			// res is nil when the run is canceled mid-weight; reading
+			// its ledger unconditionally would crash on SIGINT.
+			collect(res.Poisoned)
+		}
 		switch {
 		case errors.Is(err, tesa.ErrNoFeasibleStart):
 			fmt.Fprintf(os.Stderr, "alpha=%.2f beta=%.2f: no solution\n", opts.Alpha, opts.Beta)

@@ -1,0 +1,141 @@
+// Command tesa-server runs the TESA design-space-exploration engines as
+// a long-lived HTTP service. Clients POST versioned jobspec documents
+// (see internal/jobspec) to /v1/jobs and get a job id back; results,
+// status, and Server-Sent-Events progress streams hang off the id:
+//
+//	POST   /v1/jobs            submit a spec → 202 + {"id": ...}
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}        status, result once done
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	DELETE /v1/jobs/{id}        cancel
+//	GET    /healthz             liveness, drain state, pool tallies
+//
+// Usage:
+//
+//	tesa-server [-addr :8080] [-workers 2] [-queue 64]
+//	            [-job-deadline 0] [-base-dir .] [-drain-timeout 30s]
+//	            [-memo-dir .tesa-memo] [-starts-parallel]
+//	            [-metrics] [-trace out.jsonl] [-pprof addr]
+//	            [-metrics-addr addr] [-manifest run.jsonl]
+//
+// Every job in the process shares one content-addressed memo store, so
+// overlapping requests reuse each other's systolic profiles, schedules,
+// and whole evaluations: the service gets faster as it serves. Results
+// stay bit-identical to single-shot CLI runs of the same spec — memo
+// sharing changes wall-clock time, never numbers. -memo-dir persists
+// the store across restarts.
+//
+// -metrics-addr serves the shared observability surface (/metrics
+// Prometheus text, /debug/vars, /progress, /debug/pprof) for the whole
+// process, including tesa_serve_* job counters and latency histograms.
+//
+// On SIGINT/SIGTERM the server drains: submissions are refused with
+// 503, queued and running jobs are canceled, the memo cache and run
+// manifest flush, and the process exits 0. A drain that exceeds
+// -drain-timeout exits 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tesa/internal/cli"
+	"tesa/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "job API listen address")
+		workers = flag.Int("workers", 2, "concurrent job executors")
+		queue   = flag.Int("queue", 64, "accepted-but-unstarted job capacity (full = 429)")
+		jobDL   = flag.Duration("job-deadline", 0, "default per-job deadline for specs without deadline_sec (0 = none)")
+		baseDir = flag.String("base-dir", "", "directory anchoring relative workload_file paths in specs (default: cwd)")
+		drainTO = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for jobs to wind down on shutdown")
+		obs     = cli.ObservabilityFlags()
+		mf      = cli.MemoFlagsRegister()
+	)
+	flag.Parse()
+
+	sess, err := obs.Setup("tesa-server", os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The whole point of the service is cross-request warmth: the memo
+	// store is always on, -memo-dir adds persistence across restarts.
+	mf.Enable = true
+	store, memoDone, err := mf.Store()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		Store:           store,
+		Tel:             sess.Tel,
+		DefaultDeadline: *jobDL,
+		Parallel:        mf.StartWorkers(),
+		BaseDir:         *baseDir,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sess.Manifest.Set("addr", *addr)
+	sess.Manifest.Set("workers", *workers)
+	sess.Manifest.Set("queue", *queue)
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("tesa-server: listening on %s (%d workers, queue %d)\n", *addr, *workers, *queue)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	status, code := "ok", 0
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			status, code = "error", 1
+		}
+	case s := <-sig:
+		fmt.Printf("tesa-server: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			status, code = "drain-timeout", 1
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				status, code = "shutdown-timeout", 1
+			}
+		}
+		cancel()
+		if code == 0 {
+			status = "drained"
+		}
+	}
+
+	if obs.Metrics && store != nil {
+		fmt.Printf("memo: %+v\n", store.Stats().KindStats)
+	}
+	sess.Finish(status)
+	if err := memoDone(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

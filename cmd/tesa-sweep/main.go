@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	tesa-sweep [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
+//	tesa-sweep [-job spec.json]
+//	           [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
 //	           [-full] [-grid 32] [-seed 1] [-shard 0]
 //	           [-checkpoint sweep.ckpt] [-resume sweep.ckpt] [-progress]
 //	           [-faults spec] [-max-failures 0] [-fail-fast]
@@ -13,6 +14,12 @@
 //	           [-pprof addr] [-metrics-addr addr] [-manifest run.jsonl]
 //	           [-thermal-fast] [-surrogate-band 3]
 //	           [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
+//
+// -job runs a versioned jobspec document (tesa.jobspec/v1, kind
+// "sweep") instead of per-setting flags: the same file drives this
+// command, the library, and tesa-server to bit-identical feasibility
+// counts and optima. Config flags conflict with -job; operational
+// flags (-progress, -checkpoint, -resume, -memo*, telemetry) compose.
 //
 // -thermal-fast runs both the exhaustive sweep and the annealer on the
 // fast thermal path (workspace CG, warm starts, surrogate pre-screen
@@ -90,14 +97,30 @@ func main() {
 		band        = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
 		obs         = cli.ObservabilityFlags()
 		mf          = cli.MemoFlagsRegister()
+		jobPath     = cli.JobFlag()
 	)
 	flag.Parse()
 
+	job, err := cli.ResolveJob(*jobPath, "sweep",
+		"tech", "freq", "fps", "temp", "full", "grid", "seed", "shard",
+		"faults", "max-failures", "fail-fast", "stage-timeout",
+		"thermal-fast", "surrogate-band")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	// SIGINT/SIGTERM cancel the context; the engines observe it between
 	// evaluations, checkpoint state stays consistent, and we exit with
-	// the conventional 130.
+	// the conventional 130. A -job spec's deadline_sec bounds the run
+	// the same way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if job != nil && job.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.Deadline)
+		defer cancel()
+	}
 
 	sess, err := obs.Setup("tesa-sweep", os.Stdout)
 	if err != nil {
@@ -137,6 +160,15 @@ func main() {
 		space = tesa.DefaultSpace()
 	}
 	w := tesa.ARVRWorkload()
+	if job != nil {
+		// The spec is the configuration: everything the config flags
+		// would have assembled comes from the resolved job instead.
+		opts, cons, w, space = job.Opts, job.Cons, job.Workload, job.Space
+		*seed = job.Seed
+		*shard = job.ShardSize
+		*maxFailures, *failFast, *stageTO = job.MaxFailures, job.FailFast, job.StageTimeout
+		*faultSpec = job.Faults
+	}
 
 	sess.Manifest.Set("space", space.Fingerprint())
 	sess.Manifest.Set("seed", *seed)
@@ -197,7 +229,7 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("exhaustive sweep: %d design vectors (%s, %.0f MHz, %.0f fps, %.0f C)\n",
-		space.Size(), opts.Tech, *freqMHz, cons.FPS, cons.TempBudgetC)
+		space.Size(), opts.Tech, opts.FreqHz/1e6, cons.FPS, cons.TempBudgetC)
 	start := time.Now()
 	exRes, err := ex.ExhaustiveContext(ctx, space, sweepOpt)
 	if err != nil {

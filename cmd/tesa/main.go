@@ -3,13 +3,21 @@
 //
 // Usage:
 //
-//	tesa [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75] [-power 15]
+//	tesa [-job spec.json]
+//	     [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75] [-power 15]
 //	     [-interposer 8] [-grid 32] [-seed 1] [-alpha 1] [-beta 1]
 //	     [-faults spec] [-max-failures 0] [-fail-fast] [-stage-timeout 0]
 //	     [-metrics] [-trace out.jsonl] [-pprof addr]
 //	     [-metrics-addr addr] [-manifest run.jsonl]
 //	     [-thermal-fast] [-surrogate-band 3]
 //	     [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
+//
+// -job runs a versioned jobspec document (tesa.jobspec/v1, kind
+// "optimize") instead of per-setting flags: the same file drives this
+// command, the library, and tesa-server to bit-identical results.
+// Config flags (-tech, -grid, ...) conflict with -job; operational
+// flags (-progress, -deadline, -memo*, the telemetry flags) compose
+// with it, and an explicit -deadline overrides the spec's deadline_sec.
 //
 // -thermal-fast switches the search to the fast thermal path
 // (allocation-free workspace CG, warm-started solves, surrogate
@@ -85,16 +93,27 @@ func main() {
 		band       = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
 		obs        = cli.ObservabilityFlags()
 		mf         = cli.MemoFlagsRegister()
+		jobPath    = cli.JobFlag()
 	)
 	flag.Parse()
 
-	// SIGINT/SIGTERM (and -deadline) cancel the context; the annealers
-	// observe it between evaluations and wind down promptly.
+	job, err := cli.ResolveJob(*jobPath, "optimize",
+		"tech", "freq", "fps", "temp", "power", "interposer", "grid", "seed",
+		"alpha", "beta", "dataflow", "workload", "faults", "max-failures",
+		"fail-fast", "stage-timeout", "thermal-fast", "surrogate-band")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// SIGINT/SIGTERM (and -deadline, or the spec's deadline_sec) cancel
+	// the context; the annealers observe it between evaluations and wind
+	// down promptly.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *deadline > 0 {
+	if dl := cli.JobDeadline(job, *deadline); dl > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		ctx, cancel = context.WithTimeout(ctx, dl)
 		defer cancel()
 	}
 
@@ -159,6 +178,15 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	space := tesa.DefaultSpace()
+	if job != nil {
+		// The spec is the configuration: everything the config flags
+		// would have assembled comes from the resolved job instead.
+		opts, cons, w, space = job.Opts, job.Cons, job.Workload, job.Space
+		*seed = job.Seed
+		*maxFail, *failFast, *stageTO = job.MaxFailures, job.FailFast, job.StageTimeout
+		*faultSpec = job.Faults
+	}
 	ev, err := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -172,14 +200,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	sess.Manifest.Set("space", tesa.DefaultSpace().Fingerprint())
+	sess.Manifest.Set("space", space.Fingerprint())
 	sess.Manifest.Set("seed", *seed)
 	sess.Manifest.Set("workload", w.Name)
 	if *faultSpec != "" {
 		sess.Manifest.Set("faults", *faultSpec)
 	}
 
-	fmt.Printf("TESA: %s MCM at %.0f MHz for the %d-DNN %s workload\n", opts.Tech, *freqMHz, len(w.Networks), w.Name)
+	fmt.Printf("TESA: %s MCM at %.0f MHz for the %d-DNN %s workload\n", opts.Tech, opts.FreqHz/1e6, len(w.Networks), w.Name)
 	fmt.Printf("constraints: %.0f fps, %.0f W, %.0f C, %.0fx%.0f mm interposer\n\n",
 		cons.FPS, cons.PowerBudgetW, cons.TempBudgetC, cons.InterposerMM, cons.InterposerMM)
 
@@ -195,7 +223,7 @@ func main() {
 	optOpt.Progress = sess.Progress(optOpt.Progress)
 
 	start := time.Now()
-	res, err := ev.OptimizeContext(ctx, tesa.DefaultSpace(), *seed, optOpt)
+	res, err := ev.OptimizeContext(ctx, space, *seed, optOpt)
 	switch {
 	case errors.Is(err, tesa.ErrNoFeasibleStart):
 		// res carries the exploration counters; reported below.
@@ -215,7 +243,7 @@ func main() {
 
 	if !res.Found {
 		fmt.Printf("SOLUTION DOES NOT EXIST under these constraints\n")
-		fmt.Printf("(explored %d of %d design vectors in %.1fs)\n", res.Explored, tesa.DefaultSpace().Size(), elapsed.Seconds())
+		fmt.Printf("(explored %d of %d design vectors in %.1fs)\n", res.Explored, space.Size(), elapsed.Seconds())
 		fmt.Println("remedial options: relax the thermal budget, reduce frequency, or enlarge the interposer")
 		cli.FailureSummary(os.Stderr, res.Poisoned)
 		finish("no-solution")
@@ -247,7 +275,7 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("\nsearch: %d evaluations, %d distinct points (%.1f%% of the space, %.1f%% cache hits), %.1fs\n",
-		res.Evaluations, res.Explored, 100*float64(res.Explored)/float64(tesa.DefaultSpace().Size()),
+		res.Evaluations, res.Explored, 100*float64(res.Explored)/float64(space.Size()),
 		100*res.CacheHitRate, elapsed.Seconds())
 	if res.Screened > 0 {
 		fmt.Printf("fast path: %d candidates rejected by the surrogate pre-screen without a grid solve\n", res.Screened)

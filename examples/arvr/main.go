@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -52,8 +54,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := ev.Optimize(space, 1)
-		if err != nil {
+		res, err := ev.OptimizeContext(context.Background(), space, 1, nil)
+		if err != nil && !errors.Is(err, tesa.ErrNoFeasibleStart) {
 			log.Fatal(err)
 		}
 		label := fmt.Sprintf("%3.0f MHz %2.0f fps %2.0f C", c.freqMHz, c.fps, c.budgetC)

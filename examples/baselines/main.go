@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -63,8 +65,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := ev.Optimize(space, 1)
-	if err != nil {
+	res, err := ev.OptimizeContext(context.Background(), space, 1, nil)
+	if err != nil && !errors.Is(err, tesa.ErrNoFeasibleStart) {
 		log.Fatal(err)
 	}
 	if !res.Found {

@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -70,8 +72,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := ev.Optimize(tesa.DefaultSpace(), 1)
-	if err != nil {
+	res, err := ev.OptimizeContext(context.Background(), tesa.DefaultSpace(), 1, nil)
+	if err != nil && !errors.Is(err, tesa.ErrNoFeasibleStart) {
 		log.Fatal(err)
 	}
 	if !res.Found {

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -52,8 +54,8 @@ func main() {
 	for ics := 0; ics <= 1000; ics += 200 {
 		space.ICSUMs = append(space.ICSUMs, ics)
 	}
-	res, err := ev.Optimize(space, 1)
-	if err != nil {
+	res, err := ev.OptimizeContext(context.Background(), space, 1, nil)
+	if err != nil && !errors.Is(err, tesa.ErrNoFeasibleStart) {
 		log.Fatal(err)
 	}
 	if !res.Found {

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -55,8 +57,8 @@ func main() {
 	var results [2]*tesa.Evaluation
 	for i, tech := range []tesa.Tech{tesa.Tech2D, tesa.Tech3D} {
 		ev := evaluator(tech, 85)
-		res, err := ev.Optimize(space, 1)
-		if err != nil {
+		res, err := ev.OptimizeContext(context.Background(), space, 1, nil)
+		if err != nil && !errors.Is(err, tesa.ErrNoFeasibleStart) {
 			log.Fatal(err)
 		}
 		if !res.Found {

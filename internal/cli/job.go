@@ -1,0 +1,74 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"tesa/internal/jobspec"
+)
+
+// JobFlag registers -job on the default flag set: a path to a versioned
+// jobspec document that becomes the command's single source of
+// configuration. Returns the string it populates after flag.Parse.
+func JobFlag() *string {
+	return flag.String("job", "",
+		"run this jobspec JSON file (tesa.jobspec/v1); conflicts with the per-setting config flags")
+}
+
+// FlagWasSet reports whether the named flag was explicitly set on the
+// command line (as opposed to holding its default).
+func FlagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// ResolveJob materializes the -job spec at path, or returns (nil, nil)
+// when no -job was given. The spec must be of wantKind (the command's
+// engine), and none of the conflicting config flags may be set
+// alongside it — a spec is the whole configuration, so a stray -grid
+// that would be silently ignored is an error instead. Relative
+// workload_file paths resolve against the spec's own directory.
+func ResolveJob(path, wantKind string, conflicting ...string) (*jobspec.Resolved, error) {
+	if path == "" {
+		return nil, nil
+	}
+	bad := map[string]bool{}
+	for _, name := range conflicting {
+		bad[name] = true
+	}
+	var clash []string
+	flag.Visit(func(f *flag.Flag) {
+		if bad[f.Name] {
+			clash = append(clash, "-"+f.Name)
+		}
+	})
+	if len(clash) > 0 {
+		sort.Strings(clash)
+		return nil, fmt.Errorf("config flags %v conflict with -job (the spec is the configuration; edit it instead)", clash)
+	}
+	spec, err := jobspec.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Kind != wantKind {
+		return nil, fmt.Errorf("-job: %s is a %q job; this command runs %q jobs", path, spec.Kind, wantKind)
+	}
+	return spec.Resolve(filepath.Dir(path))
+}
+
+// JobDeadline merges the spec's deadline with the -deadline flag: an
+// explicitly-set flag wins, otherwise the spec's deadline_sec applies.
+func JobDeadline(job *jobspec.Resolved, flagValue time.Duration) time.Duration {
+	if FlagWasSet("deadline") || job == nil {
+		return flagValue
+	}
+	return job.Deadline
+}

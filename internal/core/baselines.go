@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -142,7 +143,10 @@ func RunSC2(w dnn.Workload, opts Options, cons Constraints, models Models, space
 		return nil, err
 	}
 	res := &BaselineResult{Name: "SC2"}
-	opt, err := e.Optimize(space, seed)
+	opt, err := e.OptimizeContext(context.Background(), space, seed, nil)
+	if errors.Is(err, ErrNoFeasibleStart) {
+		return res, nil
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -178,6 +178,11 @@ func sampleFeasibleStartParallel(ctx context.Context, space Space, rng *rand.Ran
 // returns (result with Found=false, nil error) rather than
 // ErrNoFeasibleStart, so existing callers and examples behave
 // unchanged.
+//
+// Deprecated: use OptimizeContext, which adds cancellation, deadlines,
+// progress streaming, failure policies, and parallel starts, and makes
+// the no-solution case explicit via ErrNoFeasibleStart. This wrapper
+// remains for compatibility and will not grow new capabilities.
 func (e *Evaluator) Optimize(space Space, seed int64) (*OptimizeResult, error) {
 	res, err := e.OptimizeContext(context.Background(), space, seed, nil)
 	if errors.Is(err, ErrNoFeasibleStart) {

@@ -83,6 +83,11 @@ type SweepOptions struct {
 // small validation sub-space to certify the optimizer (Sec. IV-A); it
 // is also how the "an exhaustive evaluation can take multiple days"
 // claim is quantified against the annealer's <15% exploration.
+//
+// Deprecated: use ExhaustiveContext, which adds cancellation, sharded
+// checkpointing and resume, progress streaming, and failure policies.
+// This wrapper remains for compatibility and will not grow new
+// capabilities.
 func (e *Evaluator) Exhaustive(space Space) (*ExhaustiveResult, error) {
 	return e.ExhaustiveContext(context.Background(), space, nil)
 }

@@ -1,0 +1,132 @@
+package jobspec
+
+import (
+	"math"
+
+	"tesa/internal/core"
+)
+
+// Result is the JSON-safe outcome of a job: the structured subset of
+// the engine results that serializes deterministically (no durations,
+// no NaN — every float is finite by construction), so the same spec run
+// through the library, a CLI, or tesa-server marshals to identical
+// bytes.
+type Result struct {
+	// Kind echoes the job kind that produced the result.
+	Kind string `json:"kind"`
+	// Found is false when the run saw no feasible configuration (the
+	// paper's "solution does not exist" outcome).
+	Found bool `json:"found"`
+	// Best is the winning MCM (absent when Found is false).
+	Best *Best `json:"best,omitempty"`
+	// Evaluations counts annealer evaluations including cache hits;
+	// Explored counts distinct design points actually evaluated
+	// (optimize and pareto jobs).
+	Evaluations int `json:"evaluations,omitempty"`
+	Explored    int `json:"explored,omitempty"`
+	// Feasible / Evaluated / Resumed / Total are the sweep tallies.
+	Feasible  int `json:"feasible,omitempty"`
+	Evaluated int `json:"evaluated,omitempty"`
+	Resumed   int `json:"resumed,omitempty"`
+	Total     int `json:"total,omitempty"`
+	// Quarantined counts distinct design points whose evaluation failed;
+	// the engines skipped them and continued.
+	Quarantined int `json:"quarantined,omitempty"`
+	// Screened counts candidates rejected by the surrogate pre-screen
+	// (only with thermal_fast).
+	Screened int `json:"screened,omitempty"`
+	// Front is the traced weight front of a pareto job, in weight order.
+	Front []FrontPoint `json:"front,omitempty"`
+}
+
+// Best is the JSON-safe projection of a winning Evaluation.
+type Best struct {
+	// ArrayDim and ICSUM are the design point; SRAMKB is the derived
+	// per-SRAM capacity.
+	ArrayDim int `json:"array_dim"`
+	ICSUM    int `json:"ics_um"`
+	SRAMKB   int `json:"sram_kb"`
+	// MeshRows x MeshCols is the derived chiplet mesh.
+	MeshRows int `json:"mesh_rows"`
+	MeshCols int `json:"mesh_cols"`
+	// Objective is the Eq. (6) value; the remaining fields are the
+	// table-level characterization of the MCM.
+	Objective   float64 `json:"objective"`
+	PeakTempC   float64 `json:"peak_temp_c"`
+	TotalPowerW float64 `json:"total_power_w"`
+	MakespanMS  float64 `json:"makespan_ms"`
+	CostUSD     float64 `json:"cost_usd"`
+	DRAMPowerW  float64 `json:"dram_power_w"`
+}
+
+// FrontPoint is one weight setting of a pareto job's traced front.
+type FrontPoint struct {
+	// Alpha and Beta are the Eq. (6) weights of this setting.
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	// Found is false when this weight setting had no feasible MCM.
+	Found bool `json:"found"`
+	// Best is the setting's winner (absent when Found is false).
+	Best *Best `json:"best,omitempty"`
+	// Duplicate marks a winner already traced by an earlier weight.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// fin clamps non-finite values to 0 so a Result always marshals to
+// valid JSON (PeakTempC is NaN under thermal-disabled baselines).
+func fin(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// bestOf projects an Evaluation into the wire form.
+func bestOf(ev *core.Evaluation) *Best {
+	return &Best{
+		ArrayDim:    ev.Point.ArrayDim,
+		ICSUM:       ev.Point.ICSUM,
+		SRAMKB:      ev.Point.SRAMKB(),
+		MeshRows:    ev.Mesh.Rows,
+		MeshCols:    ev.Mesh.Cols,
+		Objective:   fin(ev.Objective),
+		PeakTempC:   fin(ev.PeakTempC),
+		TotalPowerW: fin(ev.TotalPowerW),
+		MakespanMS:  fin(ev.MakespanSec * 1e3),
+		CostUSD:     fin(ev.MCMCost.Total),
+		DRAMPowerW:  fin(ev.DRAMPowerW),
+	}
+}
+
+// FromOptimize projects an optimizer outcome into the wire form.
+func FromOptimize(res *core.OptimizeResult) *Result {
+	out := &Result{
+		Kind:        KindOptimize,
+		Found:       res.Found,
+		Evaluations: res.Evaluations,
+		Explored:    res.Explored,
+		Quarantined: res.Quarantined,
+		Screened:    res.Screened,
+	}
+	if res.Found && res.Best != nil {
+		out.Best = bestOf(res.Best)
+	}
+	return out
+}
+
+// FromSweep projects a sweep outcome into the wire form.
+func FromSweep(res *core.ExhaustiveResult) *Result {
+	out := &Result{
+		Kind:        KindSweep,
+		Found:       res.Best != nil,
+		Feasible:    res.Feasible,
+		Evaluated:   res.Evaluated,
+		Resumed:     res.Resumed,
+		Total:       res.Total,
+		Quarantined: res.Quarantined,
+	}
+	if res.Best != nil {
+		out.Best = bestOf(res.Best)
+	}
+	return out
+}

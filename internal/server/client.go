@@ -1,0 +1,223 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"tesa/internal/jobspec"
+)
+
+// Client is a minimal tesa-server API client over net/http. The zero
+// value is not usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). A nil httpClient uses a dedicated default
+// with no overall timeout — job streams are long-lived by design.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// Submit posts a raw jobspec document and returns the accepted job's
+// status (its ID field names the job from here on).
+func (c *Client) Submit(ctx context.Context, spec []byte) (*Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(spec))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var st Status
+	if err := c.do(req, http.StatusAccepted, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SubmitSpec marshals and posts a parsed spec.
+func (c *Client) SubmitSpec(ctx context.Context, spec *jobspec.Spec) (*Status, error) {
+	raw, err := spec.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return c.Submit(ctx, raw)
+}
+
+// Status fetches one job's current status.
+func (c *Client) Status(ctx context.Context, id string) (*Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	var st Status
+	if err := c.do(req, http.StatusOK, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel asks the server to stop a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, http.StatusOK, nil)
+}
+
+// Health fetches /healthz. It returns the decoded body and a nil error
+// even when the server reports draining (503) — the caller inspects
+// the "ok" field; transport failures are real errors.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode /healthz: %w", err)
+	}
+	return out, nil
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// final status. It prefers the SSE events stream (onProgress, when
+// non-nil, receives each update); if streaming fails it falls back to
+// polling every pollEvery (0 = 250ms).
+func (c *Client) Wait(ctx context.Context, id string, pollEvery time.Duration, onProgress func(map[string]any)) (*Status, error) {
+	if st, err := c.waitEvents(ctx, id, onProgress); err == nil {
+		return st, nil
+	} else if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	if pollEvery <= 0 {
+		pollEvery = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(pollEvery)
+	defer tick.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if onProgress != nil && st.Progress != nil {
+			onProgress(st.Progress)
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// waitEvents consumes the SSE stream until the terminal status event.
+func (c *Client) waitEvents(ctx context.Context, id string, onProgress func(map[string]any)) (*Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: events: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "progress":
+				if onProgress != nil {
+					var f map[string]any
+					if json.Unmarshal([]byte(data), &f) == nil {
+						onProgress(f)
+					}
+				}
+			case "status":
+				var st Status
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					return nil, fmt.Errorf("client: decode status event: %w", err)
+				}
+				return &st, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.ErrUnexpectedEOF
+}
+
+// Run submits a spec and waits for its result in one call. A failed or
+// canceled job surfaces as an error carrying the server's message.
+func (c *Client) Run(ctx context.Context, spec []byte, onProgress func(map[string]any)) (*jobspec.Result, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	st, err = c.Wait(ctx, st.ID, 0, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != StateDone {
+		return nil, fmt.Errorf("client: job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return st.Result, nil
+}
+
+// do issues req, checks for want, and decodes the JSON body into out
+// (skipped when out is nil). Other statuses decode the error envelope.
+func (c *Client) do(req *http.Request, want int, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("client: %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}

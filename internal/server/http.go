@@ -1,0 +1,169 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// maxSpecBytes bounds a submitted spec document; anything larger is a
+// client error, not a workload.
+const maxSpecBytes = 1 << 20
+
+// Handler returns the server's HTTP API:
+//
+//	POST   /v1/jobs            submit a jobspec document → 202 + Status
+//	GET    /v1/jobs            list all jobs
+//	GET    /v1/jobs/{id}        one job's status (result once done)
+//	GET    /v1/jobs/{id}/events SSE progress stream, ends with the final status
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /healthz             liveness + drain state + pool tallies
+//
+// Telemetry endpoints (/metrics, /progress, ...) are served separately
+// by telemetry.Server so the observability surface stays uniform across
+// CLIs and the job server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		jobs := s.Jobs()
+		sts := make([]Status, 0, len(jobs))
+		for _, j := range jobs {
+			sts = append(sts, j.Status())
+		}
+		sortStatuses(sts)
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": sts})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	job, err := s.Submit(body)
+	switch {
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case err != nil:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	default:
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, job.Status())
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	job, err := s.Job(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, job.Status())
+	case sub == "" && r.Method == http.MethodDelete:
+		if err := s.Cancel(id); err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Status())
+	case sub == "events" && r.Method == http.MethodGet:
+		s.handleEvents(w, r, job)
+	default:
+		httpError(w, http.StatusNotFound, "no such endpoint")
+	}
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: one
+// "progress" event per update the client keeps up with, then a single
+// "status" event carrying the terminal Status (result included), then
+// EOF. Clients that connect after completion get just the status event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, job *Job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, detach := job.subscribe()
+	defer detach()
+	for {
+		select {
+		case f, live := <-ch:
+			if !live {
+				writeEvent(w, "status", job.Status())
+				fl.Flush()
+				return
+			}
+			writeEvent(w, "progress", f)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	queued, running, done := s.Counts()
+	status := http.StatusOK
+	if s.Draining() {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ok":       status == http.StatusOK,
+		"draining": s.Draining(),
+		"workers":  s.cfg.Workers,
+		"queued":   queued,
+		"running":  running,
+		"finished": done,
+	})
+}
+
+// writeEvent emits one SSE frame with a JSON data payload.
+func writeEvent(w io.Writer, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort: client may be gone
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

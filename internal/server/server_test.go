@@ -1,0 +1,254 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tesa/internal/jobspec"
+	"tesa/internal/memo"
+)
+
+// tinySpec is a fast feasible optimize job (see internal/core's
+// tinySpace: dims near 200 are feasible at 15 fps / 85 C).
+const tinySpec = `{
+  "version": "tesa.jobspec/v1",
+  "kind": "optimize",
+  "options": {"tech": "2d", "freq_mhz": 400, "grid": 16},
+  "constraints": {"fps": 15, "temp_c": 85},
+  "space": {"array_dims": [180, 200, 220], "ics_ums": [0, 500, 1000]},
+  "seed": 1
+}`
+
+// slowSpec is a full-space sweep at a fine grid — long enough to still
+// be running when a test cancels or drains it.
+const slowSpec = `{
+  "version": "tesa.jobspec/v1",
+  "kind": "sweep",
+  "options": {"grid": 48},
+  "space": {"preset": "default"}
+}`
+
+func testServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		hs.Close()
+	})
+	return s, NewClient(hs.URL, hs.Client())
+}
+
+// TestServerMatchesLibraryPath is the API contract: a spec run through
+// the HTTP server returns a byte-identical wire result to the same spec
+// run through the library. Memoization on the server side must not
+// change the bytes either.
+func TestServerMatchesLibraryPath(t *testing.T) {
+	_, cl := testServer(t, Config{Workers: 2, Store: memo.NewStore()})
+
+	got, err := cl.Run(context.Background(), []byte(tinySpec), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := jobspec.Parse([]byte(tinySpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := spec.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := jobspec.Run(context.Background(), r, jobspec.Runtime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := json.Marshal(got)
+	b, _ := json.Marshal(want)
+	if string(a) != string(b) {
+		t.Errorf("server result drifted from library result:\nserver: %s\nlib:    %s", a, b)
+	}
+	if !got.Found {
+		t.Fatalf("tiny optimize found nothing: %s", a)
+	}
+}
+
+// TestServerSharedMemo submits the same job twice to one server and
+// checks the second run hits the process-wide store warmed by the first.
+func TestServerSharedMemo(t *testing.T) {
+	store := memo.NewStore()
+	_, cl := testServer(t, Config{Workers: 1, Store: store})
+
+	first, err := cl.Run(context.Background(), []byte(tinySpec), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := store.Stats().Hits
+	second, err := cl.Run(context.Background(), []byte(tinySpec), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := store.Stats().Hits
+	if warm <= cold {
+		t.Errorf("second identical job saw no new memo hits (cold=%d warm=%d)", cold, warm)
+	}
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if string(a) != string(b) {
+		t.Errorf("memo-warm rerun changed the result:\ncold: %s\nwarm: %s", a, b)
+	}
+}
+
+// TestServerEvents exercises the SSE path: progress events arrive while
+// the job runs and the stream terminates with the final status.
+func TestServerEvents(t *testing.T) {
+	_, cl := testServer(t, Config{Workers: 1})
+
+	// A multi-shard sweep emits steady per-point progress, so the SSE
+	// subscriber reliably attaches while updates are still flowing.
+	eventSpec := `{
+	  "version": "tesa.jobspec/v1",
+	  "kind": "sweep",
+	  "options": {"grid": 24},
+	  "constraints": {"fps": 15, "temp_c": 85},
+	  "space": {"preset": "validation"}
+	}`
+	st, err := cl.Submit(context.Background(), []byte(eventSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var updates int
+	final, err := cl.Wait(context.Background(), st.ID, 0, func(map[string]any) {
+		mu.Lock()
+		updates++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("job did not finish cleanly: %+v", final)
+	}
+	mu.Lock()
+	n := updates
+	mu.Unlock()
+	if n == 0 {
+		t.Error("no progress events observed over SSE")
+	}
+}
+
+// TestServerRejections covers the client-error surface: malformed
+// specs, unknown ids, a full queue, and a draining server.
+func TestServerRejections(t *testing.T) {
+	s, cl := testServer(t, Config{Workers: 1, Queue: 1})
+	ctx := context.Background()
+
+	if _, err := cl.Submit(ctx, []byte(`{"version":"tesa.jobspec/v1"}`)); err == nil ||
+		!strings.Contains(err.Error(), "missing kind") {
+		t.Errorf("bad spec err = %v, want missing kind", err)
+	}
+	if _, err := cl.Status(ctx, "deadbeefdeadbeef"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown id err = %v, want 404", err)
+	}
+
+	// Saturate: one slow job runs, one fills the queue, the next bounces.
+	running, err := cl.Submit(ctx, []byte(slowSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, cl, running.ID, StateRunning)
+	if _, err := cl.Submit(ctx, []byte(slowSpec)); err != nil {
+		t.Fatalf("queued submit: %v", err)
+	}
+	if _, err := cl.Submit(ctx, []byte(slowSpec)); err == nil ||
+		!strings.Contains(err.Error(), "429") {
+		t.Errorf("full-queue err = %v, want 429", err)
+	}
+
+	// Drain: in-flight jobs cancel, new submissions bounce with 503.
+	drainCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, err := cl.Submit(ctx, []byte(tinySpec)); err == nil ||
+		!strings.Contains(err.Error(), "503") {
+		t.Errorf("draining err = %v, want 503", err)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := h["ok"].(bool); ok {
+		t.Errorf("healthz ok during drain: %v", h)
+	}
+	st, err := cl.Status(ctx, running.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Errorf("drained job state = %s, want canceled", st.State)
+	}
+}
+
+// TestServerCancel cancels a running job and a queued job.
+func TestServerCancel(t *testing.T) {
+	_, cl := testServer(t, Config{Workers: 1, Queue: 4})
+	ctx := context.Background()
+
+	running, err := cl.Submit(ctx, []byte(slowSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := cl.Submit(ctx, []byte(slowSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, cl, running.ID, StateRunning)
+
+	if err := cl.Cancel(ctx, queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Cancel(ctx, running.ID); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		st, err := cl.Wait(ctx, id, 10*time.Millisecond, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateCanceled {
+			t.Errorf("job %s state = %s, want canceled", id, st.State)
+		}
+	}
+}
+
+// waitState polls until the job reaches want (or any terminal state).
+func waitState(t *testing.T, cl *Client, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := cl.Status(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want || st.State.Terminal() {
+			if st.State != want {
+				t.Fatalf("job %s reached %s, want %s", id, st.State, want)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+}

@@ -1,12 +1,18 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"time"
 )
+
+// drainGrace bounds how long Setup's cleanup waits for in-flight
+// exposition requests before the process moves on with its exit.
+const drainGrace = 2 * time.Second
 
 // Setup wires the standard CLI observability flags:
 //
@@ -70,7 +76,13 @@ func Setup(tracePath, pprofAddr, metricsAddr string, metrics bool) (*Telemetry, 
 		fmt.Fprintf(os.Stderr, "metrics: serving on http://%s/metrics\n", srv.Addr())
 	}
 	cleanup = func() error {
-		err := srv.Close()
+		// Drain rather than Close: a scrape racing process exit gets its
+		// response instead of a reset. The bound keeps a wedged client
+		// from holding the process hostage; Drain and Close share one
+		// sync.Once, so a caller that already Closed wins harmlessly.
+		ctx, cancel := context.WithTimeout(context.Background(), drainGrace)
+		defer cancel()
+		err := srv.Drain(ctx)
 		if closeTrace != nil {
 			if terr := closeTrace(); err == nil {
 				err = terr

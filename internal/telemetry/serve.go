@@ -1,11 +1,13 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 )
 
@@ -32,6 +34,12 @@ type Server struct {
 	// over ownership, so request handlers never race run-loop mutation.
 	progress atomic.Value
 	manifest atomic.Value
+
+	// closeOnce makes Close/Drain idempotent: multiple exit paths (signal
+	// handler, deferred cleanup, explicit shutdown) can all call them and
+	// every caller sees the first call's error.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Serve binds addr (e.g. "localhost:9090", ":0" for an ephemeral port)
@@ -91,12 +99,28 @@ func (s *Server) PublishManifest(fields map[string]any) {
 	s.manifest.Store(fields)
 }
 
-// Close stops serving and releases the listener.
+// Close stops serving immediately, dropping in-flight requests, and
+// releases the listener. Idempotent: repeated calls (and calls after
+// Drain) return the first call's error.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	return s.closeErr
+}
+
+// Drain is the graceful counterpart of Close: it stops accepting new
+// connections and waits for in-flight requests (a scrape mid-shutdown,
+// a slow /debug/pprof/profile) to finish, up to ctx's deadline.
+// Idempotent, and interchangeable with Close — whichever runs first
+// decides the shutdown mode.
+func (s *Server) Drain(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Shutdown(ctx) })
+	return s.closeErr
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
