@@ -75,11 +75,13 @@ func main() {
 
 	cl := server.NewClient(*base, nil)
 	ctx := context.Background()
-	if h, err := cl.Health(ctx); err != nil {
+	// Gate on readiness, not liveness: a draining server is alive (200
+	// on /healthz) but refuses submissions, which /readyz reports.
+	if rd, err := cl.Ready(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "tesa-load: server unreachable: %v\n", err)
 		os.Exit(1)
-	} else if ok, _ := h["ok"].(bool); !ok {
-		fmt.Fprintf(os.Stderr, "tesa-load: server not accepting jobs: %v\n", h)
+	} else if ready, _ := rd["ready"].(bool); !ready {
+		fmt.Fprintf(os.Stderr, "tesa-load: server not accepting jobs: %v\n", rd)
 		os.Exit(1)
 	}
 

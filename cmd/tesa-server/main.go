@@ -9,14 +9,26 @@
 //	GET    /v1/jobs/{id}/events SSE progress stream
 //	DELETE /v1/jobs/{id}        cancel
 //	GET    /healthz             liveness, drain state, pool tallies
+//	GET    /readyz              readiness: 503 once draining
+//	*      /v1/distrib/...      distributed sweep protocol (with -distrib)
 //
 // Usage:
 //
 //	tesa-server [-addr :8080] [-workers 2] [-queue 64]
 //	            [-job-deadline 0] [-base-dir .] [-drain-timeout 30s]
+//	            [-distrib sweep.json] [-distrib-checkpoint ledger.ckpt]
 //	            [-memo-dir .tesa-memo] [-starts-parallel]
 //	            [-metrics] [-trace out.jsonl] [-pprof addr]
 //	            [-metrics-addr addr] [-manifest run.jsonl]
+//
+// -distrib additionally hosts a distributed sweep coordinator
+// (internal/distrib) for the given jobspec under /v1/distrib/ on the
+// same listener: tesa-sweep -worker http://host:8080/v1/distrib
+// processes lease shards from it, and the coordinator's verification
+// re-executions share the server's process-wide memo store.
+// -distrib-checkpoint appends the merged ledger — byte-compatible with
+// single-process sweep checkpoints — to a JSONL file. Draining closes
+// the coordinator along with the job pool.
 //
 // Every job in the process shares one content-addressed memo store, so
 // overlapping requests reuse each other's systolic profiles, schedules,
@@ -43,11 +55,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"tesa/internal/cli"
+	"tesa/internal/distrib"
 	"tesa/internal/server"
+	"tesa/internal/telemetry"
 )
 
 func main() {
@@ -58,6 +73,8 @@ func main() {
 		jobDL   = flag.Duration("job-deadline", 0, "default per-job deadline for specs without deadline_sec (0 = none)")
 		baseDir = flag.String("base-dir", "", "directory anchoring relative workload_file paths in specs (default: cwd)")
 		drainTO = flag.Duration("drain-timeout", 30*time.Second, "maximum time to wait for jobs to wind down on shutdown")
+		dSpec   = flag.String("distrib", "", "host a distributed sweep coordinator for this jobspec under /v1/distrib/")
+		dCkpt   = flag.String("distrib-checkpoint", "", "append the distributed sweep's merged ledger to this JSONL file")
 		obs     = cli.ObservabilityFlags()
 		mf      = cli.MemoFlagsRegister()
 	)
@@ -77,7 +94,45 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := server.New(server.Config{
+	// An optional distributed sweep coordinator rides on the same
+	// listener: its verification re-executions warm (and are warmed by)
+	// the job pool's shared memo store.
+	var coord *distrib.Coordinator
+	if *dSpec != "" {
+		raw, err := os.ReadFile(*dSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dcfg := distrib.Config{
+			Spec:    raw,
+			BaseDir: filepath.Dir(*dSpec),
+			RunID:   sess.Manifest.RunID(),
+			Store:   store,
+			Tel:     sess.Tel,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}
+		if *dCkpt != "" {
+			sink, err := telemetry.NewFileSink(*dCkpt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer sink.Close()
+			dcfg.Ledger = sink
+		}
+		coord, err = distrib.NewCoordinator(dcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer coord.Close()
+		sess.Manifest.Set("distrib_space", coord.Fingerprint())
+	}
+
+	srvCfg := server.Config{
 		Workers:         *workers,
 		Queue:           *queue,
 		Store:           store,
@@ -85,7 +140,11 @@ func main() {
 		DefaultDeadline: *jobDL,
 		Parallel:        mf.StartWorkers(),
 		BaseDir:         *baseDir,
-	})
+	}
+	if coord != nil {
+		srvCfg.Distrib = coord.Handler()
+	}
+	srv := server.New(srvCfg)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	sess.Manifest.Set("addr", *addr)
@@ -95,6 +154,10 @@ func main() {
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Printf("tesa-server: listening on %s (%d workers, queue %d)\n", *addr, *workers, *queue)
+		if coord != nil {
+			fmt.Printf("tesa-server: distributed sweep at /v1/distrib (%d shards, space %s)\n",
+				coord.Shards(), coord.Fingerprint())
+		}
 		errCh <- hs.ListenAndServe()
 	}()
 
@@ -110,6 +173,9 @@ func main() {
 		}
 	case s := <-sig:
 		fmt.Printf("tesa-server: %v, draining\n", s)
+		if coord != nil {
+			coord.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		if err := srv.Drain(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, err)

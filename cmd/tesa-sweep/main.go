@@ -14,6 +14,10 @@
 //	           [-pprof addr] [-metrics-addr addr] [-manifest run.jsonl]
 //	           [-thermal-fast] [-surrogate-band 3]
 //	           [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
+//	tesa-sweep -coordinate :9090 -job spec.json
+//	           [-lease-ttl 10s] [-lease-shards 4] [-verify-frac 0.1]
+//	           [-checkpoint ledger.ckpt] [-resume ledger.ckpt]
+//	tesa-sweep -worker http://host:9090 [-worker-name w1] [-faults spec]
 //
 // -job runs a versioned jobspec document (tesa.jobspec/v1, kind
 // "sweep") instead of per-setting flags: the same file drives this
@@ -51,6 +55,16 @@
 // deterministic faults for chaos runs. A run that completes with a
 // non-empty quarantine ledger prints a failure summary and exits 4.
 //
+// Distributed mode (internal/distrib): -coordinate serves the
+// lease-based sweep protocol on the given address, executing nothing
+// itself except trust-but-verify re-evaluations; -worker joins a
+// coordinator, fetches the spec, and executes leased shards. The
+// coordinator's -checkpoint ledger is byte-compatible with a
+// single-process sweep checkpoint — resume it with either mode, or
+// with a plain local run. A worker's -faults spec may additionally
+// carry worker-level rules (crash@shard, stall@shard, lie@shard) for
+// chaos drills; a worker caught lying exits 4 (quarantined).
+//
 // The telemetry flags instrument both the exhaustive and the annealer
 // evaluator, so the -metrics summary contrasts the sweep's pure
 // pipeline throughput with the annealer's cache-amplified one.
@@ -66,14 +80,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"tesa"
 	"tesa/internal/cli"
+	"tesa/internal/distrib"
+	"tesa/internal/faults"
 )
 
 func main() {
@@ -95,11 +113,26 @@ func main() {
 		stageTO     = flag.Duration("stage-timeout", 0, "quarantine a point when one pipeline stage exceeds this duration (0 = off)")
 		fast        = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
 		band        = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
+		coordinate  = flag.String("coordinate", "", "serve a distributed sweep coordinator on this address (requires -job)")
+		workerURL   = flag.String("worker", "", "join the distributed sweep coordinator at this base URL as a worker")
+		workerName  = flag.String("worker-name", "", "worker identity reported to the coordinator (default: generated)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "coordinator: heartbeat deadline before a worker's leases are stolen")
+		leaseShards = flag.Int("lease-shards", 4, "coordinator: maximum contiguous shards granted per lease request")
+		verifyFrac  = flag.Float64("verify-frac", 0.1, "coordinator: fraction of reported shards spot re-executed (negative = off)")
 		obs         = cli.ObservabilityFlags()
 		mf          = cli.MemoFlagsRegister()
 		jobPath     = cli.JobFlag()
 	)
 	flag.Parse()
+
+	if *workerURL != "" && (*jobPath != "" || *coordinate != "") {
+		fmt.Fprintln(os.Stderr, "-worker conflicts with -job and -coordinate: workers fetch the spec from the coordinator")
+		os.Exit(2)
+	}
+	if *coordinate != "" && *jobPath == "" {
+		fmt.Fprintln(os.Stderr, "-coordinate requires -job: the spec is what workers execute")
+		os.Exit(2)
+	}
 
 	job, err := cli.ResolveJob(*jobPath, "sweep",
 		"tech", "freq", "fps", "temp", "full", "grid", "seed", "shard",
@@ -141,6 +174,24 @@ func main() {
 		if err := memoDone(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
+	}
+
+	// Distributed modes exit from inside their helpers; the rest of main
+	// is the single-process sweep-vs-annealer study.
+	if *workerURL != "" {
+		runWorkerMode(ctx, *workerURL, *workerName, *faultSpec, store, sess, finish)
+	}
+	if *coordinate != "" {
+		runCoordinateMode(ctx, coordinateConfig{
+			addr:        *coordinate,
+			jobPath:     *jobPath,
+			ckptPath:    *ckptPath,
+			resumePath:  *resumePath,
+			leaseTTL:    *leaseTTL,
+			leaseShards: *leaseShards,
+			verifyFrac:  *verifyFrac,
+			progress:    *progress,
+		}, store, sess, finish)
 	}
 
 	opts := tesa.DefaultOptions()
@@ -338,6 +389,188 @@ func main() {
 	if exit != 0 {
 		os.Exit(exit)
 	}
+}
+
+// stderrLogf adapts distrib's Logf hook to stderr lines.
+func stderrLogf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// runWorkerMode joins a coordinator as a sweep worker, executes leased
+// shards until the sweep completes, and exits the process.
+func runWorkerMode(ctx context.Context, coordURL, name, faultSpec string, store *tesa.MemoStore, sess *cli.Session, finish func(string)) {
+	plan, err := faults.Parse(faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sess.Manifest.Set("coordinator", coordURL)
+	stats, err := distrib.RunWorker(ctx, distrib.WorkerConfig{
+		Coord:  coordURL,
+		Name:   name,
+		Store:  store,
+		Tel:    sess.Tel,
+		Faults: plan,
+		Logf:   stderrLogf,
+	})
+	fmt.Printf("worker %s: %d shards (%d points) reported, %d stale\n",
+		stats.Name, stats.Shards, stats.Points, stats.Stale)
+	if n := stats.Crashes + stats.Stalls + stats.Lies; n > 0 {
+		fmt.Printf("  injected faults fired: %d crash, %d stall, %d lie\n",
+			stats.Crashes, stats.Stalls, stats.Lies)
+	}
+	switch {
+	case err == nil:
+		finish("ok")
+		os.Exit(0)
+	case errors.Is(err, distrib.ErrWorkerQuarantined):
+		fmt.Fprintln(os.Stderr, err)
+		finish("quarantined")
+		os.Exit(cli.ExitQuarantined)
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "\ninterrupted")
+		finish("interrupted")
+		os.Exit(130)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		finish("error")
+		os.Exit(1)
+	}
+}
+
+// coordinateConfig carries the -coordinate mode's flags.
+type coordinateConfig struct {
+	addr, jobPath        string
+	ckptPath, resumePath string
+	leaseTTL             time.Duration
+	leaseShards          int
+	verifyFrac           float64
+	progress             bool
+}
+
+// runCoordinateMode serves the distributed sweep protocol until every
+// shard has merged, prints the result, and exits the process.
+func runCoordinateMode(ctx context.Context, cc coordinateConfig, store *tesa.MemoStore, sess *cli.Session, finish func(string)) {
+	raw, err := os.ReadFile(cc.jobPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := distrib.Config{
+		Spec:        raw,
+		BaseDir:     filepath.Dir(cc.jobPath),
+		LeaseTTL:    cc.leaseTTL,
+		LeaseShards: cc.leaseShards,
+		VerifyFrac:  cc.verifyFrac,
+		RunID:       sess.Manifest.RunID(),
+		Store:       store,
+		Tel:         sess.Tel,
+		Logf:        stderrLogf,
+	}
+	if cc.resumePath != "" {
+		f, err := os.Open(cc.resumePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		state, err := tesa.LoadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Resume = state
+		fmt.Printf("resuming: %d of %d shards (%d of %d points) from %s\n",
+			state.Completed(), state.Shards, state.CompletedPoints(), state.Total, cc.resumePath)
+	}
+	if cc.ckptPath != "" {
+		sink, err := tesa.NewFileSink(cc.ckptPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer sink.Close()
+		cfg.Ledger = sink
+	}
+	if cc.progress {
+		cfg.Progress = progressPrinter("distrib")
+	}
+	cfg.Progress = sess.Progress(cfg.Progress)
+
+	coord, err := distrib.NewCoordinator(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		finish("error")
+		os.Exit(1)
+	}
+	defer coord.Close()
+	sess.Manifest.Set("space", coord.Fingerprint())
+	sess.Manifest.Set("lease_ttl", cc.leaseTTL.String())
+
+	hs := &http.Server{Addr: cc.addr, Handler: coord.Handler()}
+	listenErr := make(chan error, 1)
+	go func() { listenErr <- hs.ListenAndServe() }()
+	fmt.Printf("coordinator: serving %d shards on %s (space %s, lease ttl %s, verify %.0f%%)\n",
+		coord.Shards(), cc.addr, coord.Fingerprint(), cc.leaseTTL, 100*cfg.VerifyFrac)
+
+	waitCh := make(chan struct{})
+	var res *distrib.Result
+	var waitErr error
+	go func() {
+		res, waitErr = coord.Wait(ctx)
+		close(waitCh)
+	}()
+	select {
+	case err := <-listenErr:
+		// ListenAndServe only returns before shutdown on failure.
+		fmt.Fprintln(os.Stderr, err)
+		finish("error")
+		os.Exit(1)
+	case <-waitCh:
+	}
+	if waitErr == nil {
+		// Grace period: only the worker whose report completed the sweep
+		// learns Done from that response; the others discover it on their
+		// next lease poll, which must still find a listener.
+		time.Sleep(1 * time.Second)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	hs.Shutdown(shutCtx) //nolint:errcheck // workers may still be disconnecting
+	cancel()
+
+	if waitErr != nil {
+		if errors.Is(waitErr, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "\ninterrupted")
+			if cc.ckptPath != "" {
+				fmt.Fprintf(os.Stderr, "resume with: tesa-sweep -coordinate %s -job %s -resume %s -checkpoint %s\n",
+					cc.addr, cc.jobPath, cc.ckptPath, cc.ckptPath)
+			}
+			finish("interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, waitErr)
+		finish("error")
+		os.Exit(1)
+	}
+
+	fmt.Printf("  %d feasible of %d (%d shards)  steals %d  verifies %d  mismatches %d\n",
+		res.Feasible, res.Total, res.Shards, res.Steals, res.Verified, res.Mismatches)
+	if len(res.QuarantinedWorkers) > 0 {
+		fmt.Printf("  quarantined workers: %s\n", strings.Join(res.QuarantinedWorkers, ", "))
+	}
+	cli.FailureSummary(os.Stdout, res.Poisoned)
+	if res.Best != nil {
+		fmt.Printf("  global optimum: %v, %v grid, objective %.4f\n",
+			res.Best.Point, res.Best.Mesh, res.Best.Objective)
+	} else {
+		fmt.Println("  no feasible configuration in this space")
+	}
+	if res.Quarantined > 0 {
+		finish("ok-quarantined")
+		os.Exit(cli.ExitQuarantined)
+	}
+	finish("ok")
+	os.Exit(0)
 }
 
 // progressPrinter renders Progress updates as stderr status lines:

@@ -92,13 +92,46 @@ func (s *CheckpointState) CompletedPoints() int {
 	return n
 }
 
+// ShardSizeError reports a shard-size disagreement between a sweep and
+// the checkpoint it was asked to resume from (or between two headers of
+// one checkpoint stream): the decomposition's shard indices would not
+// line up, so the resume is refused. It wraps ErrCheckpointCorrupt, so
+// existing errors.Is checks keep matching; errors.As extracts the
+// expected and found sizes and the originating run's id for a precise
+// operator message.
+type ShardSizeError struct {
+	// Expected is the shard size the resuming sweep computed or was
+	// configured with; Found is the size recorded in the checkpoint
+	// header.
+	Expected, Found int
+	// RunID is the run id from the checkpoint header that recorded
+	// Found ("" when the writing run carried none).
+	RunID string
+}
+
+// Error formats the mismatch with both sizes and the originating run.
+func (e *ShardSizeError) Error() string {
+	msg := fmt.Sprintf("%v: shard size mismatch: sweep expects %d points per shard, checkpoint recorded %d",
+		ErrCheckpointCorrupt, e.Expected, e.Found)
+	if e.RunID != "" {
+		msg += fmt.Sprintf(" (written by run %s)", e.RunID)
+	}
+	return msg
+}
+
+// Unwrap ties the typed error into the ErrCheckpointCorrupt family.
+func (e *ShardSizeError) Unwrap() error { return ErrCheckpointCorrupt }
+
 // validateFor checks that the state belongs to the given decomposition.
 func (s *CheckpointState) validateFor(fingerprint string, total, shardSize, shards int) error {
 	if s.Fingerprint != fingerprint {
 		return fmt.Errorf("%w: checkpoint space %s does not match swept space %s",
 			ErrCheckpointCorrupt, s.Fingerprint, fingerprint)
 	}
-	if s.Total != total || s.ShardSize != shardSize || s.Shards != shards {
+	if s.ShardSize != shardSize {
+		return &ShardSizeError{Expected: shardSize, Found: s.ShardSize, RunID: s.RunID}
+	}
+	if s.Total != total || s.Shards != shards {
 		return fmt.Errorf("%w: checkpoint decomposition %d pts/%d per shard/%d shards vs sweep %d/%d/%d",
 			ErrCheckpointCorrupt, s.Total, s.ShardSize, s.Shards, total, shardSize, shards)
 	}
@@ -153,6 +186,12 @@ func LoadCheckpoint(r io.Reader) (*CheckpointState, error) {
 				// The run id is NOT compared: every resumed run appends a
 				// header carrying its own fresh id over the same
 				// decomposition.
+				if space == st.Fingerprint && total == st.Total && shards == st.Shards && size != st.ShardSize {
+					// Same space, different granularity: the precise typed
+					// error names both sizes and the run that wrote first.
+					return nil, fmt.Errorf("line %d: conflicting headers: %w",
+						line, &ShardSizeError{Expected: st.ShardSize, Found: size, RunID: st.RunID})
+				}
 				if space != st.Fingerprint || total != st.Total || size != st.ShardSize || shards != st.Shards {
 					// Two complete, disagreeing headers are never a torn
 					// write: the file mixes different sweeps.
@@ -237,9 +276,13 @@ func ckptInt(rec map[string]any, key string) (int, bool) {
 	return int(f), true
 }
 
-// writeCheckpointHeader emits the decomposition-binding record; runID
-// ("" = none) joins the stream to the writing run's manifest.
-func writeCheckpointHeader(sink telemetry.EventSink, fingerprint string, total, shardSize, shards int, runID string) error {
+// WriteCheckpointHeader emits the decomposition-binding record; runID
+// ("" = none) joins the stream to the writing run's manifest. Exported
+// alongside WriteShardCheckpoint/WritePoisonedCheckpoint so the
+// distributed-sweep coordinator can merge worker reports into a ledger
+// that is byte-compatible with single-process checkpoints — the same
+// LoadCheckpoint/resume path reads both.
+func WriteCheckpointHeader(sink telemetry.EventSink, fingerprint string, total, shardSize, shards int, runID string) error {
 	fields := map[string]any{
 		"space":      fingerprint,
 		"total":      total,
@@ -253,9 +296,9 @@ func writeCheckpointHeader(sink telemetry.EventSink, fingerprint string, total, 
 	return sink.Flush()
 }
 
-// writeShardCheckpoint emits one completed shard and flushes, so a kill
+// WriteShardCheckpoint emits one completed shard and flushes, so a kill
 // immediately after loses at most the in-flight shards.
-func writeShardCheckpoint(sink telemetry.EventSink, cp ShardCheckpoint) error {
+func WriteShardCheckpoint(sink telemetry.EventSink, cp ShardCheckpoint) error {
 	fields := map[string]any{
 		"shard":    cp.Shard,
 		"feasible": cp.Feasible,
@@ -270,10 +313,10 @@ func writeShardCheckpoint(sink telemetry.EventSink, cp ShardCheckpoint) error {
 	return sink.Flush()
 }
 
-// writePoisonedCheckpoint emits one quarantined point and flushes
+// WritePoisonedCheckpoint emits one quarantined point and flushes
 // immediately: the record lands before the point's shard completes, so
 // even a kill mid-shard never loses a known-poisoned point.
-func writePoisonedCheckpoint(sink telemetry.EventSink, q QuarantinedPoint) error {
+func WritePoisonedCheckpoint(sink telemetry.EventSink, q QuarantinedPoint) error {
 	fields := map[string]any{
 		"dim":    q.Point.ArrayDim,
 		"ics":    q.Point.ICSUM,

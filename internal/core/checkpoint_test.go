@@ -223,7 +223,7 @@ func TestLoadCheckpointTolerance(t *testing.T) {
 func TestLoadCheckpointRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	sink := telemetry.NewJSONLSink(&buf)
-	if err := writeCheckpointHeader(sink, "cafe0123cafe0123", 17, 5, 4, "deadbeef00112233"); err != nil {
+	if err := WriteCheckpointHeader(sink, "cafe0123cafe0123", 17, 5, 4, "deadbeef00112233"); err != nil {
 		t.Fatal(err)
 	}
 	shards := []ShardCheckpoint{
@@ -231,7 +231,7 @@ func TestLoadCheckpointRoundTrip(t *testing.T) {
 		{Shard: 3, Feasible: 0},
 	}
 	for _, cp := range shards {
-		if err := writeShardCheckpoint(sink, cp); err != nil {
+		if err := WriteShardCheckpoint(sink, cp); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -241,7 +241,7 @@ func TestLoadCheckpointRoundTrip(t *testing.T) {
 		{Point: DesignPoint{ArrayDim: 204, ICSUM: 0}, Stage: "systolic", Reason: "panic"},
 	}
 	for _, q := range poisoned {
-		if err := writePoisonedCheckpoint(sink, q); err != nil {
+		if err := WritePoisonedCheckpoint(sink, q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -280,16 +280,61 @@ func TestBetterPointTieBreak(t *testing.T) {
 	a := DesignPoint{ArrayDim: 126, ICSUM: 0}
 	b := DesignPoint{ArrayDim: 126, ICSUM: 400}
 	c := DesignPoint{ArrayDim: 128, ICSUM: 0}
-	if !betterPoint(1.0, a, 1.0, b) || betterPoint(1.0, b, 1.0, a) {
+	if !BetterPoint(1.0, a, 1.0, b) || BetterPoint(1.0, b, 1.0, a) {
 		t.Error("ICS tie-break is not a strict order")
 	}
-	if !betterPoint(1.0, b, 1.0, c) || betterPoint(1.0, c, 1.0, b) {
+	if !BetterPoint(1.0, b, 1.0, c) || BetterPoint(1.0, c, 1.0, b) {
 		t.Error("array-dim tie-break is not a strict order")
 	}
-	if !betterPoint(0.5, c, 1.0, a) {
+	if !BetterPoint(0.5, c, 1.0, a) {
 		t.Error("objective must dominate the lexicographic order")
 	}
-	if betterPoint(1.0, a, 1.0, a) {
+	if BetterPoint(1.0, a, 1.0, a) {
 		t.Error("a point must not beat itself")
+	}
+}
+
+// TestShardSizeErrorTyped: a shard-size mismatch is no longer a generic
+// corruption string — errors.As recovers the expected vs found sizes
+// and the run id of the header that recorded them, on both the resume
+// path and the conflicting-header path of the loader.
+func TestShardSizeErrorTyped(t *testing.T) {
+	space := Space{ArrayDims: []int{196, 220}, ICSUMs: []int{200, 800}}
+	st := &CheckpointState{
+		Fingerprint: space.Fingerprint(), Total: 4, ShardSize: 4, Shards: 1,
+		RunID: "feedfacefeedface",
+		Done:  map[int]ShardCheckpoint{},
+	}
+	e := testEvaluator(t, Tech2D, 400, 15, 85)
+	_, err := e.ExhaustiveContext(context.Background(), space,
+		&SweepOptions{ShardSize: 2, ResumeFrom: st})
+	var sse *ShardSizeError
+	if !errors.As(err, &sse) {
+		t.Fatalf("resume err = %v, want *ShardSizeError", err)
+	}
+	if sse.Expected != 2 || sse.Found != 4 || sse.RunID != "feedfacefeedface" {
+		t.Errorf("ShardSizeError = %+v, want expected 2, found 4, run feedfacefeedface", sse)
+	}
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("typed error must stay in the ErrCheckpointCorrupt family, got %v", err)
+	}
+	for _, part := range []string{"2", "4", "feedfacefeedface"} {
+		if !strings.Contains(sse.Error(), part) {
+			t.Errorf("message %q does not name %q", sse.Error(), part)
+		}
+	}
+
+	// Conflicting headers of one stream that differ only in shard_size
+	// produce the same typed error, attributed to the first header's run.
+	withRun := strings.Replace(ckptHeaderLine, `"shards":2`, `"shards":2,"run":"cafebabecafebabe"`, 1)
+	resized := strings.Replace(ckptHeaderLine, `"shard_size":5`, `"shard_size":2`, 1)
+	resized = strings.Replace(resized, `"shards":2`, `"shards":2`, 1)
+	_, err = LoadCheckpoint(strings.NewReader(withRun + "\n" + resized))
+	sse = nil
+	if !errors.As(err, &sse) {
+		t.Fatalf("loader err = %v, want *ShardSizeError", err)
+	}
+	if sse.Expected != 5 || sse.Found != 2 || sse.RunID != "cafebabecafebabe" {
+		t.Errorf("loader ShardSizeError = %+v, want expected 5, found 2, run cafebabecafebabe", sse)
 	}
 }

@@ -413,7 +413,7 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 }
 
 // betterEval orders feasible evaluations for incumbent selection; see
-// betterPoint for the deterministic tie-break.
+// BetterPoint for the deterministic tie-break.
 func betterEval(a, b *Evaluation) bool {
-	return betterPoint(a.Objective, a.Point, b.Objective, b.Point)
+	return BetterPoint(a.Objective, a.Point, b.Objective, b.Point)
 }

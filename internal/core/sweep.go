@@ -117,7 +117,7 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 		size = o.ResumeFrom.ShardSize
 	}
 	if size <= 0 {
-		size = autoShardSize(len(pts), workers)
+		size = AutoShardSize(len(pts), workers)
 	}
 	nShards := (len(pts) + size - 1) / size
 	fingerprint := space.Fingerprint()
@@ -145,7 +145,7 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 			resumed[idx] = true
 			res.Feasible += cp.Feasible
 			res.Resumed += shardLen(idx, size, len(pts))
-			if cp.Found && (!found || betterPoint(cp.BestObj, cp.Best, bestObj, bestPt)) {
+			if cp.Found && (!found || BetterPoint(cp.BestObj, cp.Best, bestObj, bestPt)) {
 				bestPt, bestObj, found, bestEval = cp.Best, cp.BestObj, true, nil
 			}
 		}
@@ -156,7 +156,7 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 		res.Quarantined = len(skip)
 	}
 	if o.Checkpoint != nil {
-		if err := writeCheckpointHeader(o.Checkpoint, fingerprint, len(pts), size, nShards, o.RunID); err != nil {
+		if err := WriteCheckpointHeader(o.Checkpoint, fingerprint, len(pts), size, nShards, o.RunID); err != nil {
 			return nil, fmt.Errorf("core: sweep checkpoint: %w", err)
 		}
 	}
@@ -190,7 +190,7 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 		res.Quarantined++
 		res.Poisoned = append(res.Poisoned, q)
 		if o.Checkpoint != nil {
-			if err := writePoisonedCheckpoint(o.Checkpoint, q); err != nil {
+			if err := WritePoisonedCheckpoint(o.Checkpoint, q); err != nil {
 				return fmt.Errorf("core: sweep checkpoint: %w", err)
 			}
 		}
@@ -224,12 +224,12 @@ func (e *Evaluator) ExhaustiveContext(ctx context.Context, space Space, opt *Swe
 				res.Resumed += nSkip
 				doneN += nEval + nSkip
 				improved := false
-				if cp.Found && (!found || betterPoint(cp.BestObj, cp.Best, bestObj, bestPt)) {
+				if cp.Found && (!found || BetterPoint(cp.BestObj, cp.Best, bestObj, bestPt)) {
 					bestPt, bestObj, bestEval, found = cp.Best, cp.BestObj, ev, true
 					improved = true
 				}
 				if o.Checkpoint != nil {
-					if err := writeShardCheckpoint(o.Checkpoint, cp); err != nil && firstErr == nil {
+					if err := WriteShardCheckpoint(o.Checkpoint, cp); err != nil && firstErr == nil {
 						firstErr = fmt.Errorf("core: sweep checkpoint: %w", err)
 						cancel()
 					}
@@ -357,22 +357,43 @@ func (e *Evaluator) sweepShard(ctx context.Context, pts []DesignPoint, idx, size
 	return cp, evaluated, skipped, best, nil
 }
 
-// betterPoint is the sweep's deterministic incumbent order: strictly
+// BetterPoint is the sweep's deterministic incumbent order: strictly
 // lower objective wins, exact ties break lexicographically on the
 // design point. A strict total order over distinct points, so merging
-// shard results in any completion order yields the same winner.
-func betterPoint(aObj float64, aPt DesignPoint, bObj float64, bPt DesignPoint) bool {
+// shard results in any completion order — including records reported
+// at-least-once by distributed workers — yields the same winner.
+func BetterPoint(aObj float64, aPt DesignPoint, bObj float64, bPt DesignPoint) bool {
 	if aObj != bObj {
 		return aObj < bObj
 	}
 	return aPt.Less(bPt)
 }
 
-// autoShardSize targets ~16 shards per worker — fine enough that a kill
+// SweepShard evaluates one contiguous shard of the canonical
+// enumeration and returns its checkpoint record plus the quarantine
+// entries for every point whose evaluation failed (the shard continues
+// past failures, exactly like the in-process sweep). It is the unit of
+// work a distributed worker executes for a leased shard, and the unit
+// the coordinator re-executes to spot-check a reported record:
+// evaluation is deterministic, so two honest executions of the same
+// shard produce identical records.
+func (e *Evaluator) SweepShard(ctx context.Context, pts []DesignPoint, idx, size int) (ShardCheckpoint, []QuarantinedPoint, error) {
+	var poisons []QuarantinedPoint
+	cp, _, _, _, err := e.runShard(ctx, pts, idx, size, nil, func(ee *EvalError) error {
+		poisons = append(poisons, QuarantinedPoint{Point: ee.Point, Stage: ee.Stage, Reason: ee.Reason(), Trace: ee.Trace})
+		return nil
+	})
+	if err != nil {
+		return ShardCheckpoint{}, nil, err
+	}
+	return cp, poisons, nil
+}
+
+// AutoShardSize targets ~16 shards per worker — fine enough that a kill
 // forfeits little work, coarse enough that per-shard bookkeeping stays
 // negligible against millisecond-scale evaluations — capped at 64
 // points per shard for large spaces.
-func autoShardSize(n, workers int) int {
+func AutoShardSize(n, workers int) int {
 	if workers < 1 {
 		workers = 1
 	}

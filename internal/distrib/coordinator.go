@@ -1,0 +1,628 @@
+package distrib
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"tesa/internal/core"
+	"tesa/internal/jobspec"
+)
+
+// Coordinator owns one distributed sweep: the shard queue, the lease
+// table, the merged ledger, and the trust-but-verify policy. Create one
+// with NewCoordinator, expose Handler over HTTP, and Wait for the
+// merged result. All methods are safe for concurrent use.
+type Coordinator struct {
+	cfg         Config
+	spec        []byte
+	fingerprint string
+	pts         []core.DesignPoint
+	size        int
+	nShards     int
+	eval        *core.Evaluator
+	runCtx      context.Context
+	runCancel   context.CancelFunc
+
+	mu      sync.Mutex
+	pending []int         // shard queue; grants pop the front, steals push the front
+	leases  map[int]lease // shard -> current lease
+	done    map[int]core.ShardCheckpoint
+	// verified marks shards whose record is the coordinator's own
+	// computation (verification, adjudication, or a trusted resume);
+	// only verified records may move the incumbent, and only
+	// unverified ones are rolled back when their reporter is
+	// quarantined.
+	verified    map[int]bool
+	reporter    map[int]string
+	verifying   map[int]bool // shards with a re-execution in flight
+	poisoned    map[core.DesignPoint]core.QuarantinedPoint
+	workers     map[string]time.Time // worker -> last seen
+	quarantined map[string]string    // worker -> refutation reason
+
+	found   bool
+	bestPt  core.DesignPoint
+	bestObj float64
+
+	donePoints int
+	steals     int
+	verifies   int
+	mismatches int
+
+	began    time.Time
+	complete bool
+	doneCh   chan struct{}
+	closeCh  chan struct{}
+	closed   sync.Once
+	now      func() time.Time
+}
+
+// lease records one granted shard: who holds it and when it expires
+// absent a heartbeat.
+type lease struct {
+	worker  string
+	expires time.Time
+}
+
+// NewCoordinator parses and resolves the sweep spec, prefills any
+// resumed state, writes the ledger header, and starts the lease
+// janitor. Close the coordinator when done.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	spec, err := jobspec.Parse(cfg.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: %w", err)
+	}
+	if spec.Kind != jobspec.KindSweep {
+		return nil, fmt.Errorf("distrib: coordinator needs a sweep spec, got kind %q", spec.Kind)
+	}
+	r, err := spec.Resolve(cfg.BaseDir)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: %w", err)
+	}
+	eval, err := jobspec.NewEvaluator(r, jobspec.Runtime{Store: cfg.Store, Tel: cfg.Tel})
+	if err != nil {
+		return nil, fmt.Errorf("distrib: %w", err)
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.LeaseShards <= 0 {
+		cfg.LeaseShards = DefaultLeaseShards
+	}
+	if cfg.VerifyFrac == 0 {
+		cfg.VerifyFrac = DefaultVerifyFrac
+	}
+	pts := r.Space.Enumerate()
+	size := r.ShardSize
+	if size <= 0 && cfg.Resume != nil {
+		size = cfg.Resume.ShardSize
+	}
+	if size <= 0 {
+		size = core.AutoShardSize(len(pts), runtime.GOMAXPROCS(0))
+	}
+	nShards := (len(pts) + size - 1) / size
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:         cfg,
+		spec:        cfg.Spec,
+		fingerprint: r.Space.Fingerprint(),
+		pts:         pts,
+		size:        size,
+		nShards:     nShards,
+		eval:        eval,
+		runCtx:      ctx,
+		runCancel:   cancel,
+		leases:      make(map[int]lease),
+		done:        make(map[int]core.ShardCheckpoint),
+		verified:    make(map[int]bool),
+		reporter:    make(map[int]string),
+		verifying:   make(map[int]bool),
+		poisoned:    make(map[core.DesignPoint]core.QuarantinedPoint),
+		workers:     make(map[string]time.Time),
+		quarantined: make(map[string]string),
+		began:       time.Now(),
+		doneCh:      make(chan struct{}),
+		closeCh:     make(chan struct{}),
+		now:         time.Now,
+	}
+	if st := cfg.Resume; st != nil {
+		if st.Fingerprint != c.fingerprint {
+			cancel()
+			return nil, fmt.Errorf("distrib: %w: ledger space %s does not match spec space %s",
+				core.ErrCheckpointCorrupt, st.Fingerprint, c.fingerprint)
+		}
+		if st.ShardSize != size {
+			cancel()
+			return nil, fmt.Errorf("distrib: resume: %w",
+				&core.ShardSizeError{Expected: size, Found: st.ShardSize, RunID: st.RunID})
+		}
+		if st.Total != len(pts) || st.Shards != nShards {
+			cancel()
+			return nil, fmt.Errorf("distrib: %w: ledger decomposition %d/%d vs spec %d/%d",
+				core.ErrCheckpointCorrupt, st.Total, st.Shards, len(pts), nShards)
+		}
+		for idx, cp := range st.Done {
+			c.done[idx] = cp
+			c.verified[idx] = true // the operator's ledger is trusted
+			c.donePoints += shardSpan(idx, size, len(pts))
+			if cp.Found && (!c.found || core.BetterPoint(cp.BestObj, cp.Best, c.bestObj, c.bestPt)) {
+				c.found, c.bestPt, c.bestObj = true, cp.Best, cp.BestObj
+			}
+		}
+		for p, q := range st.Poisoned {
+			c.poisoned[p] = q
+		}
+	}
+	for idx := 0; idx < nShards; idx++ {
+		if _, ok := c.done[idx]; !ok {
+			c.pending = append(c.pending, idx)
+		}
+	}
+	if len(c.done) == nShards {
+		c.complete = true
+		close(c.doneCh)
+	}
+	if cfg.Ledger != nil {
+		if err := core.WriteCheckpointHeader(cfg.Ledger, c.fingerprint, len(pts), size, nShards, cfg.RunID); err != nil {
+			cancel()
+			return nil, fmt.Errorf("distrib: ledger: %w", err)
+		}
+	}
+	go c.janitor()
+	return c, nil
+}
+
+// Fingerprint returns the swept space's fingerprint.
+func (c *Coordinator) Fingerprint() string { return c.fingerprint }
+
+// Shards returns the decomposition's shard count.
+func (c *Coordinator) Shards() int { return c.nShards }
+
+// Close stops the janitor and cancels in-flight verification; pending
+// Wait calls return ErrCoordinatorClosed unless the sweep had already
+// completed.
+func (c *Coordinator) Close() {
+	c.closed.Do(func() {
+		close(c.closeCh)
+		c.runCancel()
+	})
+}
+
+// logf forwards to the configured logger.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// janitor expires leases: a shard whose worker has not heartbeat within
+// the TTL goes back to the front of the pending queue for the next
+// worker — work stealing for stragglers.
+func (c *Coordinator) janitor() {
+	tick := c.cfg.LeaseTTL / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closeCh:
+			return
+		case <-t.C:
+			c.expireLeases()
+		}
+	}
+}
+
+// expireLeases sweeps the lease table once.
+func (c *Coordinator) expireLeases() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	var stolen []int
+	for shard, l := range c.leases {
+		if now.After(l.expires) {
+			delete(c.leases, shard)
+			if _, merged := c.done[shard]; !merged && !c.verifying[shard] {
+				stolen = append(stolen, shard)
+				c.logf("distrib: lease on shard %d expired (worker %s); re-queued", shard, l.worker)
+			}
+		}
+	}
+	if len(stolen) > 0 {
+		sort.Ints(stolen)
+		c.pending = append(stolen, c.pending...)
+		c.steals += len(stolen)
+	}
+}
+
+// touchLocked records a worker sighting. Callers hold mu.
+func (c *Coordinator) touchLocked(worker string) {
+	if worker != "" {
+		c.workers[worker] = c.now()
+	}
+}
+
+// Lease grants up to LeaseShards pending shards to the worker. The
+// response is exactly one of: Quarantined (the worker is refused),
+// Done (the sweep is complete), WaitMS (nothing pending right now —
+// retry later), or Shards+TTLMS (the grant).
+func (c *Coordinator) Lease(worker string) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(worker)
+	if reason, bad := c.quarantined[worker]; bad {
+		return LeaseResponse{Quarantined: reason}
+	}
+	if c.complete {
+		return LeaseResponse{Done: true}
+	}
+	if len(c.pending) == 0 {
+		wait := c.cfg.LeaseTTL / 2
+		if wait < 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		return LeaseResponse{WaitMS: int(wait / time.Millisecond)}
+	}
+	n := c.cfg.LeaseShards
+	if n > len(c.pending) {
+		n = len(c.pending)
+	}
+	grant := make([]int, n)
+	copy(grant, c.pending[:n])
+	c.pending = c.pending[n:]
+	exp := c.now().Add(c.cfg.LeaseTTL)
+	for _, s := range grant {
+		c.leases[s] = lease{worker: worker, expires: exp}
+	}
+	return LeaseResponse{Shards: grant, TTLMS: int(c.cfg.LeaseTTL / time.Millisecond)}
+}
+
+// Heartbeat extends every lease the worker holds by one TTL and
+// reports whether the worker has been quarantined meanwhile.
+func (c *Coordinator) Heartbeat(worker string) (quarantined string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(worker)
+	if reason, bad := c.quarantined[worker]; bad {
+		return reason
+	}
+	exp := c.now().Add(c.cfg.LeaseTTL)
+	for shard, l := range c.leases {
+		if l.worker == worker {
+			c.leases[shard] = lease{worker: worker, expires: exp}
+		}
+	}
+	return ""
+}
+
+// Report merges one worker-reported shard record. At-least-once safe:
+// duplicates of an already-merged identical record are acknowledged
+// without effect; a conflicting duplicate triggers adjudication by
+// local re-execution. Fresh records are accepted directly, or verified
+// first when the spot-check policy or an incumbent improvement demands
+// it; a refuted report quarantines the worker.
+func (c *Coordinator) Report(worker string, cp core.ShardCheckpoint, poisons []core.QuarantinedPoint) ReportResponse {
+	if cp.Shard < 0 || cp.Shard >= c.nShards {
+		return ReportResponse{Err: fmt.Sprintf("shard %d out of range [0,%d)", cp.Shard, c.nShards)}
+	}
+	c.mu.Lock()
+	c.touchLocked(worker)
+	if reason, bad := c.quarantined[worker]; bad {
+		c.mu.Unlock()
+		return ReportResponse{Quarantined: reason}
+	}
+	if c.complete {
+		c.mu.Unlock()
+		return ReportResponse{OK: true, Done: true}
+	}
+	if c.verifying[cp.Shard] {
+		// Another report for this shard is mid-adjudication; the truth
+		// it computes supersedes this one.
+		c.mu.Unlock()
+		return ReportResponse{OK: true}
+	}
+	if prev, merged := c.done[cp.Shard]; merged {
+		if sameRecord(prev, cp) {
+			c.mu.Unlock()
+			return ReportResponse{OK: true, Stale: true}
+		}
+		// Two honest executions cannot disagree: someone lied. Re-execute
+		// locally and quarantine whichever side the truth refutes.
+		return c.verifyAndMerge(worker, cp, nil, true)
+	}
+	improves := cp.Found && (!c.found || core.BetterPoint(cp.BestObj, cp.Best, c.bestObj, c.bestPt))
+	if improves || c.spotCheck(cp.Shard) {
+		return c.verifyAndMerge(worker, cp, poisons, false)
+	}
+	c.acceptLocked(cp.Shard, cp, poisons, worker, false)
+	// Done on the completing report saves the worker a doomed lease
+	// round-trip against a coordinator that may be gone by then.
+	done := c.complete
+	c.mu.Unlock()
+	return ReportResponse{OK: true, Done: done}
+}
+
+// spotCheck is the deterministic verification coin flip for a shard:
+// pure in (VerifySeed, shard), so a given seed re-checks the same
+// shards on every run.
+func (c *Coordinator) spotCheck(shard int) bool {
+	frac := c.cfg.VerifyFrac
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|verify|%d", c.cfg.VerifySeed, shard)
+	return float64(h.Sum64()>>11)/float64(1<<53) < frac
+}
+
+// verifyAndMerge re-executes the reported shard locally and merges the
+// truth. Entered with mu held; the re-execution itself runs unlocked
+// (it is real evaluation work) behind the verifying guard, so
+// heartbeats and other reports keep flowing. When adjudicating a
+// conflict with an already-merged record, a refuted previous reporter
+// is quarantined too.
+func (c *Coordinator) verifyAndMerge(worker string, cp core.ShardCheckpoint, poisons []core.QuarantinedPoint, conflict bool) ReportResponse {
+	c.verifying[cp.Shard] = true
+	c.mu.Unlock()
+	truth, truthPoisons, err := c.eval.SweepShard(c.runCtx, c.pts, cp.Shard, c.size)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.verifying, cp.Shard)
+	if err != nil {
+		// The coordinator itself could not execute the shard (shutdown,
+		// or a non-point-local failure). Without ground truth nothing
+		// merges; the shard goes back in the queue unless already done.
+		if _, merged := c.done[cp.Shard]; !merged {
+			c.pending = append([]int{cp.Shard}, c.pending...)
+		}
+		c.logf("distrib: verification of shard %d failed: %v", cp.Shard, err)
+		return ReportResponse{OK: true}
+	}
+	c.verifies++
+	if conflict {
+		if prev, merged := c.done[cp.Shard]; merged && !sameRecord(truth, prev) {
+			// The merged record was the lie; its reporter goes, and the
+			// rollback re-queues its other unverified shards.
+			c.quarantineLocked(c.reporter[cp.Shard], fmt.Sprintf("merged record for shard %d refuted by re-evaluation", cp.Shard))
+		}
+	}
+	if !sameRecord(truth, cp) {
+		c.mismatches++
+		c.quarantineLocked(worker, fmt.Sprintf("report for shard %d refuted by re-evaluation", cp.Shard))
+		// The re-execution still produced the truth: merge it so the
+		// lie costs the liar, not the sweep.
+		c.acceptLocked(cp.Shard, truth, truthPoisons, "", true)
+		return ReportResponse{Quarantined: c.quarantined[worker]}
+	}
+	c.acceptLocked(cp.Shard, truth, truthPoisons, worker, true)
+	return ReportResponse{OK: true, Done: c.complete}
+}
+
+// quarantineLocked refuses a worker and rolls back its unverified
+// contributions: merged-but-unverified shards it reported and leases it
+// still holds all go back to the front of the queue. Verified records
+// are the coordinator's own computations and stay. Callers hold mu.
+func (c *Coordinator) quarantineLocked(worker, reason string) {
+	if worker == "" {
+		return
+	}
+	if _, already := c.quarantined[worker]; already {
+		return
+	}
+	c.quarantined[worker] = reason
+	var requeue []int
+	for shard, who := range c.reporter {
+		if who == worker && !c.verified[shard] {
+			delete(c.done, shard)
+			delete(c.reporter, shard)
+			c.donePoints -= shardSpan(shard, c.size, len(c.pts))
+			requeue = append(requeue, shard)
+		}
+	}
+	for shard, l := range c.leases {
+		if l.worker == worker {
+			delete(c.leases, shard)
+			if _, merged := c.done[shard]; !merged && !c.verifying[shard] {
+				requeue = append(requeue, shard)
+			}
+		}
+	}
+	sort.Ints(requeue)
+	c.pending = append(requeue, c.pending...)
+	c.steals += len(requeue)
+	c.logf("distrib: quarantined worker %s (%s); re-queued %d shards", worker, reason, len(requeue))
+}
+
+// acceptLocked installs one merged record: releases the shard's lease,
+// removes it from the queue, writes the ledger, advances the incumbent
+// (verified records only — the invariant that makes the winner provably
+// correct), and completes the sweep when it was the last shard.
+// Callers hold mu.
+func (c *Coordinator) acceptLocked(shard int, cp core.ShardCheckpoint, poisons []core.QuarantinedPoint, worker string, isVerified bool) {
+	delete(c.leases, shard)
+	for i, s := range c.pending {
+		if s == shard {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
+		}
+	}
+	if _, was := c.done[shard]; !was {
+		c.donePoints += shardSpan(shard, c.size, len(c.pts))
+	}
+	c.done[shard] = cp
+	c.reporter[shard] = worker
+	c.verified[shard] = isVerified
+	improved := false
+	if isVerified && cp.Found && (!c.found || core.BetterPoint(cp.BestObj, cp.Best, c.bestObj, c.bestPt)) {
+		c.found, c.bestPt, c.bestObj = true, cp.Best, cp.BestObj
+		improved = true
+	}
+	for _, q := range poisons {
+		if _, seen := c.poisoned[q.Point]; seen {
+			continue
+		}
+		c.poisoned[q.Point] = q
+		if c.cfg.Ledger != nil {
+			if err := core.WritePoisonedCheckpoint(c.cfg.Ledger, q); err != nil {
+				c.logf("distrib: ledger: %v", err)
+			}
+		}
+	}
+	if c.cfg.Ledger != nil {
+		// Duplicate or superseding records are fine: LoadCheckpoint is
+		// last-record-wins, so a rolled-back lie corrected by a later
+		// verified record leaves the loaded state truthful.
+		if err := core.WriteShardCheckpoint(c.cfg.Ledger, cp); err != nil {
+			c.logf("distrib: ledger: %v", err)
+		}
+	}
+	if c.cfg.Progress != nil {
+		var inc *core.Evaluation
+		c.cfg.Progress(core.Progress{
+			Phase:       "distrib",
+			Done:        c.donePoints,
+			Total:       len(c.pts),
+			Incumbent:   inc,
+			Improved:    improved,
+			Quarantined: len(c.poisoned),
+			Elapsed:     time.Since(c.began),
+		})
+	}
+	if len(c.done) == c.nShards && !c.complete {
+		c.complete = true
+		close(c.doneCh)
+	}
+}
+
+// Wait blocks until every shard has merged, then re-evaluates the
+// winner locally at full fidelity and returns the result. Returns
+// ctx.Err on cancellation and ErrCoordinatorClosed if Close preempted
+// completion.
+func (c *Coordinator) Wait(ctx context.Context) (*Result, error) {
+	select {
+	case <-c.doneCh:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.closeCh:
+		select {
+		case <-c.doneCh:
+		default:
+			return nil, ErrCoordinatorClosed
+		}
+	}
+	c.mu.Lock()
+	res := &Result{
+		Total:       len(c.pts),
+		Shards:      c.nShards,
+		Steals:      c.steals,
+		Verified:    c.verifies,
+		Mismatches:  c.mismatches,
+		Quarantined: len(c.poisoned),
+	}
+	// The winner re-derives from the merged records under the same
+	// total order the single-process sweep uses; it necessarily equals
+	// the incumbent, which only verified records ever advanced.
+	found := false
+	var bestPt core.DesignPoint
+	bestObj := math.Inf(1)
+	for _, cp := range c.done {
+		res.Feasible += cp.Feasible
+		if cp.Found && (!found || core.BetterPoint(cp.BestObj, cp.Best, bestObj, bestPt)) {
+			found, bestPt, bestObj = true, cp.Best, cp.BestObj
+		}
+	}
+	for _, q := range c.poisoned {
+		res.Poisoned = append(res.Poisoned, q)
+	}
+	for w := range c.quarantined {
+		res.QuarantinedWorkers = append(res.QuarantinedWorkers, w)
+	}
+	c.mu.Unlock()
+	sort.Slice(res.Poisoned, func(i, j int) bool { return res.Poisoned[i].Point.Less(res.Poisoned[j].Point) })
+	sort.Strings(res.QuarantinedWorkers)
+	if found {
+		ev, err := c.eval.EvaluateFullContext(ctx, bestPt)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: winner re-evaluation: %w", err)
+		}
+		res.Best = ev
+	}
+	if c.cfg.Ledger != nil {
+		if err := c.cfg.Ledger.Flush(); err != nil {
+			return nil, fmt.Errorf("distrib: ledger: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Status snapshots the coordinator's state.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Fingerprint: c.fingerprint,
+		Total:       len(c.pts),
+		ShardSize:   c.size,
+		Shards:      c.nShards,
+		Done:        len(c.done),
+		Pending:     len(c.pending),
+		Leased:      len(c.leases),
+		Steals:      c.steals,
+		Verifies:    c.verifies,
+		Mismatches:  c.mismatches,
+		Workers:     len(c.workers),
+		Found:       c.found,
+		Complete:    c.complete,
+	}
+	if c.found {
+		st.BestObj = c.bestObj
+	}
+	for s := range c.done {
+		if c.verified[s] {
+			st.VerifiedShards++
+		}
+	}
+	for w := range c.quarantined {
+		st.Quarantined = append(st.Quarantined, w)
+	}
+	sort.Strings(st.Quarantined)
+	return st
+}
+
+// sameRecord compares two shard records for exact equality — the
+// deterministic pipeline makes honest executions bit-identical, so any
+// difference (including in the float bits of the objective) is a
+// refutation, not noise.
+func sameRecord(a, b core.ShardCheckpoint) bool {
+	if a.Shard != b.Shard || a.Feasible != b.Feasible || a.Found != b.Found {
+		return false
+	}
+	if !a.Found {
+		return true
+	}
+	return a.Best == b.Best && math.Float64bits(a.BestObj) == math.Float64bits(b.BestObj)
+}
+
+// shardSpan returns the point count of shard idx in an n-point
+// enumeration (the final shard may be short).
+func shardSpan(idx, size, n int) int {
+	lo := idx * size
+	hi := lo + size
+	if hi > n {
+		hi = n
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

@@ -1,0 +1,164 @@
+// Package distrib lifts the sharded exhaustive sweep to N processes: a
+// coordinator leases contiguous shard ranges of the canonical
+// enumeration to workers over HTTP, workers execute shards with the
+// exact evaluator a local run would build (internal/jobspec), and the
+// coordinator merges the reported checkpoint.shard records into one
+// resumable ledger byte-compatible with single-process checkpoints —
+// LoadCheckpoint, resume, and tesa-trace read it unchanged.
+//
+// The protocol is built to stay correct under failure:
+//
+//   - Leases are heartbeat-scoped: a worker that crashes or stalls past
+//     the lease TTL loses the lease, and the janitor re-queues the shard
+//     at the front of the pending queue (work stealing). A stolen shard
+//     may still be reported by the straggler later; evaluation is
+//     deterministic, so the duplicate record is identical and merging is
+//     at-least-once safe under the BetterPoint total order.
+//
+//   - Reports are trust-but-verify: the coordinator re-executes a
+//     configurable fraction of reported shards locally, plus every
+//     report that would improve the current incumbent, plus any report
+//     conflicting with an already-merged record. A mismatch quarantines
+//     the worker: its unverified contributions are rolled back, its
+//     outstanding leases re-queued, and its future requests refused.
+//     Because incumbent-improving reports are always verified before
+//     acceptance, the final winner is provably the coordinator's own
+//     computation — a lying worker cannot steer it.
+//
+// Worker-level failures are injectable deterministically via the
+// crash@shard / stall@shard / lie@shard rules of internal/faults, which
+// is how the protocol's -race tests prove that a sweep with lost and
+// lying workers produces a bit-identical winner to a clean
+// single-process run.
+package distrib
+
+import (
+	"errors"
+	"time"
+
+	"tesa/internal/core"
+	"tesa/internal/memo"
+	"tesa/internal/telemetry"
+)
+
+// Protocol defaults; all are overridable via Config.
+const (
+	// DefaultLeaseTTL is the heartbeat deadline after which a worker's
+	// leases are stolen.
+	DefaultLeaseTTL = 10 * time.Second
+	// DefaultLeaseShards is the maximum contiguous shard count granted
+	// per lease request.
+	DefaultLeaseShards = 4
+	// DefaultVerifyFrac is the fraction of reported shards the
+	// coordinator re-executes as a spot check (incumbent-improving and
+	// conflicting reports are always verified, regardless).
+	DefaultVerifyFrac = 0.1
+)
+
+// ErrWorkerQuarantined is returned by RunWorker when the coordinator
+// has refuted one of this worker's reports and refuses further work.
+var ErrWorkerQuarantined = errors.New("distrib: worker quarantined by coordinator")
+
+// ErrCoordinatorClosed is returned by Wait when the coordinator is
+// closed before the sweep completes.
+var ErrCoordinatorClosed = errors.New("distrib: coordinator closed")
+
+// Config configures a Coordinator.
+type Config struct {
+	// Spec is the raw tesa.jobspec/v1 sweep document. The coordinator
+	// serves these exact bytes to workers, and both sides resolve them
+	// independently — same spec, same evaluator, bit-identical
+	// evaluations everywhere. Required; the kind must be "sweep".
+	Spec []byte
+	// BaseDir resolves relative workload_file references in the spec.
+	// Distributed specs should prefer inline or built-in workloads:
+	// workers resolve the spec in their own filesystem.
+	BaseDir string
+
+	// LeaseTTL is the heartbeat deadline on granted leases (0 =
+	// DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// LeaseShards caps the shards granted per lease request (0 =
+	// DefaultLeaseShards).
+	LeaseShards int
+	// VerifyFrac is the spot-check fraction in [0,1]; 0 means
+	// DefaultVerifyFrac, and a negative value disables spot checks
+	// (incumbent-improving and conflicting reports are still verified).
+	VerifyFrac float64
+	// VerifySeed feeds the deterministic spot-check decision, so a
+	// given seed re-checks the same shards on every run.
+	VerifySeed int64
+
+	// Ledger receives the merged checkpoint stream: one header plus one
+	// checkpoint.shard / checkpoint.poisoned record per merge, written
+	// through the same exported core writers as a single-process sweep.
+	// Optional; point it at a telemetry.FileSink for a resumable file.
+	Ledger telemetry.EventSink
+	// Resume credits the shards of a previously written ledger without
+	// re-executing them; the state must match the spec's space and
+	// decomposition. Resumed records are trusted (marked verified).
+	Resume *core.CheckpointState
+	// RunID, when non-empty, is stamped into the ledger header.
+	RunID string
+
+	// Store is the coordinator's memo store, warming its verification
+	// re-executions. Optional.
+	Store *memo.Store
+	// Tel is the coordinator's observability hub. Optional.
+	Tel *telemetry.Telemetry
+	// Progress receives one update per merged shard, Phase "distrib".
+	Progress core.ProgressFunc
+	// Logf receives coordinator lifecycle lines (leases, steals,
+	// quarantines). Optional.
+	Logf func(format string, args ...any)
+}
+
+// Result is the outcome of a completed distributed sweep.
+type Result struct {
+	// Best is the global optimum, re-evaluated locally by the
+	// coordinator at full fidelity; nil when nothing is feasible.
+	Best *core.Evaluation
+	// Feasible, Total, and Shards describe the swept space.
+	Feasible, Total, Shards int
+	// Quarantined counts design points whose evaluation failed;
+	// Poisoned lists them sorted by design point.
+	Quarantined int
+	Poisoned    []core.QuarantinedPoint
+	// Steals counts shards re-queued after lease expiry or worker
+	// quarantine; Verified counts coordinator re-executions; Mismatches
+	// counts refuted reports.
+	Steals, Verified, Mismatches int
+	// QuarantinedWorkers lists the workers refuted during the sweep.
+	QuarantinedWorkers []string
+}
+
+// Status is a point-in-time snapshot of coordinator state, served at
+// GET /status for dashboards and the CLIs.
+type Status struct {
+	// Fingerprint, Total, ShardSize, and Shards describe the
+	// decomposition being swept.
+	Fingerprint string `json:"fingerprint"`
+	Total       int    `json:"total"`
+	ShardSize   int    `json:"shard_size"`
+	Shards      int    `json:"shards"`
+	// Done and VerifiedShards count merged and coordinator-verified
+	// shards; Pending and Leased count the rest of the queue.
+	Done           int `json:"done"`
+	VerifiedShards int `json:"verified_shards"`
+	Pending        int `json:"pending"`
+	Leased         int `json:"leased"`
+	// Steals, Verifies, and Mismatches are the fault-tolerance
+	// counters.
+	Steals     int `json:"steals"`
+	Verifies   int `json:"verifies"`
+	Mismatches int `json:"mismatches"`
+	// Workers counts distinct workers seen; Quarantined lists the
+	// refuted ones.
+	Workers     int      `json:"workers"`
+	Quarantined []string `json:"quarantined,omitempty"`
+	// Found and BestObj describe the current incumbent.
+	Found   bool    `json:"found"`
+	BestObj float64 `json:"best_obj,omitempty"`
+	// Complete reports whether every shard has merged.
+	Complete bool `json:"complete"`
+}

@@ -1,0 +1,367 @@
+package distrib
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"tesa/internal/core"
+	"tesa/internal/faults"
+	"tesa/internal/jobspec"
+	"tesa/internal/telemetry"
+)
+
+// sweepSpec is the shared job document: 25 points in 13 two-point
+// shards — small enough for a -race test, sharded enough for leases,
+// steals, and verification to all exercise.
+const sweepSpec = `{
+  "version": "tesa.jobspec/v1",
+  "kind": "sweep",
+  "options": {"grid": 16},
+  "space": {"array_dims": [160, 180, 200, 220, 240], "ics_ums": [0, 250, 500, 750, 1000]},
+  "sweep": {"shard_size": 2}
+}`
+
+// baselineSweep runs the spec as a clean single-process sweep — the
+// ground truth every distributed run must reproduce bit-identically.
+func baselineSweep(t *testing.T) *core.ExhaustiveResult {
+	t.Helper()
+	spec, err := jobspec.Parse([]byte(sweepSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := spec.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := jobspec.NewEvaluator(r, jobspec.Runtime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ev.ExhaustiveContext(context.Background(), r.Space, &core.SweepOptions{ShardSize: r.ShardSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("baseline sweep found nothing feasible; the test space is miscalibrated")
+	}
+	return res
+}
+
+// TestDistributedSweepFaultTolerance is the protocol's proof: a sweep
+// served to four workers — one honest, one that crashes, one that
+// stalls past its lease TTL on every shard, and one that lies on every
+// report — must produce a bit-identical winner to a clean
+// single-process run, quarantine the liar, steal from the stragglers,
+// and leave a ledger the single-process resume path accepts as a
+// completed sweep.
+func TestDistributedSweepFaultTolerance(t *testing.T) {
+	baseline := baselineSweep(t)
+
+	ledgerPath := filepath.Join(t.TempDir(), "ledger.jsonl")
+	sink, err := telemetry.NewFileSink(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	coord, err := NewCoordinator(Config{
+		Spec:        []byte(sweepSpec),
+		LeaseTTL:    250 * time.Millisecond,
+		LeaseShards: 2,
+		VerifyFrac:  0.25,
+		VerifySeed:  7,
+		Ledger:      sink,
+		RunID:       "distribtest00001",
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	plan := func(spec string) *faults.Plan {
+		p, err := faults.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	workers := []struct {
+		name   string
+		faults *faults.Plan
+	}{
+		{"honest", nil},
+		{"crasher", plan("crash@shard")},
+		{"staller", plan("stall@shard:delay=600ms")},
+		{"liar", plan("lie@shard")},
+	}
+	type outcome struct {
+		stats *WorkerStats
+		err   error
+	}
+	results := make(map[string]outcome, len(workers))
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	for _, w := range workers {
+		wg.Add(1)
+		go func(name string, fp *faults.Plan) {
+			defer wg.Done()
+			stats, err := RunWorker(ctx, WorkerConfig{
+				Coord:  srv.URL,
+				Name:   name,
+				Faults: fp,
+				Logf:   t.Logf,
+			})
+			mu.Lock()
+			results[name] = outcome{stats, err}
+			mu.Unlock()
+		}(w.name, w.faults)
+	}
+
+	res, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	wg.Wait()
+
+	// The bit-identical winner: same design point, same objective down
+	// to the float bits, despite a crash, a chronic straggler, and an
+	// adversary in the pool.
+	if res.Best == nil {
+		t.Fatal("distributed sweep found nothing feasible")
+	}
+	if res.Best.Point != baseline.Best.Point {
+		t.Errorf("winner %+v != single-process winner %+v", res.Best.Point, baseline.Best.Point)
+	}
+	if math.Float64bits(res.Best.Objective) != math.Float64bits(baseline.Best.Objective) {
+		t.Errorf("objective %x != single-process %x", res.Best.Objective, baseline.Best.Objective)
+	}
+	if res.Feasible != baseline.Feasible || res.Total != baseline.Total {
+		t.Errorf("feasible/total %d/%d != baseline %d/%d", res.Feasible, res.Total, baseline.Feasible, baseline.Total)
+	}
+
+	// The liar was refuted by re-evaluation and quarantined; the
+	// refusal rolled its outstanding leases back into the queue.
+	if res.Mismatches < 1 {
+		t.Errorf("mismatches = %d, want >= 1 (the liar's first report)", res.Mismatches)
+	}
+	if len(res.QuarantinedWorkers) != 1 || res.QuarantinedWorkers[0] != "liar" {
+		t.Errorf("quarantined workers = %v, want [liar]", res.QuarantinedWorkers)
+	}
+	if res.Verified < 1 {
+		t.Errorf("verified = %d, want >= 1", res.Verified)
+	}
+	// The crash and the stalls both forfeit leases; at least one shard
+	// must have been stolen and completed by someone else.
+	if res.Steals < 1 {
+		t.Errorf("steals = %d, want >= 1", res.Steals)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if o := results["crasher"]; !errors.Is(o.err, ErrWorkerCrashed) || o.stats.Crashes != 1 {
+		t.Errorf("crasher outcome = %+v, %v; want one injected crash", o.stats, o.err)
+	}
+	if o := results["liar"]; !errors.Is(o.err, ErrWorkerQuarantined) || o.stats.Lies < 1 {
+		t.Errorf("liar outcome = %+v, %v; want quarantine after lying", o.stats, o.err)
+	}
+	if o := results["honest"]; o.err != nil || o.stats.Shards == 0 {
+		t.Errorf("honest outcome = %+v, %v; want clean completion with work done", o.stats, o.err)
+	}
+	if o := results["staller"]; o.err != nil || o.stats.Stalls < 1 {
+		t.Errorf("staller outcome = %+v, %v; want clean completion with stalls fired", o.stats, o.err)
+	}
+
+	// The merged ledger is byte-compatible with single-process
+	// checkpoints: LoadCheckpoint accepts it as a complete sweep of the
+	// same decomposition, and the resume path reproduces the winner
+	// without evaluating a single point.
+	f, err := os.Open(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := core.LoadCheckpoint(f)
+	if err != nil {
+		t.Fatalf("ledger rejected by LoadCheckpoint: %v", err)
+	}
+	if st.Completed() != res.Shards {
+		t.Fatalf("ledger has %d shards, want %d", st.Completed(), res.Shards)
+	}
+	if st.RunID != "distribtest00001" {
+		t.Errorf("ledger run id = %q", st.RunID)
+	}
+	spec, _ := jobspec.Parse([]byte(sweepSpec))
+	r, _ := spec.Resolve("")
+	ev, err := jobspec.NewEvaluator(r, jobspec.Runtime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ev.ExhaustiveContext(ctx, r.Space, &core.SweepOptions{ShardSize: r.ShardSize, ResumeFrom: st})
+	if err != nil {
+		t.Fatalf("resume from merged ledger: %v", err)
+	}
+	if resumed.Resumed != baseline.Total || resumed.Evaluated != 0 {
+		t.Errorf("resume re-evaluated %d points (resumed %d), want a full credit", resumed.Evaluated, resumed.Resumed)
+	}
+	if resumed.Best == nil || resumed.Best.Point != baseline.Best.Point ||
+		math.Float64bits(resumed.Best.Objective) != math.Float64bits(baseline.Best.Objective) {
+		t.Errorf("resumed winner differs from baseline")
+	}
+}
+
+// TestCoordinatorLeaseFlow drives the lease protocol directly, without
+// HTTP or fault injection: grants pop the queue front, an exhausted
+// queue answers wait, duplicate reports are stale no-ops, expired
+// leases are stolen, and completion latches.
+func TestCoordinatorLeaseFlow(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		Spec:       []byte(sweepSpec),
+		LeaseTTL:   80 * time.Millisecond,
+		VerifyFrac: -1, // spot checks off; this test reports honestly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if coord.Shards() != 13 {
+		t.Fatalf("shards = %d, want 13", coord.Shards())
+	}
+
+	g1 := coord.Lease("w1")
+	if len(g1.Shards) != DefaultLeaseShards || g1.Shards[0] != 0 {
+		t.Fatalf("first grant = %+v", g1)
+	}
+	// Leases are per-shard and exclusive: a second worker gets the next
+	// range.
+	g2 := coord.Lease("w2")
+	if len(g2.Shards) == 0 || g2.Shards[0] != g1.Shards[len(g1.Shards)-1]+1 {
+		t.Fatalf("second grant = %+v does not follow %+v", g2, g1)
+	}
+
+	// Expired leases are stolen: without heartbeats the janitor
+	// re-queues w1's and w2's shards at the front of the queue, ahead
+	// of never-granted work.
+	granted := make(map[int]bool)
+	for _, s := range append(append([]int{}, g1.Shards...), g2.Shards...) {
+		granted[s] = true
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := coord.Status()
+		if st.Steals >= len(granted) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leases never expired: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	g3 := coord.Lease("w3")
+	if len(g3.Shards) == 0 {
+		t.Fatalf("no re-grant after steal: %+v", g3)
+	}
+	for _, s := range g3.Shards {
+		if !granted[s] {
+			t.Fatalf("re-grant %v includes never-stolen shard %d", g3.Shards, s)
+		}
+	}
+
+	// Honest reports merge; an identical duplicate (the straggler
+	// finally reporting its stolen shard) is acknowledged as stale.
+	spec, _ := jobspec.Parse([]byte(sweepSpec))
+	r, _ := spec.Resolve("")
+	ev, err := jobspec.NewEvaluator(r, jobspec.Runtime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := r.Space.Enumerate()
+	cp, poisons, err := ev.SweepShard(context.Background(), pts, g3.Shards[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := coord.Report("w3", cp, poisons); !resp.OK || resp.Stale {
+		t.Fatalf("first report = %+v", resp)
+	}
+	if resp := coord.Report("w1", cp, poisons); !resp.OK || !resp.Stale {
+		t.Fatalf("duplicate report = %+v, want stale ack", resp)
+	}
+	if resp := coord.Report("w1", core.ShardCheckpoint{Shard: 99}, nil); resp.Err == "" {
+		t.Fatalf("out-of-range report = %+v, want error", resp)
+	}
+
+	// Complete the sweep directly and observe the latch.
+	for idx := 0; idx < coord.Shards(); idx++ {
+		cp, poisons, err := ev.SweepShard(context.Background(), pts, idx, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord.Report("w3", cp, poisons)
+	}
+	if g := coord.Lease("w3"); !g.Done {
+		t.Fatalf("post-completion lease = %+v, want done", g)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Steals < len(g1.Shards) {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// TestCoordinatorResumeValidation: a ledger from a different
+// decomposition is refused with the typed shard-size error.
+func TestCoordinatorResumeValidation(t *testing.T) {
+	_, err := NewCoordinator(Config{
+		Spec: []byte(sweepSpec),
+		Resume: &core.CheckpointState{
+			Fingerprint: mustFingerprint(t),
+			Total:       25,
+			ShardSize:   5,
+			Shards:      5,
+			RunID:       "beefbeefbeefbeef",
+			Done:        map[int]core.ShardCheckpoint{},
+		},
+	})
+	var sse *core.ShardSizeError
+	if !errors.As(err, &sse) {
+		t.Fatalf("err = %v, want *core.ShardSizeError", err)
+	}
+	if sse.Expected != 2 || sse.Found != 5 || sse.RunID != "beefbeefbeefbeef" {
+		t.Errorf("ShardSizeError = %+v", sse)
+	}
+	if !errors.Is(err, core.ErrCheckpointCorrupt) {
+		t.Errorf("typed error left the ErrCheckpointCorrupt family: %v", err)
+	}
+}
+
+// mustFingerprint resolves the shared spec's space fingerprint.
+func mustFingerprint(t *testing.T) string {
+	t.Helper()
+	spec, err := jobspec.Parse([]byte(sweepSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := spec.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Space.Fingerprint()
+}

@@ -1,0 +1,221 @@
+package distrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"tesa/internal/core"
+)
+
+// The wire protocol, all JSON over HTTP relative to the mount point:
+//
+//	GET  /spec      the raw jobspec bytes the coordinator was built from
+//	GET  /info      the decomposition and protocol parameters
+//	GET  /status    a Status snapshot
+//	POST /lease     {"worker": w}            -> LeaseResponse
+//	POST /heartbeat {"worker": w}            -> HeartbeatResponse
+//	POST /report    ReportRequest            -> ReportResponse
+//
+// Workers never receive design points over the wire: they resolve the
+// spec themselves and re-derive the canonical enumeration, with the
+// fingerprint in /info guarding against any disagreement.
+
+// InfoResponse describes the sweep a worker is joining.
+type InfoResponse struct {
+	// Fingerprint is the space fingerprint workers must re-derive from
+	// the spec; a mismatch means the two sides would enumerate
+	// different points, and the worker must refuse to run.
+	Fingerprint string `json:"fingerprint"`
+	// Total, ShardSize, and Shards pin the decomposition.
+	Total     int `json:"total"`
+	ShardSize int `json:"shard_size"`
+	Shards    int `json:"shards"`
+	// LeaseTTLMS is the heartbeat deadline granted leases run on.
+	LeaseTTLMS int `json:"lease_ttl_ms"`
+	// RunID identifies the coordinator's run ("" when none).
+	RunID string `json:"run_id,omitempty"`
+}
+
+// LeaseResponse is the coordinator's answer to a lease request;
+// exactly one of the four outcomes is set.
+type LeaseResponse struct {
+	// Shards are the granted shard indices, with TTLMS the heartbeat
+	// deadline in milliseconds.
+	Shards []int `json:"shards,omitempty"`
+	TTLMS  int   `json:"ttl_ms,omitempty"`
+	// WaitMS asks the worker to retry after this many milliseconds:
+	// nothing is pending right now, but leased shards may yet be
+	// stolen.
+	WaitMS int `json:"wait_ms,omitempty"`
+	// Done reports sweep completion: the worker can exit.
+	Done bool `json:"done,omitempty"`
+	// Quarantined carries the refutation reason when the coordinator
+	// refuses this worker.
+	Quarantined string `json:"quarantined,omitempty"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat.
+type HeartbeatResponse struct {
+	// OK is true unless the worker is quarantined.
+	OK bool `json:"ok"`
+	// Quarantined carries the refutation reason when set.
+	Quarantined string `json:"quarantined,omitempty"`
+}
+
+// ReportRequest carries one executed shard back to the coordinator:
+// the checkpoint record fields plus the quarantined points the shard
+// produced.
+type ReportRequest struct {
+	// Worker names the reporting worker.
+	Worker string `json:"worker"`
+	// Shard, Feasible, Found, BestDim, BestICS, and BestObj mirror
+	// core.ShardCheckpoint.
+	Shard    int     `json:"shard"`
+	Feasible int     `json:"feasible"`
+	Found    bool    `json:"found"`
+	BestDim  int     `json:"best_dim,omitempty"`
+	BestICS  int     `json:"best_ics,omitempty"`
+	BestObj  float64 `json:"best_obj,omitempty"`
+	// Poisoned lists the shard's quarantined points.
+	Poisoned []ReportPoison `json:"poisoned,omitempty"`
+}
+
+// ReportPoison is one quarantined point in a ReportRequest.
+type ReportPoison struct {
+	// Dim and ICS identify the design point; Stage and Reason say what
+	// failed.
+	Dim    int    `json:"dim"`
+	ICS    int    `json:"ics"`
+	Stage  string `json:"stage"`
+	Reason string `json:"reason"`
+}
+
+// ReportResponse acknowledges a report.
+type ReportResponse struct {
+	// OK is true when the record was merged (or was a known
+	// duplicate).
+	OK bool `json:"ok"`
+	// Stale marks a duplicate of an already-merged identical record —
+	// the normal fate of a report for a stolen shard.
+	Stale bool `json:"stale,omitempty"`
+	// Done reports that the sweep had already completed.
+	Done bool `json:"done,omitempty"`
+	// Quarantined carries the refutation reason when this report (or a
+	// previous one) got the worker quarantined.
+	Quarantined string `json:"quarantined,omitempty"`
+	// Err describes a malformed report.
+	Err string `json:"error,omitempty"`
+}
+
+// workerRequest is the body of lease and heartbeat posts.
+type workerRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Handler returns the coordinator's HTTP interface, with routes
+// relative to the mount point — mount it under tesa-server's
+// /v1/distrib/ (server.Config.Distrib) or serve it standalone.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/spec", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(c.spec)
+	})
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, InfoResponse{
+			Fingerprint: c.fingerprint,
+			Total:       len(c.pts),
+			ShardSize:   c.size,
+			Shards:      c.nShards,
+			LeaseTTLMS:  int(c.cfg.LeaseTTL.Milliseconds()),
+			RunID:       c.cfg.RunID,
+		})
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req workerRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Lease(req.Worker))
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req workerRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		reason := c.Heartbeat(req.Worker)
+		writeJSON(w, http.StatusOK, HeartbeatResponse{OK: reason == "", Quarantined: reason})
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		var req ReportRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		cp := core.ShardCheckpoint{
+			Shard:    req.Shard,
+			Feasible: req.Feasible,
+			Found:    req.Found,
+		}
+		if req.Found {
+			cp.Best = core.DesignPoint{ArrayDim: req.BestDim, ICSUM: req.BestICS}
+			cp.BestObj = req.BestObj
+		}
+		var poisons []core.QuarantinedPoint
+		for _, p := range req.Poisoned {
+			poisons = append(poisons, core.QuarantinedPoint{
+				Point:  core.DesignPoint{ArrayDim: p.Dim, ICSUM: p.ICS},
+				Stage:  p.Stage,
+				Reason: p.Reason,
+			})
+		}
+		resp := c.Report(req.Worker, cp, poisons)
+		status := http.StatusOK
+		if resp.Err != "" {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, resp)
+	})
+	return mux
+}
+
+// readJSON decodes a POST body, answering 405/400 itself on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		http.Error(w, fmt.Sprintf("decode body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// writeJSON encodes one response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -51,6 +51,14 @@ func Run(ctx context.Context, r *Resolved, rt Runtime) (*Result, error) {
 	}
 }
 
+// NewEvaluator builds the job's evaluator wired into the runtime — the
+// exact construction the executors use, exported so distributed-sweep
+// coordinators and workers evaluate a spec identically to a local run
+// (same options, constraints, fault plan, and stage timeout).
+func NewEvaluator(r *Resolved, rt Runtime) (*core.Evaluator, error) {
+	return newEvaluator(r, r.Opts, rt)
+}
+
 // newEvaluator builds one job evaluator wired into the runtime.
 func newEvaluator(r *Resolved, opts core.Options, rt Runtime) (*core.Evaluator, error) {
 	ev, err := core.NewEvaluator(r.Workload, opts, r.Cons, core.Models{})

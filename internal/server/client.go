@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -14,11 +15,45 @@ import (
 	"tesa/internal/jobspec"
 )
 
+// Retry policy: transient rejections (429 queue-full, 503 draining) and
+// — on idempotent requests only — transport errors are retried with
+// jittered exponential backoff under a fixed attempt budget. Submission
+// never retries a transport error: the request may have reached the
+// server, and a blind resend would duplicate the job.
+const (
+	retryAttempts = 4
+	retryBase     = 100 * time.Millisecond
+	retryCap      = 2 * time.Second
+)
+
 // Client is a minimal tesa-server API client over net/http. The zero
 // value is not usable; construct with NewClient.
 type Client struct {
 	base string
 	http *http.Client
+}
+
+// backoff returns the sleep before retry attempt n (0-based): an
+// exponential ramp from retryBase capped at retryCap, with the upper
+// half jittered so synchronized clients don't re-stampede the server.
+func backoff(n int) time.Duration {
+	d := retryBase << n
+	if d > retryCap {
+		d = retryCap
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleepCtx pauses for d unless ctx expires first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // NewClient returns a client for the server at base (e.g.
@@ -32,15 +67,12 @@ func NewClient(base string, httpClient *http.Client) *Client {
 }
 
 // Submit posts a raw jobspec document and returns the accepted job's
-// status (its ID field names the job from here on).
+// status (its ID field names the job from here on). Transient server
+// rejections (429, 503) are retried under the backoff budget; transport
+// errors are not, to never submit the same job twice.
 func (c *Client) Submit(ctx context.Context, spec []byte) (*Status, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(spec))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	var st Status
-	if err := c.do(req, http.StatusAccepted, &st); err != nil {
+	if err := c.doRetry(ctx, http.MethodPost, c.base+"/v1/jobs", spec, http.StatusAccepted, &st, false); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -55,33 +87,39 @@ func (c *Client) SubmitSpec(ctx context.Context, spec *jobspec.Spec) (*Status, e
 	return c.Submit(ctx, raw)
 }
 
-// Status fetches one job's current status.
+// Status fetches one job's current status. Idempotent, so transport
+// errors retry too — a coordinator blip doesn't fail the poll loop.
 func (c *Client) Status(ctx context.Context, id string) (*Status, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return nil, err
-	}
 	var st Status
-	if err := c.do(req, http.StatusOK, &st); err != nil {
+	if err := c.doRetry(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil, http.StatusOK, &st, true); err != nil {
 		return nil, err
 	}
 	return &st, nil
 }
 
-// Cancel asks the server to stop a job.
+// Cancel asks the server to stop a job. Cancellation is idempotent on
+// the server, so transport errors retry.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, http.StatusOK, nil)
+	return c.doRetry(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil, http.StatusOK, nil, true)
 }
 
-// Health fetches /healthz. It returns the decoded body and a nil error
-// even when the server reports draining (503) — the caller inspects
-// the "ok" field; transport failures are real errors.
+// Health fetches /healthz (liveness: 200 whenever the process serves,
+// draining included). The decoded body carries the drain state and pool
+// tallies; transport failures are real errors.
 func (c *Client) Health(ctx context.Context) (map[string]any, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	return c.getBody(ctx, "/healthz")
+}
+
+// Ready fetches /readyz. It returns the decoded body and a nil error
+// even when the server reports not-ready (503) — the caller inspects
+// the "ready" field; transport failures are real errors.
+func (c *Client) Ready(ctx context.Context) (map[string]any, error) {
+	return c.getBody(ctx, "/readyz")
+}
+
+// getBody fetches path and decodes its JSON body regardless of status.
+func (c *Client) getBody(ctx context.Context, path string) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -92,20 +130,31 @@ func (c *Client) Health(ctx context.Context) (map[string]any, error) {
 	defer resp.Body.Close()
 	var out map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("client: decode /healthz: %w", err)
+		return nil, fmt.Errorf("client: decode %s: %w", path, err)
 	}
 	return out, nil
 }
 
 // Wait blocks until the job reaches a terminal state and returns its
 // final status. It prefers the SSE events stream (onProgress, when
-// non-nil, receives each update); if streaming fails it falls back to
-// polling every pollEvery (0 = 250ms).
+// non-nil, receives each update) and reconnects with the Last-Event-ID
+// of the final frame it saw when the stream drops mid-job, so a
+// coordinator blip costs a resume, not a restart. Only after the retry
+// budget is spent does it fall back to polling every pollEvery
+// (0 = 250ms).
 func (c *Client) Wait(ctx context.Context, id string, pollEvery time.Duration, onProgress func(map[string]any)) (*Status, error) {
-	if st, err := c.waitEvents(ctx, id, onProgress); err == nil {
-		return st, nil
-	} else if ctx.Err() != nil {
-		return nil, ctx.Err()
+	var lastID string
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		st, err := c.waitEvents(ctx, id, &lastID, onProgress)
+		if err == nil {
+			return st, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if err := sleepCtx(ctx, backoff(attempt)); err != nil {
+			return nil, err
+		}
 	}
 	if pollEvery <= 0 {
 		pollEvery = 250 * time.Millisecond
@@ -131,11 +180,16 @@ func (c *Client) Wait(ctx context.Context, id string, pollEvery time.Duration, o
 	}
 }
 
-// waitEvents consumes the SSE stream until the terminal status event.
-func (c *Client) waitEvents(ctx context.Context, id string, onProgress func(map[string]any)) (*Status, error) {
+// waitEvents consumes the SSE stream until the terminal status event,
+// tracking the server's id: lines in lastID so a reconnect can tell the
+// server what it has already seen.
+func (c *Client) waitEvents(ctx context.Context, id string, lastID *string, onProgress func(map[string]any)) (*Status, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return nil, err
+	}
+	if *lastID != "" {
+		req.Header.Set("Last-Event-ID", *lastID)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -153,6 +207,8 @@ func (c *Client) waitEvents(ctx context.Context, id string, onProgress func(map[
 		switch {
 		case strings.HasPrefix(line, "event: "):
 			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			*lastID = strings.TrimPrefix(line, "id: ")
 		case strings.HasPrefix(line, "data: "):
 			data := strings.TrimPrefix(line, "data: ")
 			switch event {
@@ -195,29 +251,67 @@ func (c *Client) Run(ctx context.Context, spec []byte, onProgress func(map[strin
 	return st.Result, nil
 }
 
-// do issues req, checks for want, and decodes the JSON body into out
-// (skipped when out is nil). Other statuses decode the error envelope.
-func (c *Client) do(req *http.Request, want int, out any) error {
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != want {
+// doRetry issues the request up to retryAttempts times, rebuilding it
+// per attempt so the body can be resent. 429 and 503 are always
+// retried; transport errors only when retryTransport is set (GET and
+// DELETE — never POST, which may already have reached the server). A
+// response with the wanted status decodes into out (skipped when nil);
+// other statuses decode the error envelope.
+func (c *Client) doRetry(ctx context.Context, method, url string, body []byte, want int, out any, retryTransport bool) error {
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoff(attempt-1)); err != nil {
+				return fmt.Errorf("%w (after: %v)", err, lastErr)
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if !retryTransport || ctx.Err() != nil {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if err != nil {
+			if !retryTransport || ctx.Err() != nil {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode == want {
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(respBody, out)
+		}
 		var e struct {
 			Error string `json:"error"`
 		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+		if json.Unmarshal(respBody, &e) == nil && e.Error != "" {
+			err = fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+		} else {
+			err = fmt.Errorf("client: %s", resp.Status)
 		}
-		return fmt.Errorf("client: %s", resp.Status)
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			lastErr = err
+			continue
+		}
+		return err
 	}
-	if out == nil {
-		return nil
-	}
-	return json.Unmarshal(body, out)
+	return lastErr
 }

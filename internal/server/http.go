@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -20,7 +21,11 @@ const maxSpecBytes = 1 << 20
 //	GET    /v1/jobs/{id}        one job's status (result once done)
 //	GET    /v1/jobs/{id}/events SSE progress stream, ends with the final status
 //	DELETE /v1/jobs/{id}        cancel a job
-//	GET    /healthz             liveness + drain state + pool tallies
+//	GET    /healthz             liveness: 200 as long as the process serves
+//	GET    /readyz              readiness: 503 once draining begins
+//
+// When Config.Distrib is set, the coordinator's protocol is mounted
+// under /v1/distrib/ with the prefix stripped.
 //
 // Telemetry endpoints (/metrics, /progress, ...) are served separately
 // by telemetry.Server so the observability surface stays uniform across
@@ -30,6 +35,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
+	if s.cfg.Distrib != nil {
+		mux.Handle("/v1/distrib/", http.StripPrefix("/v1/distrib", s.cfg.Distrib))
+	}
 	return mux
 }
 
@@ -102,28 +111,44 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // "progress" event per update the client keeps up with, then a single
 // "status" event carrying the terminal Status (result included), then
 // EOF. Clients that connect after completion get just the status event.
+//
+// Every event carries an id: line with the job's progress sequence
+// number. A reconnecting client replays its Last-Event-ID header;
+// progress is latest-wins, so instead of replaying missed ticks the
+// server sends one snapshot of the current progress when the client is
+// behind, then resumes the live stream.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, job *Job) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		httpError(w, http.StatusNotImplemented, "streaming unsupported")
 		return
 	}
+	var last uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			last = n
+		}
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
-	ch, detach := job.subscribe()
+	snap, ch, detach := job.subscribeSince(last)
 	defer detach()
+	if snap != nil {
+		writeEvent(w, "progress", snap.seq, snap.fields)
+		fl.Flush()
+	}
 	for {
 		select {
-		case f, live := <-ch:
+		case u, live := <-ch:
 			if !live {
-				writeEvent(w, "status", job.Status())
+				writeEvent(w, "status", job.lastSeq()+1, job.Status())
 				fl.Flush()
 				return
 			}
-			writeEvent(w, "progress", f)
+			writeEvent(w, "progress", u.seq, u.fields)
 			fl.Flush()
 		case <-r.Context().Done():
 			return
@@ -131,14 +156,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, job *Job) 
 	}
 }
 
+// handleHealth is pure liveness: it answers 200 whenever the process is
+// serving, draining included — a draining server is alive, just not
+// accepting work. Readiness lives at /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	queued, running, done := s.Counts()
-	status := http.StatusOK
-	if s.Draining() {
-		status = http.StatusServiceUnavailable
-	}
-	writeJSON(w, status, map[string]any{
-		"ok":       status == http.StatusOK,
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
 		"draining": s.Draining(),
 		"workers":  s.cfg.Workers,
 		"queued":   queued,
@@ -147,13 +171,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// writeEvent emits one SSE frame with a JSON data payload.
-func writeEvent(w io.Writer, event string, v any) {
+// handleReady is readiness: 503 once draining begins, so load balancers
+// and pollers stop routing new submissions while in-flight jobs retire.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	draining := s.Draining()
+	status := http.StatusOK
+	if draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":    !draining,
+		"draining": draining,
+	})
+}
+
+// writeEvent emits one SSE frame with an event id and JSON data payload.
+func writeEvent(w io.Writer, event string, id uint64, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
 		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
 	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, id, data)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -66,6 +67,10 @@ type Config struct {
 	// BaseDir anchors relative workload_file paths in submitted specs
 	// ("" = the server's working directory).
 	BaseDir string
+	// Distrib, when non-nil, is mounted under /v1/distrib/ with the
+	// prefix stripped — point it at a distrib Coordinator's Handler to
+	// run the distributed sweep protocol on the job server's listener.
+	Distrib http.Handler
 }
 
 // Job is the server-side record of one submitted spec.
@@ -83,7 +88,8 @@ type Job struct {
 	started  time.Time
 	finished time.Time
 	progress map[string]any
-	subs     map[chan map[string]any]struct{}
+	seq      uint64
+	subs     map[chan progressUpdate]struct{}
 	cancel   context.CancelFunc
 	done     chan struct{}
 
@@ -178,7 +184,7 @@ func (s *Server) Submit(raw []byte) (*Job, error) {
 		Kind:     r.Kind,
 		state:    StateQueued,
 		created:  time.Now(),
-		subs:     make(map[chan map[string]any]struct{}),
+		subs:     make(map[chan progressUpdate]struct{}),
 		done:     make(chan struct{}),
 		resolved: r,
 	}
@@ -375,36 +381,61 @@ func (j *Job) finish(state State, res *jobspec.Result, err error) {
 	close(j.done)
 }
 
+// progressUpdate pairs one flattened progress map with the job's
+// monotone sequence number; the SSE layer exposes the number as the
+// event id so reconnecting clients can say where they left off.
+type progressUpdate struct {
+	seq    uint64
+	fields map[string]any
+}
+
 // publish is the job's core.ProgressFunc: it keeps the latest flattened
 // update and fans it out to subscribers without ever blocking the
 // engine — a subscriber that falls behind misses ticks, not the stream.
 func (j *Job) publish(p core.Progress) {
 	f := progressFields(p)
 	j.mu.Lock()
+	j.seq++
 	j.progress = f
+	u := progressUpdate{seq: j.seq, fields: f}
 	for ch := range j.subs {
 		select {
-		case ch <- f:
+		case ch <- u:
 		default:
 		}
 	}
 	j.mu.Unlock()
 }
 
-// subscribe registers a progress channel; the returned func detaches
-// it. Channels are closed when the job finishes. A subscription to an
-// already-terminal job returns a closed channel.
-func (j *Job) subscribe() (<-chan map[string]any, func()) {
-	ch := make(chan map[string]any, 16)
+// lastSeq returns the sequence number of the latest published update.
+func (j *Job) lastSeq() uint64 {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// subscribeSince registers a progress channel; the returned func
+// detaches it. Channels are closed when the job finishes, and a
+// subscription to an already-terminal job returns a closed channel.
+// When the subscriber's last-seen sequence number trails the job's,
+// the current progress is returned as a snapshot to emit first:
+// progress is latest-wins, so a reconnect needs the present state, not
+// a replay of missed ticks.
+func (j *Job) subscribeSince(last uint64) (*progressUpdate, <-chan progressUpdate, func()) {
+	ch := make(chan progressUpdate, 16)
+	j.mu.Lock()
+	var snap *progressUpdate
+	if j.progress != nil && j.seq > last {
+		snap = &progressUpdate{seq: j.seq, fields: j.progress}
+	}
 	if j.state.Terminal() {
 		close(ch)
 		j.mu.Unlock()
-		return ch, func() {}
+		return snap, ch, func() {}
 	}
 	j.subs[ch] = struct{}{}
 	j.mu.Unlock()
-	return ch, func() {
+	return snap, ch, func() {
 		j.mu.Lock()
 		if _, live := j.subs[ch]; live {
 			delete(j.subs, ch)

@@ -1,9 +1,13 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
+	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -185,12 +189,23 @@ func TestServerRejections(t *testing.T) {
 		!strings.Contains(err.Error(), "503") {
 		t.Errorf("draining err = %v, want 503", err)
 	}
+	// Liveness stays green while draining; readiness goes red.
 	h, err := cl.Health(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := h["ok"].(bool); ok {
-		t.Errorf("healthz ok during drain: %v", h)
+	if ok, _ := h["ok"].(bool); !ok {
+		t.Errorf("healthz not ok during drain (liveness must survive): %v", h)
+	}
+	if draining, _ := h["draining"].(bool); !draining {
+		t.Errorf("healthz draining = false during drain: %v", h)
+	}
+	rd, err := cl.Ready(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ready, _ := rd["ready"].(bool); ready {
+		t.Errorf("readyz ready during drain: %v", rd)
 	}
 	st, err := cl.Status(ctx, running.ID)
 	if err != nil {
@@ -231,6 +246,162 @@ func TestServerCancel(t *testing.T) {
 			t.Errorf("job %s state = %s, want canceled", id, st.State)
 		}
 	}
+}
+
+// TestDrainConcurrentSubmissions races a burst of submissions against
+// two concurrent Drain calls (run with -race): every submission must
+// either be accepted or rejected with ErrDraining/ErrQueueFull — never
+// hang or panic — accepted jobs must still reach a terminal state, and
+// the second Drain must be an idempotent no-op.
+func TestDrainConcurrentSubmissions(t *testing.T) {
+	s := New(Config{Workers: 2, Queue: 4})
+
+	const submitters = 24
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	subErrs := make([]error, submitters)
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			_, subErrs[i] = s.Submit([]byte(tinySpec))
+		}(i)
+	}
+	drainErrs := make([]error, 2)
+	for i := range drainErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			drainErrs[i] = s.Drain(ctx)
+		}(i)
+	}
+	close(start)
+
+	raced := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(raced)
+	}()
+	select {
+	case <-raced:
+	case <-time.After(30 * time.Second):
+		t.Fatal("submissions racing Drain hung")
+	}
+
+	for i, err := range subErrs {
+		if err != nil && !errors.Is(err, ErrDraining) && !errors.Is(err, ErrQueueFull) {
+			t.Errorf("submitter %d: unexpected error %v", i, err)
+		}
+	}
+	for i, err := range drainErrs {
+		if err != nil {
+			t.Errorf("drain %d: %v", i, err)
+		}
+	}
+	// Drain has returned, so every accepted job must already be terminal.
+	for _, job := range s.Jobs() {
+		select {
+		case <-job.Done():
+		default:
+			t.Errorf("job %s still live after Drain returned (%s)", job.ID, job.Status().State)
+		}
+	}
+	// A third Drain after completion is a cheap no-op.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Errorf("post-drain Drain: %v", err)
+	}
+}
+
+// TestEventsLastEventID checks the SSE resume contract: events carry
+// monotone id: lines, and a reconnect replaying Last-Event-ID gets one
+// snapshot of the current progress only when it is behind.
+func TestEventsLastEventID(t *testing.T) {
+	_, cl := testServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	// Run a multi-shard sweep to completion so the finished job holds a
+	// final progress snapshot with a known sequence number.
+	eventSpec := `{
+	  "version": "tesa.jobspec/v1",
+	  "kind": "sweep",
+	  "options": {"grid": 24},
+	  "constraints": {"fps": 15, "temp_c": 85},
+	  "space": {"preset": "validation"}
+	}`
+	st, err := cl.Submit(ctx, []byte(eventSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, st.ID, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stale reconnect (behind the job) gets the progress snapshot
+	// first, then the terminal status, with ids attached and increasing.
+	events, ids := rawEvents(t, cl, st.ID, "0")
+	if len(events) != 2 || events[0] != "progress" || events[1] != "status" {
+		t.Fatalf("stale reconnect events = %v, want [progress status]", events)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("stale reconnect ids = %v, want two", ids)
+	}
+	snapSeq, err1 := strconv.ParseUint(ids[0], 10, 64)
+	finalSeq, err2 := strconv.ParseUint(ids[1], 10, 64)
+	if err1 != nil || err2 != nil || snapSeq >= finalSeq {
+		t.Fatalf("stale reconnect ids = %v, want two increasing numbers", ids)
+	}
+
+	// A caught-up reconnect (Last-Event-ID at the snapshot) skips the
+	// snapshot and gets only the status event.
+	events, _ = rawEvents(t, cl, st.ID, ids[0])
+	if len(events) != 1 || events[0] != "status" {
+		t.Fatalf("caught-up reconnect events = %v, want [status]", events)
+	}
+}
+
+// rawEvents reads one full SSE stream for a job, returning the event
+// names and their id: lines in order.
+func rawEvents(t *testing.T, cl *Client, id, lastEventID string) (events, ids []string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, cl.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := cl.http.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var curID string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		case strings.HasPrefix(line, "id: "):
+			curID = strings.TrimPrefix(line, "id: ")
+		case line == "":
+			if curID != "" {
+				ids = append(ids, curID)
+				curID = ""
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events, ids
 }
 
 // waitState polls until the job reaches want (or any terminal state).
