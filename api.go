@@ -59,6 +59,7 @@ import (
 	"net/http"
 
 	"tesa/internal/core"
+	"tesa/internal/des"
 	"tesa/internal/dnn"
 	"tesa/internal/faults"
 	"tesa/internal/jobspec"
@@ -257,6 +258,44 @@ func ThermalMapCSV(ev *Evaluation) string { return core.ThermalMapCSV(ev) }
 
 // FloorplanASCII renders an evaluated MCM's floorplan as ASCII art.
 func FloorplanASCII(ev *Evaluation) string { return core.FloorplanASCII(ev) }
+
+// Dynamic multi-tenant workload simulation (internal/des): a seeded
+// discrete-event scenario engine coupled to the transient thermal
+// solver. Evaluate a point with Evaluator.EvaluateFull, then drive it
+// with Evaluator.Simulate (one seeded run, optional JSONL event log) or
+// Evaluator.SimulateDistribution (an N-draw scenario distribution
+// scored for sim-aware ranking).
+type (
+	// Scenario is one dynamic workload: seeded tenant arrival processes,
+	// a simulated horizon, the thermal coupling tick, and the DVFS
+	// throttle policy.
+	Scenario = des.Scenario
+	// Tenant is one traffic source: a network, an arrival process, and a
+	// tail-latency SLA.
+	Tenant = des.Tenant
+	// ArrivalSpec parameterizes a tenant's arrival process (poisson,
+	// diurnal, or mmpp).
+	ArrivalSpec = des.ArrivalSpec
+	// Throttle is the temperature-triggered DVFS policy closing the
+	// thermal loop.
+	Throttle = des.Throttle
+	// SimResult is one simulated run's outcome: traffic and SLA tallies,
+	// throttle history, and the temperature envelope.
+	SimResult = des.Result
+	// TenantStats is one tenant's traffic and latency-percentile summary
+	// inside a SimResult.
+	TenantStats = des.TenantStats
+	// SimScore aggregates a design's behavior over an N-draw scenario
+	// distribution; see SimScore.CombinedObjective.
+	SimScore = core.SimScore
+)
+
+// Arrival-process kinds of an ArrivalSpec.
+const (
+	ArrivalPoisson = des.ArrivalPoisson
+	ArrivalDiurnal = des.ArrivalDiurnal
+	ArrivalMMPP    = des.ArrivalMMPP
+)
 
 // Observability (internal/telemetry). Attach a hub to an evaluator with
 // Evaluator.Instrument; a nil *Telemetry disables everything at ~zero

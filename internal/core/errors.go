@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"tesa/internal/thermal"
 )
 
 // Sentinel errors of the search layer. Callers match them with
@@ -92,17 +94,23 @@ func (e *EvalError) Unwrap() error { return e.Err }
 
 // Reason returns the short machine-readable failure class used in
 // quarantine ledgers, checkpoint records, and telemetry counter names:
-// "panic", "non-finite", "solver-diverged", "timeout", or "error".
+// "panic", "non-finite", "solver-diverged", "timeout", "invalid-step",
+// or "error". The thermal package's transient input sentinels map into
+// the same classes, so a DES scenario that feeds the solver a bad
+// power trace or timestep quarantines exactly like any other poisoned
+// point.
 func (e *EvalError) Reason() string {
 	switch {
 	case errors.Is(e.Err, ErrStagePanic):
 		return "panic"
-	case errors.Is(e.Err, ErrNonFinite):
+	case errors.Is(e.Err, ErrNonFinite), errors.Is(e.Err, thermal.ErrNonFinitePower):
 		return "non-finite"
 	case errors.Is(e.Err, ErrSolverDiverged):
 		return "solver-diverged"
 	case errors.Is(e.Err, ErrStageTimeout):
 		return "timeout"
+	case errors.Is(e.Err, thermal.ErrInvalidStep):
+		return "invalid-step"
 	default:
 		return "error"
 	}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"tesa/internal/des"
+)
+
+// simTestEvaluation evaluates the paper's 2-D winning point fully, the
+// structure-bearing evaluation scenarios run against.
+func simTestEvaluation(t *testing.T) (*Evaluator, *Evaluation) {
+	t.Helper()
+	e := testEvaluator(t, Tech2D, 400, 15, 75)
+	ev, err := e.EvaluateFull(DesignPoint{ArrayDim: 200, ICSUM: 1700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Feasible {
+		t.Fatalf("anchor point infeasible: %v", ev.Violations)
+	}
+	return e, ev
+}
+
+// diurnalScenario is a gentle 2-tenant mix for determinism checks.
+func diurnalScenario(seed int64) des.Scenario {
+	return des.Scenario{
+		Seed:         seed,
+		DurationSec:  2,
+		ThermalDtSec: 0.1,
+		Tenants: []des.Tenant{
+			{Name: "ar", Network: "MobileNet", Arrival: des.ArrivalSpec{Kind: des.ArrivalDiurnal, RateRPS: 10, PeriodSec: 1}, SLASec: 0.1},
+			{Name: "vr", Network: "ResNet-50", Arrival: des.ArrivalSpec{Kind: des.ArrivalPoisson, RateRPS: 5}, SLASec: 0.1},
+		},
+		Throttle: des.Throttle{TripC: 85},
+	}
+}
+
+// TestSimulateDeterminism: two identically-seeded runs through the full
+// core coupling (leakage + rasterization + transient CG) produce
+// bit-identical event logs and envelopes.
+func TestSimulateDeterminism(t *testing.T) {
+	e, ev := simTestEvaluation(t)
+	run := func() (*des.Result, []byte) {
+		var log bytes.Buffer
+		res, err := e.Simulate(context.Background(), ev, diurnalScenario(42), &log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, log.Bytes()
+	}
+	r1, log1 := run()
+	r2, log2 := run()
+	if !bytes.Equal(log1, log2) {
+		t.Fatal("event logs differ between identically-seeded runs")
+	}
+	if !reflect.DeepEqual(r1.Envelope, r2.Envelope) {
+		t.Fatal("temperature envelopes differ between identically-seeded runs")
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("results differ between identically-seeded runs")
+	}
+	if r1.Steps != 20 || r1.Requests == 0 {
+		t.Fatalf("steps=%d requests=%d, want 20 ticks and traffic", r1.Steps, r1.Requests)
+	}
+	if r1.PeakTempC <= e.Models.Materials.AmbientC {
+		t.Fatalf("peak %g C never rose above ambient", r1.PeakTempC)
+	}
+}
+
+// TestSimulateBurstFlagsWhatStaticMisses is the issue's acceptance
+// scenario: the statically-feasible anchor point, hit with a burst
+// trace whose burst-state rate exceeds the chiplet's service capacity,
+// must report SLA violations (and/or throttling) that the steady-state
+// evaluation cannot see.
+func TestSimulateBurstFlagsWhatStaticMisses(t *testing.T) {
+	e, ev := simTestEvaluation(t)
+	if len(ev.Violations) != 0 {
+		t.Fatalf("static evaluation already flags %v", ev.Violations)
+	}
+	// Derive the tenant's service time so the burst provably overloads:
+	// burst rate = 3x the service rate.
+	probe := des.Scenario{
+		Seed: 1, DurationSec: 1, ThermalDtSec: 1,
+		Tenants: []des.Tenant{{Name: "x", Network: "U-Net", Arrival: des.ArrivalSpec{Kind: des.ArrivalPoisson, RateRPS: 1}, SLASec: 1}},
+	}
+	pl, err := e.platformFor(ev, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := pl.ServiceSec[0]
+	sc := des.Scenario{
+		Seed:         7,
+		DurationSec:  4,
+		ThermalDtSec: 0.2,
+		Tenants: []des.Tenant{{
+			Name: "burst", Network: "U-Net",
+			Arrival: des.ArrivalSpec{
+				Kind: des.ArrivalMMPP, RateRPS: 0.2 / svc, BurstRPS: 3 / svc,
+				MeanBurstSec: 1.5, MeanCalmSec: 0.5,
+			},
+			SLASec: 2 * svc,
+		}},
+		Throttle: des.Throttle{TripC: e.Cons.TempBudgetC},
+	}
+	res, err := e.Simulate(context.Background(), ev, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLAViolations == 0 && res.ThrottleEvents == 0 {
+		t.Fatalf("burst run flagged nothing dynamic: %+v", res)
+	}
+	if res.SLAViolations == 0 {
+		t.Fatal("overloaded burst produced no SLA violations")
+	}
+}
+
+// TestSimulateDistribution: the N-draw score is deterministic under a
+// fixed base seed and feeds a combined objective that separates designs
+// by dynamic behavior.
+func TestSimulateDistribution(t *testing.T) {
+	e, ev := simTestEvaluation(t)
+	sc := diurnalScenario(9)
+	s1, err := e.SimulateDistribution(context.Background(), ev, sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.SimulateDistribution(context.Background(), ev, sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("distribution scores differ:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Draws != 3 || s1.MeanPeakC <= 0 || s1.MaxPeakC < s1.MeanPeakC-1e-9 {
+		t.Fatalf("implausible score %+v", s1)
+	}
+	if got := s1.CombinedObjective(2); got < 2 {
+		t.Fatalf("combined objective %g below static 2", got)
+	}
+	if s1.DynamicPenalty() > 0 && s1.CombinedObjective(2) == 2 {
+		t.Fatal("nonzero penalty did not move the combined objective")
+	}
+}
+
+// TestSimulateGuards: structural and spec preconditions.
+func TestSimulateGuards(t *testing.T) {
+	e, ev := simTestEvaluation(t)
+	ctx := context.Background()
+	if _, err := e.Simulate(ctx, nil, diurnalScenario(1), nil); err == nil {
+		t.Error("nil evaluation accepted")
+	}
+	hollow := &Evaluation{Point: ev.Point}
+	if _, err := e.Simulate(ctx, hollow, diurnalScenario(1), nil); err == nil {
+		t.Error("structureless evaluation accepted")
+	}
+	bad := diurnalScenario(1)
+	bad.Tenants[0].Network = "NoSuchNet"
+	if _, err := e.Simulate(ctx, ev, bad, nil); err == nil {
+		t.Error("unknown network accepted")
+	}
+	none := diurnalScenario(1)
+	none.Tenants = nil
+	if _, err := e.Simulate(ctx, ev, none, nil); err == nil {
+		t.Error("tenantless scenario accepted")
+	}
+	if _, err := e.SimulateDistribution(ctx, ev, diurnalScenario(1), 0); err == nil {
+		t.Error("zero draws accepted")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := e.Simulate(cancelled, ev, diurnalScenario(1), nil); err == nil {
+		t.Error("cancelled context not honored")
+	}
+}

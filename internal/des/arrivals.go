@@ -1,0 +1,227 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Arrival process kinds.
+const (
+	// ArrivalPoisson is a homogeneous Poisson process at RateRPS.
+	ArrivalPoisson = "poisson"
+	// ArrivalDiurnal is a nonhomogeneous Poisson process whose rate
+	// swings sinusoidally around RateRPS (a compressed day/night cycle),
+	// sampled by thinning against the peak rate.
+	ArrivalDiurnal = "diurnal"
+	// ArrivalMMPP is a two-state Markov-modulated Poisson process:
+	// calm periods at RateRPS alternate with bursts at BurstRPS, with
+	// exponentially distributed state holding times.
+	ArrivalMMPP = "mmpp"
+)
+
+// ArrivalSpec configures one tenant's request-arrival process. The
+// zero value is invalid; Kind selects the process and RateRPS its base
+// rate, with the remaining fields consulted per kind.
+type ArrivalSpec struct {
+	// Kind is "poisson", "diurnal", or "mmpp".
+	Kind string `json:"kind"`
+	// RateRPS is the base arrival rate in requests per second (the
+	// calm-state rate for MMPP, the mean rate for diurnal).
+	RateRPS float64 `json:"rate_rps"`
+
+	// PeriodSec is the diurnal cycle length (default 60 s — a
+	// compressed day so short simulations see both halves).
+	PeriodSec float64 `json:"period_sec,omitempty"`
+	// Swing is the diurnal modulation depth in [0,1): the rate moves
+	// between RateRPS*(1-Swing) and RateRPS*(1+Swing). Default 0.5.
+	Swing float64 `json:"swing,omitempty"`
+
+	// BurstRPS is the MMPP burst-state rate (default 4x RateRPS).
+	BurstRPS float64 `json:"burst_rps,omitempty"`
+	// MeanBurstSec and MeanCalmSec are the mean state holding times
+	// (defaults 0.5 s and 2 s).
+	MeanBurstSec float64 `json:"mean_burst_sec,omitempty"`
+	MeanCalmSec  float64 `json:"mean_calm_sec,omitempty"`
+}
+
+// Validate reports an error for unusable arrival specs.
+func (a ArrivalSpec) Validate() error {
+	if !finitePos(a.RateRPS) {
+		return fmt.Errorf("des: arrival rate_rps %g must be finite and positive", a.RateRPS)
+	}
+	switch a.Kind {
+	case ArrivalPoisson:
+	case ArrivalDiurnal:
+		if a.Swing < 0 || a.Swing >= 1 {
+			return fmt.Errorf("des: diurnal swing %g out of [0,1)", a.Swing)
+		}
+		if a.PeriodSec != 0 && !finitePos(a.PeriodSec) {
+			return fmt.Errorf("des: diurnal period_sec %g must be finite and positive", a.PeriodSec)
+		}
+	case ArrivalMMPP:
+		if a.BurstRPS != 0 && !finitePos(a.BurstRPS) {
+			return fmt.Errorf("des: mmpp burst_rps %g must be finite and positive", a.BurstRPS)
+		}
+		if (a.MeanBurstSec != 0 && !finitePos(a.MeanBurstSec)) || (a.MeanCalmSec != 0 && !finitePos(a.MeanCalmSec)) {
+			return fmt.Errorf("des: mmpp state holding times must be finite and positive, got burst=%g calm=%g", a.MeanBurstSec, a.MeanCalmSec)
+		}
+	case "":
+		return fmt.Errorf("des: missing arrival kind (poisson, diurnal, or mmpp)")
+	default:
+		return fmt.Errorf("des: unknown arrival kind %q (want poisson, diurnal, or mmpp)", a.Kind)
+	}
+	return nil
+}
+
+// PeakRPS returns the process's maximum instantaneous rate — the
+// capacity-planning figure the burst scenarios stress.
+func (a ArrivalSpec) PeakRPS() float64 {
+	switch a.Kind {
+	case ArrivalDiurnal:
+		return a.RateRPS * (1 + a.swing())
+	case ArrivalMMPP:
+		return a.burstRPS()
+	default:
+		return a.RateRPS
+	}
+}
+
+func (a ArrivalSpec) swing() float64 {
+	if a.Swing == 0 {
+		return 0.5
+	}
+	return a.Swing
+}
+
+func (a ArrivalSpec) periodSec() float64 {
+	if a.PeriodSec == 0 {
+		return 60
+	}
+	return a.PeriodSec
+}
+
+func (a ArrivalSpec) burstRPS() float64 {
+	if a.BurstRPS == 0 {
+		return 4 * a.RateRPS
+	}
+	return a.BurstRPS
+}
+
+func (a ArrivalSpec) meanBurstSec() float64 {
+	if a.MeanBurstSec == 0 {
+		return 0.5
+	}
+	return a.MeanBurstSec
+}
+
+func (a ArrivalSpec) meanCalmSec() float64 {
+	if a.MeanCalmSec == 0 {
+		return 2
+	}
+	return a.MeanCalmSec
+}
+
+// arrivalProcess generates inter-arrival delays. Implementations draw
+// from rng in a fixed call order, which is what makes a seeded
+// scenario deterministic.
+type arrivalProcess interface {
+	// nextDelay returns the delay from nowSec to the next arrival.
+	nextDelay(nowSec float64) float64
+}
+
+// process instantiates the spec against a seeded generator. Call
+// Validate first; an invalid spec panics here.
+func (a ArrivalSpec) process(rng *rand.Rand) arrivalProcess {
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	switch a.Kind {
+	case ArrivalDiurnal:
+		return &diurnalProcess{rng: rng, meanRPS: a.RateRPS, swing: a.swing(), periodSec: a.periodSec()}
+	case ArrivalMMPP:
+		return &mmppProcess{
+			rng: rng, calmRPS: a.RateRPS, burstRPS: a.burstRPS(),
+			meanBurstSec: a.meanBurstSec(), meanCalmSec: a.meanCalmSec(),
+		}
+	default:
+		return &poissonProcess{rng: rng, rateRPS: a.RateRPS}
+	}
+}
+
+// poissonProcess draws i.i.d. exponential inter-arrival times.
+type poissonProcess struct {
+	rng     *rand.Rand
+	rateRPS float64
+}
+
+func (p *poissonProcess) nextDelay(float64) float64 {
+	return p.rng.ExpFloat64() / p.rateRPS
+}
+
+// diurnalProcess thins a homogeneous process at the peak rate down to
+// the sinusoidal instantaneous rate (Lewis-Shedler thinning), so the
+// arrival intensity follows a deterministic day/night curve while the
+// draws stay a fixed-order function of the seed.
+type diurnalProcess struct {
+	rng       *rand.Rand
+	meanRPS   float64
+	swing     float64
+	periodSec float64
+}
+
+func (p *diurnalProcess) nextDelay(nowSec float64) float64 {
+	peak := p.meanRPS * (1 + p.swing)
+	t := nowSec
+	for {
+		t += p.rng.ExpFloat64() / peak
+		rate := p.meanRPS * (1 + p.swing*math.Sin(2*math.Pi*t/p.periodSec))
+		if p.rng.Float64()*peak <= rate {
+			return t - nowSec
+		}
+	}
+}
+
+// mmppProcess alternates exponentially-held calm and burst states,
+// each an independent Poisson process at its own rate. State
+// transitions are realized lazily while generating the next arrival.
+type mmppProcess struct {
+	rng                       *rand.Rand
+	calmRPS, burstRPS         float64
+	meanBurstSec, meanCalmSec float64
+	inBurst                   bool
+	stateEndSec               float64
+	initialized               bool
+}
+
+func (p *mmppProcess) nextDelay(nowSec float64) float64 {
+	if !p.initialized {
+		p.initialized = true
+		p.stateEndSec = nowSec + p.rng.ExpFloat64()*p.meanCalmSec
+	}
+	t := nowSec
+	for {
+		rate := p.calmRPS
+		if p.inBurst {
+			rate = p.burstRPS
+		}
+		candidate := t + p.rng.ExpFloat64()/rate
+		if candidate <= p.stateEndSec {
+			return candidate - nowSec
+		}
+		// The state flips before the candidate arrival: restart the
+		// memoryless draw from the transition instant.
+		t = p.stateEndSec
+		p.inBurst = !p.inBurst
+		mean := p.meanCalmSec
+		if p.inBurst {
+			mean = p.meanBurstSec
+		}
+		p.stateEndSec = t + p.rng.ExpFloat64()*mean
+	}
+}
+
+// finitePos reports whether v is a finite positive float.
+func finitePos(v float64) bool {
+	return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+}

@@ -1,0 +1,110 @@
+package des
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestArrivalValidate exercises the spec guards.
+func TestArrivalValidate(t *testing.T) {
+	ok := []ArrivalSpec{
+		{Kind: ArrivalPoisson, RateRPS: 3},
+		{Kind: ArrivalDiurnal, RateRPS: 3, Swing: 0.9, PeriodSec: 5},
+		{Kind: ArrivalMMPP, RateRPS: 3, BurstRPS: 30, MeanBurstSec: 0.2, MeanCalmSec: 4},
+	}
+	for _, a := range ok {
+		if err := a.Validate(); err != nil {
+			t.Errorf("valid spec %+v rejected: %v", a, err)
+		}
+	}
+	bad := []ArrivalSpec{
+		{},
+		{Kind: "weird", RateRPS: 1},
+		{Kind: ArrivalPoisson, RateRPS: 0},
+		{Kind: ArrivalPoisson, RateRPS: math.Inf(1)},
+		{Kind: ArrivalDiurnal, RateRPS: 1, Swing: 1},
+		{Kind: ArrivalDiurnal, RateRPS: 1, PeriodSec: math.NaN()},
+		{Kind: ArrivalMMPP, RateRPS: 1, BurstRPS: -2},
+		{Kind: ArrivalMMPP, RateRPS: 1, MeanCalmSec: math.Inf(1)},
+	}
+	for _, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("invalid spec %+v accepted", a)
+		}
+	}
+}
+
+// TestArrivalRates checks empirical mean rates over a long horizon land
+// near the configured intensities.
+func TestArrivalRates(t *testing.T) {
+	const horizon = 20000.0
+	cases := []struct {
+		name string
+		spec ArrivalSpec
+		want float64
+	}{
+		{"poisson", ArrivalSpec{Kind: ArrivalPoisson, RateRPS: 5}, 5},
+		{"diurnal", ArrivalSpec{Kind: ArrivalDiurnal, RateRPS: 5, PeriodSec: 50}, 5},
+		// MMPP mean rate = (calm*Tcalm + burst*Tburst)/(Tcalm+Tburst).
+		{"mmpp", ArrivalSpec{Kind: ArrivalMMPP, RateRPS: 2, BurstRPS: 8, MeanBurstSec: 1, MeanCalmSec: 3}, (2*3 + 8*1) / 4.0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := c.spec.process(rand.New(rand.NewSource(11)))
+			now, n := 0.0, 0
+			for now < horizon {
+				d := p.nextDelay(now)
+				if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+					t.Fatalf("bad delay %g", d)
+				}
+				now += d
+				n++
+			}
+			got := float64(n) / horizon
+			if math.Abs(got-c.want)/c.want > 0.05 {
+				t.Fatalf("empirical rate %.3f rps, want ~%.3f", got, c.want)
+			}
+		})
+	}
+}
+
+// TestArrivalDeterminism checks fixed-seed draws reproduce exactly.
+func TestArrivalDeterminism(t *testing.T) {
+	for _, spec := range []ArrivalSpec{
+		{Kind: ArrivalPoisson, RateRPS: 4},
+		{Kind: ArrivalDiurnal, RateRPS: 4},
+		{Kind: ArrivalMMPP, RateRPS: 4},
+	} {
+		draw := func() []float64 {
+			p := spec.process(rand.New(rand.NewSource(99)))
+			now := 0.0
+			var out []float64
+			for i := 0; i < 500; i++ {
+				d := p.nextDelay(now)
+				now += d
+				out = append(out, d)
+			}
+			return out
+		}
+		a, b := draw(), draw()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: draw %d differs: %g vs %g", spec.Kind, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestPeakRPS checks the capacity-planning figure per kind.
+func TestPeakRPS(t *testing.T) {
+	if got := (ArrivalSpec{Kind: ArrivalPoisson, RateRPS: 3}).PeakRPS(); got != 3 {
+		t.Errorf("poisson peak %g", got)
+	}
+	if got := (ArrivalSpec{Kind: ArrivalDiurnal, RateRPS: 4, Swing: 0.25}).PeakRPS(); got != 5 {
+		t.Errorf("diurnal peak %g", got)
+	}
+	if got := (ArrivalSpec{Kind: ArrivalMMPP, RateRPS: 2}).PeakRPS(); got != 8 {
+		t.Errorf("mmpp default peak %g", got)
+	}
+}

@@ -1,0 +1,99 @@
+package des
+
+import (
+	"math"
+	"sort"
+)
+
+// Result aggregates one scenario run: traffic and SLA accounting, the
+// DVFS/throttling history, and the time-domain temperature envelope.
+// It is a pure function of (Scenario, Platform, ThermalStepper).
+type Result struct {
+	// Seed echoes the scenario seed that produced this result.
+	Seed int64 `json:"seed"`
+	// DurationSec is the simulated horizon.
+	DurationSec float64 `json:"duration_sec"`
+	// Events is the number of simulation events processed.
+	Events int `json:"events"`
+	// Requests and Completed count arrivals and finished services over
+	// the horizon; QueuedAtEnd is the backlog left at the horizon.
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	// QueuedAtEnd counts requests still waiting or running at the
+	// horizon.
+	QueuedAtEnd int64 `json:"queued_at_end"`
+	// SLAViolations counts completions over their tenant's SLA plus
+	// backlog already past it at the horizon.
+	SLAViolations int64 `json:"sla_violations"`
+	// ThrottleEvents counts downward DVFS shifts; ThrottledSec is the
+	// virtual time spent below the nominal frequency and MinFreqFactor
+	// the lowest frequency factor reached.
+	ThrottleEvents int64   `json:"throttle_events"`
+	ThrottledSec   float64 `json:"throttled_sec"`
+	MinFreqFactor  float64 `json:"min_freq_factor"`
+	// PeakTempC is the maximum of the temperature envelope.
+	PeakTempC float64 `json:"peak_temp_c"`
+	// Windows counts completed utilization windows (one per service)
+	// and Steps the thermal ticks taken.
+	Windows int64 `json:"windows"`
+	Steps   int   `json:"steps"`
+	// Envelope is the tick-sampled peak-temperature trace.
+	Envelope Envelope `json:"envelope"`
+	// Utilization[c] is chiplet c's busy fraction over the horizon;
+	// MaxQueue[c] its deepest queue.
+	Utilization []float64 `json:"utilization"`
+	MaxQueue    []int     `json:"max_queue"`
+	// Tenants holds per-tenant traffic and tail-latency statistics.
+	Tenants []TenantStats `json:"tenants"`
+}
+
+// Envelope is the time-domain peak-temperature trace, sampled at the
+// end of each thermal tick.
+type Envelope struct {
+	// TimesSec are the tick-end instants.
+	TimesSec []float64 `json:"times_sec"`
+	// PeakC are the peak junction temperatures at those instants.
+	PeakC []float64 `json:"peak_c"`
+}
+
+// TenantStats is one tenant's traffic and latency summary.
+type TenantStats struct {
+	// Name echoes the tenant name.
+	Name string `json:"name"`
+	// Requests counts arrivals, Completed finished services.
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	// SLAViolations counts completions over the tenant's SLA.
+	SLAViolations int64 `json:"sla_violations"`
+	// P50Sec/P95Sec/P99Sec are nearest-rank completion-latency
+	// percentiles (zero when nothing completed).
+	P50Sec float64 `json:"p50_sec"`
+	P95Sec float64 `json:"p95_sec"`
+	P99Sec float64 `json:"p99_sec"`
+}
+
+// SLARate returns the fraction of requests that violated their SLA
+// (completions over SLA plus overdue backlog, over all arrivals).
+func (r *Result) SLARate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.SLAViolations) / float64(r.Requests)
+}
+
+// percentile returns the nearest-rank q-quantile of lats (not
+// necessarily sorted; sorted in place). Zero for an empty slice.
+func percentile(lats []float64, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Float64s(lats)
+	i := int(math.Ceil(q*float64(len(lats)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(lats) {
+		i = len(lats) - 1
+	}
+	return lats[i]
+}

@@ -1,0 +1,187 @@
+package des
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tenant is one traffic source: a stream of inference requests for a
+// single DNN, with an SLA on end-to-end latency.
+type Tenant struct {
+	// Name labels the tenant in logs and results.
+	Name string `json:"name"`
+	// Network names the workload DNN this tenant invokes. The des
+	// engine treats it as opaque — the caller resolves it into the
+	// Platform's per-tenant service profile.
+	Network string `json:"network,omitempty"`
+	// Arrival configures the tenant's request-arrival process.
+	Arrival ArrivalSpec `json:"arrival"`
+	// SLASec is the end-to-end latency objective: a request whose
+	// completion takes longer (queueing included) counts as an SLA
+	// violation.
+	SLASec float64 `json:"sla_sec"`
+}
+
+// Throttle is the DVFS governor policy: when the peak junction
+// temperature trips TripC, the governor steps the frequency factor one
+// level down; once it cools below TripC-HysteresisC, one level up.
+type Throttle struct {
+	// TripC is the throttling trip point in Celsius.
+	TripC float64 `json:"trip_c"`
+	// HysteresisC is the cool-down band below TripC before the
+	// governor steps back up (default 2 C).
+	HysteresisC float64 `json:"hysteresis_c,omitempty"`
+	// Levels are the available frequency factors, descending from
+	// Levels[0] (nominal, normally 1.0). Default [1, 0.8, 0.6, 0.4].
+	Levels []float64 `json:"levels,omitempty"`
+}
+
+// DefaultThrottleLevels is the default DVFS ladder: nominal plus three
+// throttled frequency factors.
+var DefaultThrottleLevels = []float64{1, 0.8, 0.6, 0.4}
+
+// withDefaults fills the zero fields.
+func (t Throttle) withDefaults() Throttle {
+	if t.HysteresisC == 0 {
+		t.HysteresisC = 2
+	}
+	if len(t.Levels) == 0 {
+		t.Levels = DefaultThrottleLevels
+	}
+	return t
+}
+
+// Validate reports an error for unusable throttle policies.
+func (t Throttle) Validate() error {
+	if !finitePos(t.TripC) {
+		return fmt.Errorf("des: throttle trip_c %g must be finite and positive", t.TripC)
+	}
+	if t.HysteresisC < 0 || math.IsNaN(t.HysteresisC) || math.IsInf(t.HysteresisC, 0) {
+		return fmt.Errorf("des: throttle hysteresis_c %g must be finite and non-negative", t.HysteresisC)
+	}
+	prev := math.Inf(1)
+	for i, f := range t.Levels {
+		if !finitePos(f) || f > 1 {
+			return fmt.Errorf("des: throttle level %d factor %g out of (0,1]", i, f)
+		}
+		if f >= prev {
+			return fmt.Errorf("des: throttle levels must strictly descend, got %v", t.Levels)
+		}
+		prev = f
+	}
+	return nil
+}
+
+// Scenario is one dynamic-workload experiment: a seeded, time-bounded
+// multi-tenant traffic mix coupled to the thermal solver at a fixed
+// tick. The same Scenario against the same Platform and stepper
+// reproduces bit-identically.
+type Scenario struct {
+	// Seed drives every random draw of the run.
+	Seed int64 `json:"seed"`
+	// DurationSec is the simulated horizon.
+	DurationSec float64 `json:"duration_sec"`
+	// ThermalDtSec is the thermal coupling tick: utilization windows
+	// are batched into one piecewise-constant power step per tick.
+	ThermalDtSec float64 `json:"thermal_dt_sec"`
+	// Tenants are the traffic sources.
+	Tenants []Tenant `json:"tenants"`
+	// Throttle is the DVFS policy reacting to the temperature envelope.
+	Throttle Throttle `json:"throttle"`
+}
+
+// Validate reports an error for unusable scenarios.
+func (sc Scenario) Validate() error {
+	if !finitePos(sc.DurationSec) {
+		return fmt.Errorf("des: scenario duration_sec %g must be finite and positive", sc.DurationSec)
+	}
+	if !finitePos(sc.ThermalDtSec) {
+		return fmt.Errorf("des: scenario thermal_dt_sec %g must be finite and positive", sc.ThermalDtSec)
+	}
+	if sc.ThermalDtSec > sc.DurationSec {
+		return fmt.Errorf("des: thermal tick %g s exceeds the %g s horizon", sc.ThermalDtSec, sc.DurationSec)
+	}
+	if len(sc.Tenants) == 0 {
+		return fmt.Errorf("des: scenario has no tenants")
+	}
+	for i, t := range sc.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("des: tenant %d has no name", i)
+		}
+		if err := t.Arrival.Validate(); err != nil {
+			return fmt.Errorf("des: tenant %s: %w", t.Name, err)
+		}
+		if !finitePos(t.SLASec) {
+			return fmt.Errorf("des: tenant %s sla_sec %g must be finite and positive", t.Name, t.SLASec)
+		}
+	}
+	return sc.Throttle.withDefaults().Validate()
+}
+
+// Platform is the hardware view a scenario executes on, derived by the
+// caller from a full design-point evaluation: how many chiplets exist,
+// and per tenant the serving chiplet, the nominal-frequency inference
+// latency, and the chiplet power split while serving that tenant.
+type Platform struct {
+	// Chiplets is the MCM's chiplet count.
+	Chiplets int
+	// Chiplet[t] is the chiplet serving tenant t (the static
+	// placement the scheduler chose for the tenant's DNN).
+	Chiplet []int
+	// ServiceSec[t] is tenant t's inference latency at the nominal
+	// frequency; DVFS stretches it by 1/factor.
+	ServiceSec []float64
+	// ArrayW[t] and SRAMW[t] split the chiplet dynamic power while
+	// serving tenant t (array vs SRAM+TSV); DVFS scales both by the
+	// frequency factor.
+	ArrayW []float64
+	SRAMW  []float64
+}
+
+// Validate checks the platform against the scenario's tenant count.
+func (p Platform) Validate(tenants int) error {
+	if p.Chiplets <= 0 {
+		return fmt.Errorf("des: platform has %d chiplets", p.Chiplets)
+	}
+	if len(p.Chiplet) != tenants || len(p.ServiceSec) != tenants || len(p.ArrayW) != tenants || len(p.SRAMW) != tenants {
+		return fmt.Errorf("des: platform profiles sized %d/%d/%d/%d for %d tenants",
+			len(p.Chiplet), len(p.ServiceSec), len(p.ArrayW), len(p.SRAMW), tenants)
+	}
+	for t := 0; t < tenants; t++ {
+		if p.Chiplet[t] < 0 || p.Chiplet[t] >= p.Chiplets {
+			return fmt.Errorf("des: tenant %d assigned to chiplet %d of %d", t, p.Chiplet[t], p.Chiplets)
+		}
+		if !finitePos(p.ServiceSec[t]) {
+			return fmt.Errorf("des: tenant %d service time %g must be finite and positive", t, p.ServiceSec[t])
+		}
+		if p.ArrayW[t] < 0 || p.SRAMW[t] < 0 || !finite(p.ArrayW[t]) || !finite(p.SRAMW[t]) {
+			return fmt.Errorf("des: tenant %d power split %g/%g must be finite and non-negative", t, p.ArrayW[t], p.SRAMW[t])
+		}
+	}
+	return nil
+}
+
+// ChipletPowerW is one chiplet's dynamic power split over a thermal
+// tick, the unit of the piecewise-constant power trace handed to the
+// thermal stepper.
+type ChipletPowerW struct {
+	// ArrayW is the systolic-array dynamic power in watts.
+	ArrayW float64
+	// SRAMW is the SRAM (+TSV) dynamic power in watts.
+	SRAMW float64
+}
+
+// ThermalStepper advances a transient thermal model under one
+// piecewise-constant power step and reports the resulting peak
+// junction temperature. internal/core adapts internal/thermal's
+// TransientStepper (adding temperature-dependent leakage) to this
+// interface; tests substitute analytic models.
+type ThermalStepper interface {
+	// Step advances dtSec under the given per-chiplet dynamic power
+	// and returns the peak junction temperature at the end of the
+	// step.
+	Step(dtSec float64, power []ChipletPowerW) (peakC float64, err error)
+}
+
+// finite reports whether v is neither NaN nor infinite.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,9 +1,10 @@
 // Package jobspec defines the versioned JSON job specification shared
 // by the tesa CLIs and tesa-server: one schema describes an optimize,
-// sweep, or pareto run — workload, evaluation options, constraints,
-// design space, and failure policies — so a job file handed to
-// `tesa -job`, `tesa-sweep -job`, `tesa-pareto -job`, or POSTed to
-// `tesa-server` means exactly the same run everywhere.
+// sweep, pareto, or sim run — workload, evaluation options,
+// constraints, design space or scenario, and failure policies — so a
+// job file handed to `tesa -job`, `tesa-sweep -job`, `tesa-pareto
+// -job`, `tesa-sim -job`, or POSTed to `tesa-server` means exactly the
+// same run everywhere.
 //
 // The schema is strict and versioned: decoding rejects unknown fields
 // (a typo fails loudly instead of silently falling back to a default)
@@ -32,6 +33,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"tesa/internal/des"
 )
 
 // Version is the schema revision this package reads and writes. Specs
@@ -47,6 +50,9 @@ const (
 	KindSweep = "sweep"
 	// KindPareto sweeps the Eq. (6) weights and traces the cost/DRAM front.
 	KindPareto = "pareto"
+	// KindSim runs a seeded dynamic multi-tenant scenario against one
+	// design point (Evaluator.Simulate / SimulateDistribution).
+	KindSim = "sim"
 )
 
 // Spec is the versioned job specification. The zero value is invalid;
@@ -80,6 +86,8 @@ type Spec struct {
 	Sweep *Sweep `json:"sweep,omitempty"`
 	// Pareto tunes the weight sweep; only valid when Kind is "pareto".
 	Pareto *Pareto `json:"pareto,omitempty"`
+	// Sim describes the dynamic scenario; required when Kind is "sim".
+	Sim *Sim `json:"sim,omitempty"`
 	// Policies are the failure-handling knobs shared by every kind.
 	Policies *Policies `json:"policies,omitempty"`
 
@@ -143,6 +151,27 @@ type Sweep struct {
 type Pareto struct {
 	// Points is the number of weight settings to sweep (>= 2; 0 = 9).
 	Points int `json:"points,omitempty"`
+}
+
+// Sim describes a dynamic multi-tenant scenario run: the design point
+// to simulate and the traffic/throttle model of internal/des. The
+// scenario seed is the spec's top-level Seed.
+type Sim struct {
+	// ArrayDim and ICSUM select the design point to simulate.
+	ArrayDim int `json:"array_dim"`
+	ICSUM    int `json:"ics_um"`
+	// DurationSec is the simulated horizon.
+	DurationSec float64 `json:"duration_sec"`
+	// ThermalDtSec is the thermal coupling tick (0 = 0.05 s).
+	ThermalDtSec float64 `json:"thermal_dt_sec,omitempty"`
+	// Tenants are the traffic sources (the des.Tenant JSON shape).
+	Tenants []des.Tenant `json:"tenants"`
+	// Throttle is the DVFS policy; absent, the trip point defaults to
+	// the job's temperature budget with the standard level ladder.
+	Throttle *des.Throttle `json:"throttle,omitempty"`
+	// Draws scores the design over this many seeded scenario draws
+	// (0 or 1 = the single base-seed run).
+	Draws int `json:"draws,omitempty"`
 }
 
 // Policies are the failure-handling knobs of a run.
@@ -226,11 +255,11 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("jobspec: unsupported version %q (this build reads %q)", s.Version, Version)
 	}
 	switch s.Kind {
-	case KindOptimize, KindSweep, KindPareto:
+	case KindOptimize, KindSweep, KindPareto, KindSim:
 	case "":
-		return fmt.Errorf("jobspec: missing kind (optimize, sweep, or pareto)")
+		return fmt.Errorf("jobspec: missing kind (optimize, sweep, pareto, or sim)")
 	default:
-		return fmt.Errorf("jobspec: unknown kind %q (want optimize, sweep, or pareto)", s.Kind)
+		return fmt.Errorf("jobspec: unknown kind %q (want optimize, sweep, pareto, or sim)", s.Kind)
 	}
 	n := 0
 	if s.WorkloadRef != "" {
@@ -270,6 +299,21 @@ func (s *Spec) Validate() error {
 	}
 	if s.Pareto != nil && s.Pareto.Points != 0 && s.Pareto.Points < 2 {
 		return fmt.Errorf("jobspec: pareto needs at least 2 weight points, got %d", s.Pareto.Points)
+	}
+	if s.Sim != nil && s.Kind != KindSim {
+		return fmt.Errorf("jobspec: sim section on a %q job", s.Kind)
+	}
+	if s.Kind == KindSim {
+		switch {
+		case s.Sim == nil:
+			return fmt.Errorf("jobspec: a sim job needs a sim section")
+		case s.Sim.ArrayDim <= 0 || s.Sim.ICSUM < 0:
+			return fmt.Errorf("jobspec: sim needs a design point (array_dim > 0, ics_um >= 0), got %d/%d", s.Sim.ArrayDim, s.Sim.ICSUM)
+		case s.Sim.Draws < 0:
+			return fmt.Errorf("jobspec: negative sim draws %d", s.Sim.Draws)
+		case s.Space != nil:
+			return fmt.Errorf("jobspec: a sim job takes a design point, not a space section")
+		}
 	}
 	if s.DeadlineSec < 0 {
 		return fmt.Errorf("jobspec: negative deadline_sec %g", s.DeadlineSec)

@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 // testdata decodes strictly, re-encodes to its golden file byte for
 // byte, and the golden re-decodes to an identical spec.
 func TestGoldenRoundTrip(t *testing.T) {
-	for _, name := range []string{"optimize", "sweep", "pareto"} {
+	for _, name := range []string{"optimize", "sweep", "pareto", "sim"} {
 		t.Run(name, func(t *testing.T) {
 			in := filepath.Join("testdata", name+".json")
 			golden := filepath.Join("testdata", name+".golden.json")

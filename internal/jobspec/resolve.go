@@ -8,10 +8,15 @@ import (
 	"time"
 
 	"tesa/internal/core"
+	"tesa/internal/des"
 	"tesa/internal/dnn"
 	"tesa/internal/faults"
 	"tesa/internal/systolic"
 )
+
+// defaultThermalDtSec is the scenario thermal tick used when a sim
+// section leaves thermal_dt_sec unset.
+const defaultThermalDtSec = 0.05
 
 // Resolved is a spec materialized into the core types: defaults filled,
 // workload loaded, axes validated. It is the unit the executors (Run,
@@ -42,6 +47,13 @@ type Resolved struct {
 	FaultPlan *faults.Plan
 	// Deadline bounds the job's wall time (0 = none).
 	Deadline time.Duration
+	// SimPoint is the design point of a sim job; Scenario its
+	// materialized dynamic scenario (seeded with Seed, throttle trip
+	// defaulted to the temperature budget) and SimDraws the
+	// distribution size (>= 1). Zero values for the other kinds.
+	SimPoint core.DesignPoint
+	Scenario des.Scenario
+	SimDraws int
 }
 
 // Resolve materializes the spec: validates it, loads the workload
@@ -154,7 +166,44 @@ func (s *Spec) Resolve(baseDir string) (*Resolved, error) {
 	if s.DeadlineSec > 0 {
 		r.Deadline = time.Duration(s.DeadlineSec * float64(time.Second))
 	}
+	if s.Kind == KindSim {
+		if err := s.resolveSim(r); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
+}
+
+// resolveSim materializes the sim section into a validated scenario:
+// the spec seed becomes the scenario seed, an unset tick takes the
+// default, and an absent throttle section trips at the job's
+// temperature budget with the standard DVFS ladder.
+func (s *Spec) resolveSim(r *Resolved) error {
+	sim := s.Sim
+	r.SimPoint = core.DesignPoint{ArrayDim: sim.ArrayDim, ICSUM: sim.ICSUM}
+	r.SimDraws = sim.Draws
+	if r.SimDraws < 1 {
+		r.SimDraws = 1
+	}
+	sc := des.Scenario{
+		Seed:         r.Seed,
+		DurationSec:  sim.DurationSec,
+		ThermalDtSec: sim.ThermalDtSec,
+		Tenants:      sim.Tenants,
+	}
+	if sc.ThermalDtSec == 0 {
+		sc.ThermalDtSec = defaultThermalDtSec
+	}
+	if sim.Throttle != nil {
+		sc.Throttle = *sim.Throttle
+	} else {
+		sc.Throttle = des.Throttle{TripC: r.Cons.TempBudgetC}
+	}
+	if err := sc.Validate(); err != nil {
+		return fmt.Errorf("jobspec: %w", err)
+	}
+	r.Scenario = sc
+	return nil
 }
 
 // resolveWorkload loads the spec's workload: inline JSON, a file

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"tesa/internal/core"
+	"tesa/internal/des"
 )
 
 // Result is the JSON-safe outcome of a job: the structured subset of
@@ -37,6 +38,9 @@ type Result struct {
 	Screened int `json:"screened,omitempty"`
 	// Front is the traced weight front of a pareto job, in weight order.
 	Front []FrontPoint `json:"front,omitempty"`
+	// Sim is the dynamic-workload outcome of a sim job (absent when the
+	// point does not fit the interposer — Found is false then).
+	Sim *SimOutcome `json:"sim,omitempty"`
 }
 
 // Best is the JSON-safe projection of a winning Evaluation.
@@ -70,6 +74,38 @@ type FrontPoint struct {
 	Best *Best `json:"best,omitempty"`
 	// Duplicate marks a winner already traced by an earlier weight.
 	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// SimOutcome is the JSON-safe outcome of a sim job: the base-seed run's
+// summary, the N-draw scenario-distribution score, and the
+// static-vs-dynamic objective comparison. The static characterization
+// of the point itself rides in Result.Best.
+type SimOutcome struct {
+	// ArrayDim and ICSUM are the simulated design point; Seed is the
+	// base scenario seed and Draws the distribution size.
+	ArrayDim int   `json:"array_dim"`
+	ICSUM    int   `json:"ics_um"`
+	Seed     int64 `json:"seed"`
+	Draws    int   `json:"draws"`
+	// DurationSec through PeakTempC summarize the base-seed run.
+	DurationSec    float64 `json:"duration_sec"`
+	Requests       int64   `json:"requests"`
+	Completed      int64   `json:"completed"`
+	SLAViolations  int64   `json:"sla_violations"`
+	ThrottleEvents int64   `json:"throttle_events"`
+	ThrottledSec   float64 `json:"throttled_sec"`
+	MinFreqFactor  float64 `json:"min_freq_factor"`
+	PeakTempC      float64 `json:"peak_temp_c"`
+	// Tenants are the base-seed per-tenant tallies and latency
+	// percentiles.
+	Tenants []des.TenantStats `json:"tenants"`
+	// Score aggregates the N-draw scenario distribution.
+	Score core.SimScore `json:"score"`
+	// StaticObjective is the steady-state Eq. (6) value of the point;
+	// CombinedObjective inflates it by the dynamic penalty
+	// (static x (1 + penalty)) — the value sim-aware rankings sort by.
+	StaticObjective   float64 `json:"static_objective"`
+	CombinedObjective float64 `json:"combined_objective"`
 }
 
 // fin clamps non-finite values to 0 so a Result always marshals to
@@ -112,6 +148,49 @@ func FromOptimize(res *core.OptimizeResult) *Result {
 		out.Best = bestOf(res.Best)
 	}
 	return out
+}
+
+// FromSim projects a sim run — the point's static evaluation, its
+// base-seed DES run, and the N-draw distribution score — into the wire
+// form.
+func FromSim(ev *core.Evaluation, base *des.Result, score *core.SimScore) *Result {
+	sc := *score
+	sc.MeanSLARate = fin(sc.MeanSLARate)
+	sc.MaxSLARate = fin(sc.MaxSLARate)
+	sc.MeanThrottledFrac = fin(sc.MeanThrottledFrac)
+	sc.MeanPeakC = fin(sc.MeanPeakC)
+	sc.MaxPeakC = fin(sc.MaxPeakC)
+	sc.WorstP99Sec = fin(sc.WorstP99Sec)
+	tenants := make([]des.TenantStats, len(base.Tenants))
+	for i, ts := range base.Tenants {
+		ts.P50Sec = fin(ts.P50Sec)
+		ts.P95Sec = fin(ts.P95Sec)
+		ts.P99Sec = fin(ts.P99Sec)
+		tenants[i] = ts
+	}
+	return &Result{
+		Kind:  KindSim,
+		Found: true,
+		Best:  bestOf(ev),
+		Sim: &SimOutcome{
+			ArrayDim:          ev.Point.ArrayDim,
+			ICSUM:             ev.Point.ICSUM,
+			Seed:              base.Seed,
+			Draws:             score.Draws,
+			DurationSec:       fin(base.DurationSec),
+			Requests:          base.Requests,
+			Completed:         base.Completed,
+			SLAViolations:     base.SLAViolations,
+			ThrottleEvents:    base.ThrottleEvents,
+			ThrottledSec:      fin(base.ThrottledSec),
+			MinFreqFactor:     fin(base.MinFreqFactor),
+			PeakTempC:         fin(base.PeakTempC),
+			Tenants:           tenants,
+			Score:             sc,
+			StaticObjective:   fin(ev.Objective),
+			CombinedObjective: fin(score.CombinedObjective(ev.Objective)),
+		},
+	}
 }
 
 // FromSweep projects a sweep outcome into the wire form.

@@ -28,9 +28,11 @@ type Runtime struct {
 // Run executes a resolved job to completion and returns its wire-form
 // result. The mapping from spec to engine is exactly the CLIs': an
 // optimize job is Evaluator.OptimizeContext, a sweep job is
-// Evaluator.ExhaustiveContext, and a pareto job is the tesa-pareto
-// weight loop — so a spec produces bit-identical numbers whether it
-// runs here, in a CLI, or behind tesa-server.
+// Evaluator.ExhaustiveContext, a pareto job is the tesa-pareto weight
+// loop, and a sim job is the tesa-sim coupling (static evaluation, then
+// Evaluator.Simulate and SimulateDistribution) — so a spec produces
+// bit-identical numbers whether it runs here, in a CLI, or behind
+// tesa-server.
 //
 // "No feasible configuration" is a result (Found=false), not an error;
 // cancellation and deadline expiry surface ctx's error. The spec's own
@@ -46,6 +48,8 @@ func Run(ctx context.Context, r *Resolved, rt Runtime) (*Result, error) {
 		return runSweep(ctx, r, rt)
 	case KindPareto:
 		return runPareto(ctx, r, rt)
+	case KindSim:
+		return runSim(ctx, r, rt)
 	default:
 		return runOptimize(ctx, r, rt)
 	}
@@ -110,6 +114,35 @@ func runSweep(ctx context.Context, r *Resolved, rt Runtime) (*Result, error) {
 		return nil, err
 	}
 	return FromSweep(res), nil
+}
+
+// runSim evaluates the sim job's design point statically, then couples
+// it to the DES scenario engine: one base-seed run for per-tenant
+// detail plus the resolved N-draw scenario distribution. A point that
+// does not fit the interposer is a result (Found=false), not an error;
+// a scenario whose trace poisons the thermal solver surfaces as the
+// evaluator's structured error.
+func runSim(ctx context.Context, r *Resolved, rt Runtime) (*Result, error) {
+	ev, err := newEvaluator(r, r.Opts, rt)
+	if err != nil {
+		return nil, err
+	}
+	full, err := ev.EvaluateFullContext(ctx, r.SimPoint)
+	if err != nil {
+		return nil, err
+	}
+	if !full.Fits {
+		return &Result{Kind: KindSim}, nil
+	}
+	base, err := ev.Simulate(ctx, full, r.Scenario, nil)
+	if err != nil {
+		return nil, err
+	}
+	score, err := ev.SimulateDistribution(ctx, full, r.Scenario, r.SimDraws)
+	if err != nil {
+		return nil, err
+	}
+	return FromSim(full, base, score), nil
 }
 
 // runPareto is the tesa-pareto weight loop: ParetoPoints settings from

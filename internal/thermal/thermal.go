@@ -394,6 +394,12 @@ func (s *Stack) solveSystem(diagExtra, q, guess []float64) ([]float64, int, erro
 		if s.Solver.IterScale > 0 {
 			maxIter = int(float64(maxIter) * s.Solver.IterScale)
 		}
+		// An already-converged warm start (transient steppers at their
+		// fixed point reach r exactly zero) must not enter the loop:
+		// alpha would be 0/0.
+		if norm2(r) < tol {
+			return x, 0, nil
+		}
 		for ; iters < maxIter; iters++ {
 			matvec(p, ap)
 			alpha := rz / dot(p, ap)

@@ -1,8 +1,21 @@
 package thermal
 
 import (
+	"errors"
 	"fmt"
 	"math"
+)
+
+// Typed transient-input errors. Discrete-event scenario drivers feed
+// this solver machine-generated power traces, so bad inputs (NaN/Inf
+// watts, zero-length or non-finite timesteps) must be rejected at the
+// boundary with matchable sentinels rather than silently corrupting
+// the field. Callers match with errors.Is.
+var (
+	// ErrInvalidStep marks a non-finite or non-positive timestep.
+	ErrInvalidStep = errors.New("thermal: invalid transient timestep")
+	// ErrNonFinitePower marks a NaN, infinite, or negative power input.
+	ErrNonFinitePower = errors.New("thermal: non-finite or negative power input")
 )
 
 // Transient analysis — the counterpart of HotSpot's transient mode to
@@ -69,73 +82,123 @@ func volHeatCapacity(k float64) float64 {
 	}
 }
 
-// SolveTransient computes the step response: the stack starts at ambient
-// everywhere, the power maps switch on at t=0, and the field is stepped
-// with the implicit-Euler scheme. steps samples are taken dt apart.
-func (s *Stack) SolveTransient(dt float64, steps int) (*TransientResult, error) {
+// TransientStepper advances a stack's temperature field one implicit
+// Euler step at a time under externally supplied, piecewise-constant
+// power — the integration point for discrete-event scenario drivers
+// (internal/des via internal/core), which batch utilization windows
+// into one SetPower per layer per tick and then Step. The field starts
+// at ambient; SetPower may change the trace between any two steps.
+type TransientStepper struct {
+	s       *Stack
+	dtSec   float64
+	cOverDt []float64
+	x       []float64 // rise above ambient
+	rhs     []float64
+	q       []float64 // current volumetric power trace
+	steps   int
+}
+
+// NewTransientStepper validates the stack and timestep and returns a
+// stepper primed with the stack's own power maps (replaceable via
+// SetPower). A NaN, infinite, or non-positive dtSec returns
+// ErrInvalidStep.
+func (s *Stack) NewTransientStepper(dtSec float64) (*TransientStepper, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if dt <= 0 || steps <= 0 {
-		return nil, fmt.Errorf("thermal: transient needs positive dt and steps, got %g and %d", dt, steps)
+	if math.IsNaN(dtSec) || math.IsInf(dtSec, 0) || dtSec <= 0 {
+		return nil, fmt.Errorf("%w: dt %g s", ErrInvalidStep, dtSec)
 	}
-	g := s.Grid
-	nc := g * g
+	nc := s.Grid * s.Grid
 	nl := len(s.Layers)
 	n := nl * nc
-
-	// Per-node heat capacity over dt.
-	cOverDt := make([]float64, n)
+	ts := &TransientStepper{
+		s: s, dtSec: dtSec,
+		cOverDt: make([]float64, n),
+		x:       make([]float64, n),
+		rhs:     make([]float64, n),
+		q:       make([]float64, n),
+	}
 	cellArea := s.CellM * s.CellM
 	for l := 0; l < nl; l++ {
-		cap := volHeatCapacity(s.Layers[l].K[0]) * cellArea * s.Layers[l].ThicknessM / dt
+		// Per-node heat capacity over dt.
+		cap := volHeatCapacity(s.Layers[l].K[0]) * cellArea * s.Layers[l].ThicknessM / dtSec
 		base := l * nc
 		for idx := 0; idx < nc; idx++ {
-			cOverDt[base+idx] = cap
+			ts.cOverDt[base+idx] = cap
 		}
-	}
-
-	// Each implicit step is a solve of the augmented SPD system
-	// (A + C/dt) x_{n+1} = q + (C/dt) x_n, warm-started from x_n.
-	tr := &TransientResult{}
-	x := make([]float64, n) // rise above ambient
-	rhs := make([]float64, n)
-	q := make([]float64, n)
-	for l := 0; l < nl; l++ {
 		if p := s.Layers[l].Power; p != nil {
-			base := l * nc
-			for idx := 0; idx < nc; idx++ {
-				q[base+idx] = p[idx]
-			}
+			copy(ts.q[base:base+nc], p)
 		}
 	}
-	for step := 1; step <= steps; step++ {
-		for i := range rhs {
-			rhs[i] = q[i] + cOverDt[i]*x[i]
-		}
-		next, _, err := s.solveSystem(cOverDt, rhs, x)
-		if err != nil {
-			return nil, err
-		}
-		x = next
-		peak := math.Inf(-1)
-		for _, v := range x {
-			if v > peak {
-				peak = v
-			}
-		}
-		tr.TimesSec = append(tr.TimesSec, float64(step)*dt)
-		tr.PeakC = append(tr.PeakC, s.AmbientC+peak)
-	}
+	return ts, nil
+}
 
-	// Package the final field like a steady solve.
-	res := &Result{Temps: make([][]float64, nl), Rises: x}
+// DtSec returns the fixed step size.
+func (ts *TransientStepper) DtSec() float64 { return ts.dtSec }
+
+// TimeSec returns the virtual time integrated so far (steps taken
+// times the step size).
+func (ts *TransientStepper) TimeSec() float64 { return float64(ts.steps) * ts.dtSec }
+
+// SetPower replaces the named layer's power map for subsequent steps.
+// The map must match the grid and hold only finite, non-negative watts;
+// violations return ErrNonFinitePower with the offending cell, leaving
+// the trace unchanged.
+func (ts *TransientStepper) SetPower(layerName string, power []float64) error {
+	nc := ts.s.Grid * ts.s.Grid
+	li := -1
+	for l := range ts.s.Layers {
+		if ts.s.Layers[l].Name == layerName {
+			li = l
+			break
+		}
+	}
+	if li < 0 {
+		return fmt.Errorf("thermal: no layer %q in stack", layerName)
+	}
+	if len(power) != nc {
+		return fmt.Errorf("thermal: layer %q power map has %d cells, want %d", layerName, len(power), nc)
+	}
+	for i, p := range power {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return fmt.Errorf("%w: layer %q cell %d: %g W", ErrNonFinitePower, layerName, i, p)
+		}
+	}
+	copy(ts.q[li*nc:(li+1)*nc], power)
+	return nil
+}
+
+// Step advances one implicit Euler step under the current power trace
+// and returns the full field, packaged like a steady solve. Each step
+// solves the augmented SPD system (A + C/dt) x_{n+1} = q + (C/dt) x_n,
+// warm-started from x_n.
+func (ts *TransientStepper) Step() (*Result, error) {
+	for i := range ts.rhs {
+		ts.rhs[i] = ts.q[i] + ts.cOverDt[i]*ts.x[i]
+	}
+	next, _, err := ts.s.solveSystem(ts.cOverDt, ts.rhs, ts.x)
+	if err != nil {
+		return nil, err
+	}
+	ts.x = next
+	ts.steps++
+	return ts.field(), nil
+}
+
+// field packages the current rise field as a Result.
+func (ts *TransientStepper) field() *Result {
+	nc := ts.s.Grid * ts.s.Grid
+	nl := len(ts.s.Layers)
+	// Rises is copied so the returned Result stays valid across later
+	// steps (ts.x is reused as the warm start).
+	res := &Result{Temps: make([][]float64, nl), Rises: append([]float64(nil), ts.x...)}
 	res.PeakC = math.Inf(-1)
 	for l := 0; l < nl; l++ {
 		res.Temps[l] = make([]float64, nc)
 		base := l * nc
 		for idx := 0; idx < nc; idx++ {
-			t := s.AmbientC + x[base+idx]
+			t := ts.s.AmbientC + ts.x[base+idx]
 			res.Temps[l][idx] = t
 			if t > res.PeakC {
 				res.PeakC = t
@@ -144,6 +207,29 @@ func (s *Stack) SolveTransient(dt float64, steps int) (*TransientResult, error) 
 			}
 		}
 	}
-	tr.Final = res
+	return res
+}
+
+// SolveTransient computes the step response: the stack starts at ambient
+// everywhere, the power maps switch on at t=0, and the field is stepped
+// with the implicit-Euler scheme. steps samples are taken dt apart.
+func (s *Stack) SolveTransient(dt float64, steps int) (*TransientResult, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("%w: transient needs positive steps, got %d", ErrInvalidStep, steps)
+	}
+	ts, err := s.NewTransientStepper(dt)
+	if err != nil {
+		return nil, err
+	}
+	tr := &TransientResult{}
+	for step := 1; step <= steps; step++ {
+		res, err := ts.Step()
+		if err != nil {
+			return nil, err
+		}
+		tr.TimesSec = append(tr.TimesSec, ts.TimeSec())
+		tr.PeakC = append(tr.PeakC, res.PeakC)
+		tr.Final = res
+	}
 	return tr, nil
 }

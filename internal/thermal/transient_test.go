@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -124,5 +125,135 @@ func TestTransientMCMStack(t *testing.T) {
 	last := tr.PeakC[len(tr.PeakC)-1]
 	if last <= s.AmbientC || last > steady.PeakC+1e-6 {
 		t.Errorf("transient peak %.2f outside (ambient, steady %.2f]", last, steady.PeakC)
+	}
+}
+
+// TestTransientStepperGolden: a uniformly-powered single-layer stack is
+// a scalar RC network per cell (node + ambient; by symmetry every cell
+// sits at the same temperature, so lateral fluxes cancel), and the
+// implicit-Euler recurrence
+//
+//	x_{n+1} = (q + (C/dt) x_n) / (C/dt + g)
+//
+// is hand-computable: C from the documented volumetric heat capacity,
+// and the cell-to-ambient conductance g recovered from the steady rise
+// (g = q / x_inf). The stepper trace must match it step for step.
+func TestTransientStepperGolden(t *testing.T) {
+	s := singleLayer(2, 2) // four identical cells, 0.5 W each
+	steady, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := 0.5
+	g := q / (steady.PeakC - s.AmbientC)
+	dt := 0.001
+	c := SiliconVolHeatCapacity * s.CellM * s.CellM * s.Layers[0].ThicknessM
+	ts, err := s.NewTransientStepper(dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := 0.0
+	for step := 1; step <= 50; step++ {
+		res, err := ts.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		x = (q + (c/dt)*x) / (c/dt + g)
+		if got, want := res.PeakC-s.AmbientC, x; math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("step %d: rise %.9f, golden %.9f", step, got, want)
+		}
+		if wantT := float64(step) * dt; ts.TimeSec() != wantT {
+			t.Fatalf("step %d: TimeSec %g, want %g", step, ts.TimeSec(), wantT)
+		}
+	}
+}
+
+// TestTransientStepperMatchesSolveTransient: stepping N times with the
+// stack's own power maps reproduces SolveTransient exactly.
+func TestTransientStepperMatchesSolveTransient(t *testing.T) {
+	s := singleLayer(10, 4)
+	tr, err := s.SolveTransient(0.05, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := s.NewTransientStepper(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		res, err := ts.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PeakC != tr.PeakC[i] {
+			t.Fatalf("step %d: stepper peak %g != SolveTransient %g", i, res.PeakC, tr.PeakC[i])
+		}
+	}
+}
+
+// TestTransientStepperSetPower: dropping the power mid-run cools the
+// stack; bad power maps are rejected with ErrNonFinitePower.
+func TestTransientStepperSetPower(t *testing.T) {
+	s := singleLayer(6, 5)
+	ts, err := s.NewTransientStepper(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot float64
+	for i := 0; i < 30; i++ {
+		res, err := ts.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot = res.PeakC
+	}
+	if err := ts.SetPower("die", make([]float64, 36)); err != nil {
+		t.Fatalf("SetPower off: %v", err)
+	}
+	var cooled float64
+	for i := 0; i < 30; i++ {
+		res, err := ts.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cooled = res.PeakC
+	}
+	if cooled >= hot {
+		t.Errorf("stack did not cool after power-off: %.3f -> %.3f", hot, cooled)
+	}
+}
+
+// TestTransientStepperGuards: the typed input guards of the DES
+// coupling boundary.
+func TestTransientStepperGuards(t *testing.T) {
+	s := singleLayer(4, 1)
+	for _, dt := range []float64{0, -0.1, math.NaN(), math.Inf(1)} {
+		if _, err := s.NewTransientStepper(dt); !errors.Is(err, ErrInvalidStep) {
+			t.Errorf("dt=%g: got %v, want ErrInvalidStep", dt, err)
+		}
+		if _, err := s.SolveTransient(dt, 5); err == nil {
+			t.Errorf("SolveTransient(dt=%g) accepted", dt)
+		}
+	}
+	if _, err := s.SolveTransient(0.1, -1); !errors.Is(err, ErrInvalidStep) {
+		t.Error("negative steps not ErrInvalidStep")
+	}
+	ts, err := s.NewTransientStepper(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string]float64{"nan": math.NaN(), "inf": math.Inf(1), "neg": -1}
+	for name, v := range bad {
+		p := make([]float64, 16)
+		p[3] = v
+		if err := ts.SetPower("die", p); !errors.Is(err, ErrNonFinitePower) {
+			t.Errorf("%s power: got %v, want ErrNonFinitePower", name, err)
+		}
+	}
+	if err := ts.SetPower("nope", make([]float64, 16)); err == nil {
+		t.Error("unknown layer accepted")
+	}
+	if err := ts.SetPower("die", make([]float64, 3)); err == nil {
+		t.Error("short power map accepted")
 	}
 }

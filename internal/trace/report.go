@@ -56,6 +56,13 @@ func WriteReport(w io.Writer, s *Summary) {
 		}
 		fmt.Fprintln(w)
 	}
+	if sim := s.SimTallies(); len(sim) > 0 {
+		fmt.Fprint(w, "dynamic simulation:")
+		for _, r := range sim {
+			fmt.Fprintf(w, "  %s=%d", r.Name, r.Hits)
+		}
+		fmt.Fprintln(w)
+	}
 	if n := len(s.Quarantined); n > 0 {
 		byStage := map[string]int{}
 		for _, q := range s.Quarantined {

@@ -165,7 +165,9 @@ func (s *Summary) mergeManifest(rec map[string]any) {
 // StageStats is one pipeline stage's latency contribution within a run.
 type StageStats struct {
 	// Name is the stage ("systolic", "thermal", ...) without the
-	// "stage." metric prefix.
+	// "stage." metric prefix. Simulation spans keep their full "sim."
+	// name ("sim.run", "sim.distribution") so dynamic-workload time is
+	// distinguishable from the evaluation pipeline's stages.
 	Name string
 	// Stats is the stage's latency histogram (seconds).
 	Stats telemetry.HistogramStats
@@ -173,23 +175,36 @@ type StageStats struct {
 	// stages; CumFrac is its share of the end-to-end pipeline.total
 	// time (they differ when stages overlap cached evaluations, or
 	// when pipeline.total was never observed — CumFrac is then 0).
+	// Simulation spans always report CumFrac 0: they run outside the
+	// evaluation pipeline that pipeline.total measures.
 	SelfFrac float64
 	CumFrac  float64
 }
 
-// stagePrefix is the metric namespace of the per-stage histograms.
-const stagePrefix = "stage."
+// stagePrefix is the metric namespace of the per-stage histograms;
+// simPrefix is the namespace of the dynamic-workload simulation spans
+// (sim.run, sim.distribution) emitted by tesa-sim and sim jobs.
+const (
+	stagePrefix = "stage."
+	simPrefix   = "sim."
+)
 
 // Stages extracts the per-stage latency breakdown from the summary's
-// final metrics, ordered by descending self time.
+// final metrics, ordered by descending self time. Simulation spans are
+// included under their full "sim." names; their counters (requests,
+// throttle events) are a separate axis — see SimTallies.
 func (s *Summary) Stages() []StageStats {
 	var out []StageStats
 	var selfSum float64
 	for name, h := range s.Metrics.Histograms {
-		if !strings.HasPrefix(name, stagePrefix) {
+		switch {
+		case strings.HasPrefix(name, stagePrefix):
+			out = append(out, StageStats{Name: strings.TrimPrefix(name, stagePrefix), Stats: h})
+		case strings.HasPrefix(name, simPrefix):
+			out = append(out, StageStats{Name: name, Stats: h})
+		default:
 			continue
 		}
-		out = append(out, StageStats{Name: strings.TrimPrefix(name, stagePrefix), Stats: h})
 		selfSum += h.Sum
 	}
 	pipeSum := s.Metrics.Histograms["pipeline.total"].Sum
@@ -197,7 +212,9 @@ func (s *Summary) Stages() []StageStats {
 		if selfSum > 0 {
 			out[i].SelfFrac = out[i].Stats.Sum / selfSum
 		}
-		if pipeSum > 0 {
+		// Sim spans are not part of the evaluation pipeline, so a share
+		// of pipeline.total would exceed 100% and mean nothing.
+		if pipeSum > 0 && !strings.HasPrefix(out[i].Name, simPrefix) {
 			out[i].CumFrac = out[i].Stats.Sum / pipeSum
 		}
 	}
@@ -256,6 +273,26 @@ func (s *Summary) Effectiveness() []Rate {
 			out = append(out, r)
 		}
 	}
+	return out
+}
+
+// SimTallies returns the dynamic-workload simulation counters
+// (sim.requests, sim.sla_violations, sim.throttle_events, sim.steps,
+// and any per-reason sim failure counters), sorted by descending count
+// then name. Empty for runs that never simulated.
+func (s *Summary) SimTallies() []Rate {
+	var out []Rate
+	for name, v := range s.Metrics.Counters {
+		if rest, ok := strings.CutPrefix(name, simPrefix); ok {
+			out = append(out, Rate{Name: rest, Hits: v, Total: v, Frac: 1})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 

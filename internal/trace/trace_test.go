@@ -100,6 +100,73 @@ func TestReadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReadSimRun: a tesa-sim style stream — sim.* spans and counters —
+// surfaces in Stages under full "sim." names and in SimTallies, and the
+// report prints the dynamic-simulation line.
+func TestReadSimRun(t *testing.T) {
+	var buf bytes.Buffer
+	sink := telemetry.NewJSONLSink(&buf)
+	tel := telemetry.New(sink)
+	reg := tel.Registry()
+	reg.Histogram("stage.thermal").Observe(0.004)
+	reg.Histogram("pipeline.total").Observe(0.004)
+	reg.Histogram("sim.run").Observe(0.120)
+	reg.Histogram("sim.distribution").Observe(0.360)
+	reg.Counter("sim.requests").Add(135)
+	reg.Counter("sim.sla_violations").Add(7)
+	reg.Counter("sim.throttle_events").Add(2)
+	reg.Counter("sim.steps").Add(40)
+	m := telemetry.NewManifest("tesa-sim", nil)
+	tel.Emit(telemetry.ManifestEvent, m.Snapshot())
+	tel.Emit("sim.completed", map[string]any{"requests": 135})
+	tel.Emit(telemetry.ManifestEvent, m.Finalize(reg, "ok"))
+	if err := tel.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := s.Stages()
+	names := map[string]bool{}
+	for _, st := range stages {
+		names[st.Name] = true
+	}
+	if !names["sim.run"] || !names["sim.distribution"] || !names["thermal"] {
+		t.Fatalf("stages missed sim spans: %+v", stages)
+	}
+	if stages[0].Name != "sim.distribution" {
+		t.Errorf("dominant span is %q, want sim.distribution", stages[0].Name)
+	}
+	for _, st := range stages {
+		if strings.HasPrefix(st.Name, "sim.") && st.CumFrac != 0 {
+			t.Errorf("%s CumFrac = %v, want 0 (sim spans are outside pipeline.total)", st.Name, st.CumFrac)
+		}
+		if st.Name == "thermal" && st.CumFrac != 1 {
+			t.Errorf("thermal CumFrac = %v, want 1", st.CumFrac)
+		}
+	}
+
+	sim := map[string]int64{}
+	for _, r := range s.SimTallies() {
+		sim[r.Name] = r.Hits
+	}
+	if sim["requests"] != 135 || sim["sla_violations"] != 7 || sim["throttle_events"] != 2 {
+		t.Errorf("sim tallies %v", sim)
+	}
+	if s.Events["sim.completed"] != 1 {
+		t.Errorf("sim.completed event not counted: %v", s.Events)
+	}
+
+	var out bytes.Buffer
+	WriteReport(&out, s)
+	if !strings.Contains(out.String(), "dynamic simulation:") ||
+		!strings.Contains(out.String(), "requests=135") {
+		t.Errorf("report missing the dynamic-simulation line:\n%s", out.String())
+	}
+}
+
 func TestReadToleratesTornTail(t *testing.T) {
 	data := synthesizeRun(t, 0.010, 0.001, 90)
 	torn := append(bytes.TrimRight(data, "\n"), []byte("\n{\"event\":\"run.man")...)
