@@ -107,6 +107,12 @@ type (
 	// ShardCheckpoint is one completed shard's record inside a
 	// CheckpointState.
 	ShardCheckpoint = core.ShardCheckpoint
+	// FrontMember is one full-fidelity point of an NSGA-II
+	// multi-objective front (Evaluator.NSGA2FrontContext).
+	FrontMember = core.FrontMember
+	// FrontOptions tunes the NSGA-II front engine (population size,
+	// generations, progress streaming).
+	FrontOptions = core.FrontOptions
 	// Progress is one incremental update from a long-running search.
 	Progress = core.Progress
 	// ProgressFunc receives Progress updates; see the core type for the

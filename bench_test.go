@@ -502,6 +502,112 @@ func benchSweepEval(b *testing.B, label, memoDir string, parallel bool) {
 	emitBench(b, rec)
 }
 
+// benchSweepSearch runs the validation-corner optimization (grid 32,
+// 15 fps, 85 C, seed 1, fast thermal path) against a shared memo corpus
+// and records how many distinct design points the search touched before
+// first adopting its final winner, so the plain/ranked pair in
+// BENCH_search.json can be checked for the identical winner and the
+// surrogate's evals-to-optimum saving. The corpus leg is a cold plain
+// search whose memo segments both measured legs then load, so the memo
+// layer serves both identically and the only delta between "plain" and
+// "ranked" is the learned ranking itself (which warms by replaying the
+// corpus before the run).
+func benchSweepSearch(b *testing.B, label, memoDir string, ranked bool) {
+	opts := tesa.DefaultOptions()
+	opts.Grid = 32
+	opts.ThermalFast = true
+	opts.Surrogate = ranked
+	// A wider candidate pool than the default: with a corpus-warmed model
+	// each annealing move picks the best of 16 scored candidates, which is
+	// what converts ranking accuracy into fewer evaluations.
+	opts.SurrogateK = 16
+	cons := tesa.DefaultConstraints()
+	cons.FPS = 15
+	cons.TempBudgetC = 85
+	var rec map[string]any
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev, err := tesa.NewEvaluator(tesa.ARVRWorkload(), opts, cons, tesa.Models{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := tesa.NewMemoStore()
+		memoDone, err := tesa.LoadMemoDir(store, memoDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev.UseMemo(store)
+		type improvement struct {
+			explored  int
+			objective float64
+		}
+		var improvements []improvement
+		optOpt := &tesa.OptimizeOptions{
+			// One chain at a time: identical results for the plain path by
+			// construction (see OptimizeOptions.Parallel), and a
+			// deterministic online-training order for the ranked one.
+			Parallel: 1,
+			Progress: func(p tesa.Progress) {
+				if p.Improved {
+					improvements = append(improvements, improvement{ev.Explored(), p.Incumbent.Objective})
+				}
+			},
+		}
+		res, err := ev.OptimizeContext(context.Background(), tesa.ValidationSpace(), 1, optOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Found {
+			b.Fatal("no feasible configuration on the validation space")
+		}
+		// evals-to-best is the explored count at the first incumbent that
+		// reached the winning objective — not at the last improvement,
+		// which can be a later tie-break churn between equal-objective
+		// points.
+		evalsToBest := 0
+		for _, im := range improvements {
+			if im.objective <= res.Best.Objective*(1+1e-9) {
+				evalsToBest = im.explored
+				break
+			}
+		}
+		if evalsToBest == 0 {
+			b.Fatal("no incumbent ever reached the winning objective")
+		}
+		if err := memoDone(); err != nil {
+			b.Fatal(err)
+		}
+		hits, misses, scored := ev.SurrogateStats()
+		rec = map[string]any{
+			"path":           label,
+			"winner":         fmt.Sprint(res.Best.Point),
+			"objective":      res.Best.Objective,
+			"evals_to_best":  evalsToBest,
+			"explored":       res.Explored,
+			"ranked":         res.Ranked,
+			"surrogate_hit":  hits,
+			"surrogate_miss": misses,
+			"surrogate_rank": scored,
+		}
+	}
+	b.Logf("%s: winner %v, %v points explored to first-hit the winning objective (%v total)",
+		label, rec["winner"], rec["evals_to_best"], rec["explored"])
+	emitBench(b, rec)
+}
+
+// BenchmarkSweepSearch is the acceptance benchmark of the learned
+// ranking surrogate: same corner, same seed, same warm memo corpus,
+// surrogate off vs on. The ranked leg must re-derive the identical
+// winner while touching at least 2x fewer design points before first
+// hitting it. Run with -benchtime 1x so the corpus leg really seeds the
+// segments the measured legs load.
+func BenchmarkSweepSearch(b *testing.B) {
+	dir := filepath.Join(b.TempDir(), "memo")
+	b.Run("corpus", func(b *testing.B) { benchSweepSearch(b, "corpus", dir, false) })
+	b.Run("plain", func(b *testing.B) { benchSweepSearch(b, "plain", dir, false) })
+	b.Run("ranked", func(b *testing.B) { benchSweepSearch(b, "ranked", dir, true) })
+}
+
 // BenchmarkSweepEval is the end-to-end acceptance benchmark of the
 // memoization layer: the same default-corner search on the PR's
 // fast-path baseline, then memo-cold (fresh persistent store, pooled

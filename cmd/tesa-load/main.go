@@ -21,10 +21,13 @@
 // -seed replays the same sequence, which is how the warm leg re-issues
 // the cold leg's work.
 //
-// -out writes a BENCH_serve.json with per-leg p50/p95/p99 latency,
-// error and quarantine rates, and the cold/warm p50 speedup. -verify
-// exits 1 unless every job in both legs completed successfully; -warm
-// skips the cold leg (for probing an already-warm server).
+// -out writes a BENCH_serve.json with per-leg p50/p95/p99 latency
+// (rank-interpolated, so they stay distinct at small request counts),
+// the observation count behind them ("samples" — gates should require
+// a minimum), error and quarantine rates, and the cold/warm p50
+// speedup. -verify exits 1 unless every job in both legs completed
+// successfully; -warm skips the cold leg (for probing an already-warm
+// server).
 package main
 
 import (
@@ -155,11 +158,15 @@ type leg struct {
 	Failed      int     `json:"failed"`
 	Quarantined int     `json:"quarantined"`
 	ErrorRate   float64 `json:"error_rate"`
-	P50Ms       float64 `json:"p50_ms"`
-	P95Ms       float64 `json:"p95_ms"`
-	P99Ms       float64 `json:"p99_ms"`
-	MeanMs      float64 `json:"mean_ms"`
-	WallSec     float64 `json:"wall_sec"`
+	// Samples is the latency observation count behind the percentiles —
+	// gates should require a minimum before trusting p95/p99, which are
+	// rank-interpolated and only a few samples apart at small N.
+	Samples int     `json:"samples"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+	WallSec float64 `json:"wall_sec"`
 }
 
 // runLeg submits specs at the configured arrival rate, waits for every
@@ -216,6 +223,7 @@ func runLeg(ctx context.Context, cl *server.Client, name string, specs [][]byte,
 		Done:        done,
 		Failed:      failed,
 		Quarantined: quarantined,
+		Samples:     int(snap.Count),
 		P50Ms:       1e3 * snap.Quantile(0.50),
 		P95Ms:       1e3 * snap.Quantile(0.95),
 		P99Ms:       1e3 * snap.Quantile(0.99),

@@ -1,16 +1,22 @@
-// Command tesa-pareto sweeps the Eq. (6) objective weights to trace the
-// MCM-cost vs DRAM-power Pareto front for one constraint corner, printing
-// a CSV of the distinct winning configurations.
+// Command tesa-pareto traces the Pareto front for one constraint
+// corner, printing a CSV of the winning configurations. Two engines:
+// the default -front weights sweeps the Eq. (6) objective weights
+// (cost vs DRAM power); -front nsga2 evolves a true multi-objective
+// population front over MCM cost, DRAM power, AND peak temperature —
+// non-dominated sorting with crowding-distance diversity, every
+// reported member re-evaluated at full fidelity.
 //
 // Usage:
 //
 //	tesa-pareto [-job spec.json]
 //	            [-tech 2d|3d] [-freq 400] [-fps 30] [-temp 75]
-//	            [-points 9] [-grid 32] [-seed 1]
+//	            [-front weights|nsga2] [-points 9] [-pop 24] [-gens 8]
+//	            [-grid 32] [-seed 1]
 //	            [-faults spec] [-max-failures 0] [-fail-fast]
 //	            [-stage-timeout 0] [-metrics] [-trace out.jsonl]
 //	            [-pprof addr] [-metrics-addr addr] [-manifest run.jsonl]
 //	            [-thermal-fast] [-surrogate-band 3]
+//	            [-surrogate] [-surrogate-k 8]
 //	            [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
 //
 // -job runs a versioned jobspec document (tesa.jobspec/v1, kind
@@ -18,6 +24,14 @@
 // command, the library, and tesa-server to an identical front. Config
 // flags conflict with -job; operational flags (-progress, -memo*,
 // telemetry) compose with it.
+//
+// -surrogate enables the learned ranking surrogate: an online model
+// trained from completed evaluations (and replayed from -memo-dir
+// segments) that orders candidate moves and offspring
+// best-predicted-first. Every proposal still runs the real pipeline,
+// so the traced front is unchanged — the model only reduces how many
+// full evaluations the search needs. -surrogate-k tunes its
+// neighborhood (0 = default).
 //
 // -thermal-fast runs every weight setting's search on the fast thermal
 // path (workspace CG, warm starts, surrogate pre-screen with a
@@ -48,11 +62,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"tesa"
 	"tesa/internal/cli"
@@ -64,7 +80,12 @@ func main() {
 		freqMHz   = flag.Float64("freq", 400, "operating frequency in MHz")
 		fps       = flag.Float64("fps", 30, "latency constraint in frames per second")
 		tempC     = flag.Float64("temp", 75, "thermal budget in Celsius")
-		points    = flag.Int("points", 9, "number of weight settings to sweep")
+		front     = flag.String("front", "weights", "front engine: weights (Eq. 6 sweep) or nsga2 (multi-objective population)")
+		points    = flag.Int("points", 9, "number of weight settings to sweep (weights front)")
+		pop       = flag.Int("pop", 0, "NSGA-II population size (0 = default; nsga2 front)")
+		gens      = flag.Int("gens", 0, "NSGA-II generations (0 = default; nsga2 front)")
+		surrogate = flag.Bool("surrogate", false, "learned ranking surrogate: order proposals best-predicted-first (results unchanged)")
+		surK      = flag.Int("surrogate-k", 0, "surrogate neighborhood size (0 = default; with -surrogate)")
 		grid      = flag.Int("grid", 32, "thermal grid cells per side")
 		seed      = flag.Int64("seed", 1, "optimizer seed")
 		progress  = flag.Bool("progress", false, "stream per-weight incumbents to stderr")
@@ -81,18 +102,28 @@ func main() {
 	flag.Parse()
 
 	job, err := cli.ResolveJob(*jobPath, "pareto",
-		"tech", "freq", "fps", "temp", "points", "grid", "seed",
-		"faults", "max-failures", "fail-fast", "stage-timeout",
-		"thermal-fast", "surrogate-band")
+		"tech", "freq", "fps", "temp", "front", "points", "pop", "gens",
+		"grid", "seed", "faults", "max-failures", "fail-fast",
+		"stage-timeout", "thermal-fast", "surrogate-band",
+		"surrogate", "surrogate-k")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if job != nil {
+		*front = job.ParetoFront
 		*points = job.ParetoPoints
+		*pop, *gens = job.ParetoPop, job.ParetoGens
 	}
-	if *points < 2 {
-		fmt.Fprintln(os.Stderr, "need at least 2 sweep points")
+	switch *front {
+	case "weights":
+		if *points < 2 {
+			fmt.Fprintln(os.Stderr, "need at least 2 sweep points")
+			os.Exit(2)
+		}
+	case "nsga2":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -front %q (want weights or nsga2)\n", *front)
 		os.Exit(2)
 	}
 
@@ -136,6 +167,8 @@ func main() {
 	base.Grid = *grid
 	base.ThermalFast = *fast
 	base.SurrogateBandC = *band
+	base.Surrogate = *surrogate
+	base.SurrogateK = *surK
 	cons := tesa.DefaultConstraints()
 	cons.FPS = *fps
 	cons.TempBudgetC = *tempC
@@ -154,6 +187,13 @@ func main() {
 	sess.Manifest.Set("workload", w.Name)
 	if *faultSpec != "" {
 		sess.Manifest.Set("faults", *faultSpec)
+	}
+	sess.Manifest.Set("front", *front)
+
+	if *front == "nsga2" {
+		runNSGA2(ctx, w, base, cons, space, *seed, *pop, *gens,
+			*faultSpec, *stageTO, *progress, store, tel, sess, finish)
+		return
 	}
 
 	fmt.Println("alpha,beta,arrayDim,sramKBper,icsUM,meshRows,meshCols,peakC,powerW,costUSD,dramW")
@@ -244,6 +284,76 @@ func main() {
 		ledger = append(ledger, q)
 	}
 	sort.Slice(ledger, func(i, j int) bool { return ledger[i].Point.Less(ledger[j].Point) })
+	cli.FailureSummary(os.Stderr, ledger)
+	if len(ledger) > 0 {
+		finish("ok-quarantined")
+		os.Exit(cli.ExitQuarantined)
+	}
+	finish("ok")
+}
+
+// runNSGA2 executes the -front nsga2 engine: one evaluator, one
+// evolved population, and a CSV of the full-fidelity non-dominated
+// front over cost, DRAM power, and peak temperature. An infinite
+// crowding distance (an objective-extreme member) prints as "inf".
+func runNSGA2(ctx context.Context, w tesa.Workload, opts tesa.Options, cons tesa.Constraints,
+	space tesa.Space, seed int64, pop, gens int, faultSpec string, stageTO time.Duration,
+	progress bool, store *tesa.MemoStore, tel *tesa.Telemetry, sess *cli.Session, finish func(string)) {
+	ev, err := tesa.NewEvaluator(w, opts, cons, tesa.Models{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ev.Instrument(tel)
+	if store != nil {
+		ev.UseMemo(store)
+	}
+	if err := cli.ApplyFaults(ev, faultSpec, stageTO); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fo := &tesa.FrontOptions{Pop: pop, Gens: gens}
+	if progress {
+		fo.Progress = func(p tesa.Progress) {
+			if p.Incumbent != nil {
+				fmt.Fprintf(os.Stderr, "generation %d of %d: cost extreme %v after %d evaluations\n",
+					p.Done, p.Total, p.Incumbent.Point, ev.Evaluations())
+			}
+		}
+	}
+	fo.Progress = sess.Progress(fo.Progress)
+	frontMembers, err := ev.NSGA2FrontContext(ctx, space, seed, fo)
+	switch {
+	case errors.Is(err, tesa.ErrNoFeasibleStart):
+		fmt.Fprintln(os.Stderr, "no feasible configuration: the front is empty")
+		cli.FailureSummary(os.Stderr, ev.QuarantineLedger())
+		finish("ok")
+		return
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "interrupted; no front printed")
+		finish("interrupted")
+		os.Exit(130)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, err)
+		finish("error")
+		os.Exit(1)
+	}
+	fmt.Println("arrayDim,sramKBper,icsUM,meshRows,meshCols,peakC,powerW,costUSD,dramW,crowding")
+	for _, m := range frontMembers {
+		b := m.Eval
+		crowding := fmt.Sprintf("%.4f", m.Crowding)
+		if math.IsInf(m.Crowding, 1) {
+			crowding = "inf"
+		}
+		fmt.Printf("%d,%d,%d,%d,%d,%.2f,%.2f,%.2f,%.2f,%s\n",
+			b.Point.ArrayDim, b.Point.SRAMKB(), b.Point.ICSUM,
+			b.Mesh.Rows, b.Mesh.Cols, b.PeakTempC, b.TotalPowerW, b.MCMCost.Total, b.DRAMPowerW, crowding)
+	}
+	if hits, misses, ranked := ev.SurrogateStats(); hits+misses > 0 {
+		fmt.Fprintf(os.Stderr, "surrogate: %d ranked decisions, %d cold fallbacks, %d candidates scored\n",
+			hits, misses, ranked)
+	}
+	ledger := ev.QuarantineLedger()
 	cli.FailureSummary(os.Stderr, ledger)
 	if len(ledger) > 0 {
 		finish("ok-quarantined")

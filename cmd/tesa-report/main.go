@@ -4,7 +4,7 @@
 //
 //	tesa-report [-table 3|4|5] [-fig 5|6] [-headline] [-validate] [-all]
 //	            [-grid 32] [-report-grid 88] [-seed 1]
-//	            [-thermal-fast] [-memo]
+//	            [-thermal-fast] [-memo] [-surrogate]
 //	            [-metrics] [-trace out.jsonl] [-pprof addr]
 //	            [-metrics-addr addr] [-manifest run.jsonl]
 //
@@ -22,7 +22,10 @@
 // the run; both change wall-clock time only, not the reproduced
 // numbers. With -memo the -validate lines report the store's hit rate
 // (and the warm-start hit rate with -thermal-fast) next to the local
-// cache-hit rate.
+// cache-hit rate. -surrogate turns on the learned ranking surrogate in
+// every evaluator; like the other speed knobs it reorders evaluation
+// only, and the -validate lines then report the surrogate.hit and
+// surrogate.rank counters (ranked decisions and candidates scored).
 package main
 
 import (
@@ -48,6 +51,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "optimizer seed")
 		fast       = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
 		memoize    = flag.Bool("memo", false, "share one memo store across every evaluator of the run")
+		surrogate  = flag.Bool("surrogate", false, "learned ranking surrogate in every evaluator (reorders evaluation only)")
 		obs        = cli.ObservabilityFlags()
 	)
 	flag.Parse()
@@ -64,6 +68,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.ThermalFast = *fast
 	cfg.Memo = *memoize
+	cfg.Surrogate = *surrogate
 	cfg.Telemetry = sess.Tel
 	sess.Manifest.Set("space", cfg.Space.Fingerprint())
 	sess.Manifest.Set("seed", *seed)
@@ -184,6 +189,9 @@ func main() {
 			}
 			if *fast {
 				line += fmt.Sprintf(" warm-hits=%.1f%%", 100*v.WarmStartHitRate)
+			}
+			if *surrogate {
+				line += fmt.Sprintf(" surrogate.hit=%d surrogate.rank=%d", v.SurrogateHits, v.SurrogateRanked)
 			}
 			fmt.Printf("%s agreement=%v\n", line, v.Agreement)
 			if v.ExhaustiveFound {

@@ -13,6 +13,7 @@
 //	           [-stage-timeout 0] [-metrics] [-trace out.jsonl]
 //	           [-pprof addr] [-metrics-addr addr] [-manifest run.jsonl]
 //	           [-thermal-fast] [-surrogate-band 3]
+//	           [-surrogate] [-surrogate-k 8]
 //	           [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
 //	tesa-sweep -coordinate :9090 -job spec.json
 //	           [-lease-ttl 10s] [-lease-shards 4] [-verify-frac 0.1]
@@ -29,6 +30,12 @@
 // fast thermal path (workspace CG, warm starts, surrogate pre-screen
 // with a -surrogate-band guard band); feasibility decisions and the
 // winning points are unchanged, only wall-clock time drops.
+//
+// -surrogate enables the learned ranking surrogate on both evaluators:
+// sweep shard interiors are evaluated best-predicted-first (the winner
+// is identical by construction — every point is still evaluated) and
+// the annealer ranks its candidate moves. With -memo-dir, the model
+// warm-starts from the persisted evaluation corpus.
 //
 // -memo shares one content-addressed memo store between the exhaustive
 // sweep and the annealer, so the annealer's evaluations are served
@@ -113,6 +120,8 @@ func main() {
 		stageTO     = flag.Duration("stage-timeout", 0, "quarantine a point when one pipeline stage exceeds this duration (0 = off)")
 		fast        = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
 		band        = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
+		surrogate   = flag.Bool("surrogate", false, "learned ranking surrogate: order sweep shards and annealer moves best-predicted-first (results unchanged)")
+		surK        = flag.Int("surrogate-k", 0, "surrogate neighborhood size (0 = default; with -surrogate)")
 		coordinate  = flag.String("coordinate", "", "serve a distributed sweep coordinator on this address (requires -job)")
 		workerURL   = flag.String("worker", "", "join the distributed sweep coordinator at this base URL as a worker")
 		workerName  = flag.String("worker-name", "", "worker identity reported to the coordinator (default: generated)")
@@ -137,7 +146,7 @@ func main() {
 	job, err := cli.ResolveJob(*jobPath, "sweep",
 		"tech", "freq", "fps", "temp", "full", "grid", "seed", "shard",
 		"faults", "max-failures", "fail-fast", "stage-timeout",
-		"thermal-fast", "surrogate-band")
+		"thermal-fast", "surrogate-band", "surrogate", "surrogate-k")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -202,6 +211,8 @@ func main() {
 	opts.Grid = *grid
 	opts.ThermalFast = *fast
 	opts.SurrogateBandC = *band
+	opts.Surrogate = *surrogate
+	opts.SurrogateK = *surK
 	cons := tesa.DefaultConstraints()
 	cons.FPS = *fps
 	cons.TempBudgetC = *tempC

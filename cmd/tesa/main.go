@@ -10,6 +10,7 @@
 //	     [-metrics] [-trace out.jsonl] [-pprof addr]
 //	     [-metrics-addr addr] [-manifest run.jsonl]
 //	     [-thermal-fast] [-surrogate-band 3]
+//	     [-surrogate] [-surrogate-k 8]
 //	     [-memo] [-memo-dir .tesa-memo] [-starts-parallel]
 //
 // -job runs a versioned jobspec document (tesa.jobspec/v1, kind
@@ -24,6 +25,16 @@
 // pre-screening with a -surrogate-band guard band); reported tables
 // always come from full-fidelity evaluations, so the flag changes
 // wall-clock time, not results.
+//
+// -surrogate enables the learned ranking surrogate: an online k-NN/RBF
+// model over completed evaluations (trained in-process and replayed
+// from -memo-dir segments at startup) that scores candidate annealing
+// moves and seed pools, so the search evaluates predicted-good points
+// first. Every proposal still runs the real pipeline and the winner is
+// always a full-fidelity evaluation — the flag reduces how many full
+// evaluations reaching the optimum takes, not what is reported.
+// -surrogate-k tunes the model neighborhood and the per-step ranked
+// candidate count (0 = default).
 //
 // -memo memoizes pipeline sub-results (systolic profiles, SRAM
 // estimates, schedules, coverage maps, whole evaluations) in a
@@ -91,6 +102,8 @@ func main() {
 		stageTO    = flag.Duration("stage-timeout", 0, "quarantine a point when one pipeline stage exceeds this duration (0 = off)")
 		fast       = flag.Bool("thermal-fast", false, "fast thermal path: workspace CG, warm starts, surrogate pre-screen")
 		band       = flag.Float64("surrogate-band", tesa.DefaultSurrogateBandC, "surrogate pre-screen guard band in Celsius (with -thermal-fast)")
+		surrogate  = flag.Bool("surrogate", false, "learned ranking surrogate: order candidate moves and seeds best-predicted-first (results unchanged)")
+		surK       = flag.Int("surrogate-k", 0, "surrogate neighborhood size and ranked-move candidate count (0 = default; with -surrogate)")
 		obs        = cli.ObservabilityFlags()
 		mf         = cli.MemoFlagsRegister()
 		jobPath    = cli.JobFlag()
@@ -100,7 +113,8 @@ func main() {
 	job, err := cli.ResolveJob(*jobPath, "optimize",
 		"tech", "freq", "fps", "temp", "power", "interposer", "grid", "seed",
 		"alpha", "beta", "dataflow", "workload", "faults", "max-failures",
-		"fail-fast", "stage-timeout", "thermal-fast", "surrogate-band")
+		"fail-fast", "stage-timeout", "thermal-fast", "surrogate-band",
+		"surrogate", "surrogate-k")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -164,6 +178,8 @@ func main() {
 	opts.Alpha, opts.Beta = *alpha, *beta
 	opts.ThermalFast = *fast
 	opts.SurrogateBandC = *band
+	opts.Surrogate = *surrogate
+	opts.SurrogateK = *surK
 	cons := tesa.Constraints{FPS: *fps, PowerBudgetW: *powerW, TempBudgetC: *tempC, InterposerMM: *interposer}
 
 	w := tesa.ARVRWorkload()
@@ -279,6 +295,10 @@ func main() {
 		100*res.CacheHitRate, elapsed.Seconds())
 	if res.Screened > 0 {
 		fmt.Printf("fast path: %d candidates rejected by the surrogate pre-screen without a grid solve\n", res.Screened)
+	}
+	if hits, misses, ranked := ev.SurrogateStats(); hits+misses > 0 {
+		fmt.Printf("surrogate: %d ranked decisions (%d candidates scored), %d cold fallbacks\n",
+			hits, ranked, misses)
 	}
 	fmt.Println()
 	fmt.Print(tesa.FloorplanASCII(best))

@@ -1,0 +1,76 @@
+package anneal
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// RankStats counts ranked-move outcomes across an annealing run. It is
+// safe for concurrent use — parallel annealers share one instance
+// through the RankedNeighbor closure.
+type RankStats struct {
+	decided atomic.Int64
+	cold    atomic.Int64
+	ranked  atomic.Int64
+}
+
+// Decided returns the number of steps where the scorer was warm and the
+// ranking chose the proposed move.
+func (s *RankStats) Decided() int { return int(s.decided.Load()) }
+
+// Cold returns the number of steps that fell back to the plain move
+// because the scorer declined (not enough training data yet).
+func (s *RankStats) Cold() int { return int(s.cold.Load()) }
+
+// Ranked returns the total number of candidate moves scored.
+func (s *RankStats) Ranked() int { return int(s.ranked.Load()) }
+
+// RankedNeighbor wraps a move generator with candidate ranking: each
+// step draws up to k candidate moves from the chain's own PRNG, scores
+// them with score (lower is better — core passes a surrogate
+// lower-confidence bound), and proposes the best-scored one. Only the
+// proposed move is ever evaluated at full fidelity, so the ranking
+// redirects the trajectory without adding evaluations.
+//
+// The first candidate is drawn before any ranking commitment: when
+// score declines it (ok=false — a cold model), the step returns that
+// first draw having consumed exactly the PRNG state the unranked
+// generator would have, so a run whose scorer never warms is
+// bit-identical to the unranked run. Once the scorer warms the
+// trajectory may diverge — which is the point — but every proposed
+// state still flows through the caller's evaluation, so the soundness
+// argument (winners are full-fidelity by construction) is untouched.
+// Ties in score keep the earliest draw, making the proposal a
+// deterministic function of the PRNG stream and the scorer's state.
+func RankedNeighbor[S any](k int, neighbor Neighbor[S], score func(S) (float64, bool), stats *RankStats) Neighbor[S] {
+	if k < 2 {
+		return neighbor
+	}
+	return func(cur S, rng *rand.Rand) S {
+		best := neighbor(cur, rng)
+		bestScore, ok := score(best)
+		if !ok {
+			if stats != nil {
+				stats.cold.Add(1)
+			}
+			return best
+		}
+		scored := int64(1)
+		for i := 1; i < k; i++ {
+			cand := neighbor(cur, rng)
+			s, ok := score(cand)
+			if !ok {
+				continue
+			}
+			scored++
+			if s < bestScore {
+				best, bestScore = cand, s
+			}
+		}
+		if stats != nil {
+			stats.decided.Add(1)
+			stats.ranked.Add(scored)
+		}
+		return best
+	}
+}

@@ -1,0 +1,74 @@
+package anneal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// intStep is a toy move generator: one PRNG draw per move.
+func intStep(cur int, rng *rand.Rand) int { return cur + rng.Intn(11) - 5 }
+
+// TestRankedNeighborColdIsBitIdentical: a scorer that never warms must
+// leave the move stream — and the PRNG state behind it — untouched.
+func TestRankedNeighborColdIsBitIdentical(t *testing.T) {
+	var stats RankStats
+	ranked := RankedNeighbor(4, intStep, func(int) (float64, bool) { return 0, false }, &stats)
+	a, b := rand.New(rand.NewSource(3)), rand.New(rand.NewSource(3))
+	cur := 0
+	for i := 0; i < 100; i++ {
+		got, want := ranked(cur, a), intStep(cur, b)
+		if got != want {
+			t.Fatalf("step %d: cold ranked move %d != plain move %d", i, got, want)
+		}
+		cur = got
+	}
+	if a.Int63() != b.Int63() {
+		t.Fatal("cold ranking consumed extra PRNG state")
+	}
+	if stats.Cold() != 100 || stats.Decided() != 0 {
+		t.Fatalf("stats: cold=%d decided=%d, want 100/0", stats.Cold(), stats.Decided())
+	}
+}
+
+// TestRankedNeighborPicksBestScore: with a warm scorer the proposed
+// move is the best-scored of the k draws.
+func TestRankedNeighborPicksBestScore(t *testing.T) {
+	var stats RankStats
+	score := func(s int) (float64, bool) { return float64(s * s), true } // prefer 0
+	ranked := RankedNeighbor(8, intStep, score, &stats)
+	rng := rand.New(rand.NewSource(9))
+	ref := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		got := ranked(10, rng)
+		// Reference: same 8 draws from a cloned stream, min score wins,
+		// ties keep the earliest draw.
+		best := intStep(10, ref)
+		bestS, _ := score(best)
+		for j := 1; j < 8; j++ {
+			c := intStep(10, ref)
+			if s, _ := score(c); s < bestS {
+				best, bestS = c, s
+			}
+		}
+		if got != best {
+			t.Fatalf("step %d: picked %d, reference best %d", i, got, best)
+		}
+	}
+	if stats.Decided() != 50 {
+		t.Fatalf("decided=%d want 50", stats.Decided())
+	}
+	if stats.Ranked() != 50*8 {
+		t.Fatalf("ranked=%d want %d", stats.Ranked(), 50*8)
+	}
+}
+
+// TestRankedNeighborDegenerateK: k < 2 is the plain generator.
+func TestRankedNeighborDegenerateK(t *testing.T) {
+	ranked := RankedNeighbor(1, intStep, func(int) (float64, bool) { return 0, true }, nil)
+	a, b := rand.New(rand.NewSource(5)), rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		if got, want := ranked(0, a), intStep(0, b); got != want {
+			t.Fatalf("k=1 diverged: %d vs %d", got, want)
+		}
+	}
+}

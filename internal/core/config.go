@@ -130,6 +130,23 @@ type Options struct {
 	// ThermalFast is set; DefaultSurrogateBandC is the validated
 	// default.
 	SurrogateBandC float64
+	// Surrogate enables the learned search ranking (the CLIs' -surrogate
+	// flag): an online k-NN/RBF regressor over design-point feature
+	// vectors, trained incrementally from this process's completed
+	// evaluations (plus the memo store's corpus, including -memo-dir
+	// replays, when memoization is on), ranks annealer candidate moves,
+	// multi-start seed pools, and sweep shard interiors
+	// best-predicted-first. Every proposal the ranking makes is still
+	// evaluated by the real pipeline and reported winners are always
+	// full-fidelity (the engines re-evaluate them), so the surrogate
+	// redirects where the search looks first without deciding any
+	// outcome — the same soundness discipline as the ThermalFast
+	// pre-screen. Off by default.
+	Surrogate bool
+	// SurrogateK is the surrogate's neighborhood size and the ranked
+	// annealer's candidate-move count; 0 selects the package default
+	// (surrogate.DefaultK). Only consulted when Surrogate is set.
+	SurrogateK int
 	// Memo enables the cross-point memoization layer (the CLIs'
 	// -memo flag): stage results (per-network systolic simulations, SRAM
 	// scalars, schedules, coverage maps) and whole-point DSE evaluations
@@ -186,6 +203,9 @@ func (o Options) Validate() error {
 	}
 	if o.SurrogateBandC < 0 {
 		return fmt.Errorf("core: negative surrogate guard band %g", o.SurrogateBandC)
+	}
+	if o.SurrogateK < 0 {
+		return fmt.Errorf("core: negative surrogate neighborhood %d", o.SurrogateK)
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"tesa/internal/nop"
 	"tesa/internal/power"
 	"tesa/internal/sched"
+	"tesa/internal/surrogate"
 	"tesa/internal/systolic"
 	"tesa/internal/telemetry"
 	"tesa/internal/thermal"
@@ -170,6 +171,13 @@ type Evaluator struct {
 	// disabled); see UseMemo and Options.Memo. It may be shared across
 	// evaluators — keys carry configuration fingerprints.
 	memo *memo.Store
+	// sur is the online learned search ranking (nil unless
+	// Options.Surrogate); surReplay guards the one-time corpus replay
+	// from the memo store, and surStats mirrors the surrogate.*
+	// telemetry counters. See surrogate.go.
+	sur       *surrogate.Model
+	surReplay sync.Once
+	surStats  surrogateStats
 	// fpOnce guards the lazy fingerprint computation below (memoize.go).
 	fpOnce sync.Once
 	cfgFP  string   // whole-evaluation configuration fingerprint
@@ -287,6 +295,9 @@ func NewEvaluator(w dnn.Workload, opts Options, cons Constraints, models Models)
 		// cross-process sharing attach one with UseMemo / LoadMemoDir.
 		e.memo = memo.NewStore()
 	}
+	if opts.Surrogate {
+		e.sur = surrogate.New(opts.SurrogateK)
+	}
 	return e, nil
 }
 
@@ -399,6 +410,9 @@ func (e *Evaluator) evaluate(p DesignPoint, full bool) (*Evaluation, error) {
 	e.mu.Lock()
 	e.cache[p] = ev
 	e.mu.Unlock()
+	// Completed evaluations train the search surrogate online (a no-op
+	// unless Options.Surrogate); see surrogate.go for what qualifies.
+	e.trainSurrogate(ev)
 	return ev, nil
 }
 

@@ -27,6 +27,12 @@ type ExperimentConfig struct {
 	// ThermalFast routes the experiment evaluators through the fast
 	// thermal path (Options.ThermalFast); off by default like the flag.
 	ThermalFast bool
+	// Surrogate turns on the learned ranking surrogate in every
+	// evaluator the experiment creates (Options.Surrogate). Ranking only
+	// reorders which candidates are evaluated first, so table and figure
+	// numbers are unchanged; the validation study reports how many
+	// search decisions the model served.
+	Surrogate bool
 	// Memo shares one cross-point memoization store across every
 	// evaluator the experiment creates — the exhaustive sweep, the
 	// optimizer, per-corner runs and the fine-grid re-evaluations — so
@@ -101,6 +107,7 @@ func (cfg *ExperimentConfig) optionsFor(c Corner) (Options, Constraints) {
 	opts.FreqHz = c.FreqMHz * 1e6
 	opts.Grid = cfg.Grid
 	opts.ThermalFast = cfg.ThermalFast
+	opts.Surrogate = cfg.Surrogate
 	cons := DefaultConstraints()
 	cons.FPS = c.FPS
 	cons.TempBudgetC = c.BudgetC
@@ -489,8 +496,14 @@ type ValidationResult struct {
 	// WarmStartHitRate is the thermal warm-start cache hit rate summed
 	// over both evaluators (zero unless ThermalFast ran grid solves).
 	WarmStartHitRate float64
-	FeasibleCount    int
-	SpaceSize        int
+	// SurrogateHits counts the optimizer's search decisions served by a
+	// warm ranking model (the surrogate.hit counter); SurrogateRanked
+	// counts the candidates it scored (surrogate.rank). Both zero unless
+	// ExperimentConfig.Surrogate is set.
+	SurrogateHits   int64
+	SurrogateRanked int64
+	FeasibleCount   int
+	SpaceSize       int
 }
 
 // ValidateOptimizer reproduces the paper's Sec. IV-A study: exhaustively
@@ -548,6 +561,9 @@ func (cfg *ExperimentConfig) ValidateOptimizerContext(ctx context.Context, c Cor
 	if total := exHits + exMisses + opHits + opMisses; total > 0 {
 		res.WarmStartHitRate = float64(exHits+opHits) / float64(total)
 	}
+	surHits, _, surRanked := op.SurrogateStats()
+	res.SurrogateHits, res.SurrogateRanked = surHits, surRanked
+
 	res.ExhaustiveBest = exRes.Best
 	if opRes.Found {
 		res.OptimizerBest = opRes.Best

@@ -94,9 +94,9 @@ func LoadMemoDir(store *memo.Store, dir string) (func() error, error) {
 
 // fingerprints lazily computes the evaluator's canonical configuration
 // fingerprints. cfgFP binds whole-point evaluations to everything that
-// can change one: workload content, options (with the memo switch zeroed
-// — it never changes results), constraints, every model parameter, and
-// the stage timeout. perfFP binds the performance-model stages
+// can change one: workload content, options (with the memo and
+// surrogate switches zeroed — neither changes results), constraints,
+// every model parameter, and the stage timeout. perfFP binds the performance-model stages
 // (systolic + power decomposition + schedule), which see only the
 // workload, tech, frequency, dataflow and power parameters. netFPs
 // fingerprint each network's content for per-network systolic keys.
@@ -104,6 +104,12 @@ func (e *Evaluator) fingerprints() {
 	e.fpOnce.Do(func() {
 		o := e.Opts
 		o.Memo = false
+		// The surrogate, like the memo switch, never changes what an
+		// evaluation computes — it only reorders what gets evaluated
+		// first — so surrogate-on and surrogate-off runs must share memo
+		// records.
+		o.Surrogate = false
+		o.SurrogateK = 0
 		e.cfgFP = memo.Hash("cfg", e.Workload, o, e.Cons, e.Models, int64(e.stageTimeout))
 		e.perfFP = memo.Hash("perf", e.Workload, o.Tech, o.FreqHz, fmt.Sprint(o.Dataflow), e.Models.Power)
 		e.netFPs = make([]string, len(e.Workload.Networks))

@@ -44,6 +44,12 @@ type OptimizeResult struct {
 	// in Evaluations — the screen changes their cost, not the
 	// trajectory.
 	Screened int
+	// Ranked counts candidate moves scored by the learned search
+	// surrogate (always 0 unless Options.Surrogate is set). Ranked
+	// candidates are NOT evaluated — per annealing step only the
+	// best-ranked of them is, so Ranked measures how much proposal
+	// traffic the model absorbed instead of the pipeline.
+	Ranked int
 }
 
 // OptimizeOptions tunes the context-first optimizer entrypoint beyond
@@ -171,6 +177,69 @@ func sampleFeasibleStartParallel(ctx context.Context, space Space, rng *rand.Ran
 	return best, found
 }
 
+// sampleFeasibleStartRanked is sampleFeasibleStart with surrogate
+// ranking: the budget's draws are taken from rng up front (consuming
+// the same PRNG stream as the other paths), ranked best-predicted-first
+// by the surrogate's predicted mean (exploitation only — see
+// surrogateScoreExploit), and evaluated in that
+// order — stopping early once a feasible start is in hand and at least
+// an eighth of the budget (min 8) has been evaluated, which is where
+// the evals-to-optimum saving comes from. While the model is cold the
+// draws are evaluated in draw order to the full budget, matching the
+// sequential path's start exactly; a model that warms mid-scoring also
+// falls back (conservative — ranking from a partial score set would
+// depend on warm-up timing more than on the data).
+func (e *Evaluator) sampleFeasibleStartRanked(ctx context.Context, space Space, rng *rand.Rand, budget int,
+	eval func(DesignPoint) (*Evaluation, error), obj objectiveFn, feas feasibleFn,
+	score func(DesignPoint) (float64, bool)) (DesignPoint, bool) {
+	draws := make([]DesignPoint, budget)
+	for i := range draws {
+		draws[i] = space.Random(rng)
+	}
+	order := make([]int, budget)
+	for i := range order {
+		order[i] = i
+	}
+	scores := make([]float64, budget)
+	warm := true
+	for i, p := range draws {
+		s, ok := score(p)
+		if !ok {
+			warm = false
+			break
+		}
+		scores[i] = s
+	}
+	if warm {
+		sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+		e.recordSurrogate(1, 0, int64(budget))
+	} else {
+		e.recordSurrogate(0, 1, 0)
+	}
+	keep := budget / 8
+	if keep < 8 {
+		keep = 8
+	}
+	var best DesignPoint
+	bestObj, found := 0.0, false
+	for n, i := range order {
+		if ctx.Err() != nil {
+			return best, false
+		}
+		if warm && found && n >= keep {
+			break
+		}
+		ev, err := eval(draws[i])
+		if err != nil || !feas(ev) {
+			continue
+		}
+		if o := obj(ev); !found || o < bestObj {
+			best, bestObj, found = draws[i], o, true
+		}
+	}
+	return best, found
+}
+
 // Optimize runs the paper's multi-start simulated annealing over the
 // design space (Fig. 4) to completion, without cancellation. It is a
 // context.Background() wrapper over OptimizeContext that preserves the
@@ -272,7 +341,26 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		}
 		return nil, err
 	}
+	// With the learned surrogate enabled, candidate moves are drawn K at
+	// a time and the model proposes the best-ranked one, and the seeding
+	// pool is evaluated best-predicted-first. Both paths fall back to
+	// the plain behavior while the model is cold, and every proposal is
+	// still evaluated at full pipeline fidelity — the ranking steers the
+	// trajectory, never the answers (the reported winner is additionally
+	// re-evaluated below, like every winner).
+	neighbor := space.Neighbor
+	score := e.surrogateScore()
+	var rank *anneal.RankStats
+	if score != nil {
+		rank = &anneal.RankStats{}
+		neighbor = anneal.RankedNeighbor(e.surrogateK(), space.Neighbor, score, rank)
+	}
 	init := func(rng *rand.Rand) (DesignPoint, bool) {
+		if score != nil {
+			// Seeding ranks by predicted mean, not LCB: a starting pool
+			// wants likely-feasible draws first (see surrogateScoreExploit).
+			return e.sampleFeasibleStartRanked(runCtx, space, rng, budget, evalQ, objective, feasible, e.surrogateScoreExploit())
+		}
 		if o.Parallel > 0 {
 			return sampleFeasibleStartParallel(runCtx, space, rng, budget, o.Parallel, evalQ, objective, feasible)
 		}
@@ -330,9 +418,9 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		// state-based tie-break, so the ensemble winner is deterministic
 		// under any pool width.
 		less := func(a, b DesignPoint) bool { return a.Less(b) }
-		best, per, err = anneal.MultiStartPoolContext(runCtx, cfgs, o.Parallel, less, init, space.Neighbor, annealEval)
+		best, per, err = anneal.MultiStartPoolContext(runCtx, cfgs, o.Parallel, less, init, neighbor, annealEval)
 	} else {
-		best, per, err = anneal.MultiStartContext(runCtx, cfgs, init, space.Neighbor, annealEval)
+		best, per, err = anneal.MultiStartContext(runCtx, cfgs, init, neighbor, annealEval)
 	}
 	span.End()
 	// The failure policy cancels runCtx, so the annealers report a bare
@@ -371,6 +459,10 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 		res.Screened = screen.Screened()
 		e.tel.Registry().Counter("anneal.screened").Add(int64(res.Screened))
 	}
+	if rank != nil {
+		res.Ranked = rank.Ranked()
+		e.recordSurrogate(int64(rank.Decided()), int64(rank.Cold()), int64(rank.Ranked()))
+	}
 	if best.Found {
 		ev, err := e.Evaluate(best.Best)
 		if err != nil {
@@ -400,6 +492,7 @@ func (e *Evaluator) OptimizeContext(ctx context.Context, space Space, seed int64
 			"starts":      len(per),
 			"quarantined": res.Quarantined,
 			"screened":    res.Screened,
+			"ranked":      res.Ranked,
 		}
 		if res.Found {
 			fields["best_obj"] = res.Best.Objective

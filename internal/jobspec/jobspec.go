@@ -115,6 +115,14 @@ type Options struct {
 	ThermalFast *bool `json:"thermal_fast,omitempty"`
 	// SurrogateBandC is the pre-screen guard band in Celsius.
 	SurrogateBandC *float64 `json:"surrogate_band_c,omitempty"`
+	// Surrogate enables the learned ranking surrogate: an online model
+	// over completed evaluations that orders candidate moves, seeds, and
+	// sweep shards best-predicted-first. Results are unchanged — every
+	// proposal still runs the real pipeline.
+	Surrogate *bool `json:"surrogate,omitempty"`
+	// SurrogateK is the model's neighborhood size and the ranked-move
+	// candidate count (0 = the package default).
+	SurrogateK *int `json:"surrogate_k,omitempty"`
 }
 
 // Constraints is the spec's view of core.Constraints; absent fields
@@ -147,10 +155,19 @@ type Sweep struct {
 	ShardSize int `json:"shard_size,omitempty"`
 }
 
-// Pareto tunes the weight sweep.
+// Pareto tunes the front engine.
 type Pareto struct {
+	// Front selects the engine: "weights" (the Eq. 6 weight sweep, the
+	// default) or "nsga2" (the true multi-objective population front
+	// over cost, DRAM power, and peak temperature).
+	Front string `json:"front,omitempty"`
 	// Points is the number of weight settings to sweep (>= 2; 0 = 9).
+	// Weight fronts only.
 	Points int `json:"points,omitempty"`
+	// Pop and Gens are the NSGA-II population size and generation count
+	// (0 = the engine defaults). NSGA-II fronts only.
+	Pop  int `json:"pop,omitempty"`
+	Gens int `json:"gens,omitempty"`
 }
 
 // Sim describes a dynamic multi-tenant scenario run: the design point
@@ -297,8 +314,24 @@ func (s *Spec) Validate() error {
 	if s.Pareto != nil && s.Kind != KindPareto {
 		return fmt.Errorf("jobspec: pareto section on a %q job", s.Kind)
 	}
-	if s.Pareto != nil && s.Pareto.Points != 0 && s.Pareto.Points < 2 {
-		return fmt.Errorf("jobspec: pareto needs at least 2 weight points, got %d", s.Pareto.Points)
+	if p := s.Pareto; p != nil {
+		switch p.Front {
+		case "", "weights", "nsga2":
+		default:
+			return fmt.Errorf("jobspec: unknown pareto front %q (want weights or nsga2)", p.Front)
+		}
+		if p.Points != 0 && p.Points < 2 {
+			return fmt.Errorf("jobspec: pareto needs at least 2 weight points, got %d", p.Points)
+		}
+		if p.Pop < 0 || p.Gens < 0 {
+			return fmt.Errorf("jobspec: negative pareto pop/gens %d/%d", p.Pop, p.Gens)
+		}
+		if p.Front != "nsga2" && (p.Pop != 0 || p.Gens != 0) {
+			return fmt.Errorf("jobspec: pop/gens only apply to the nsga2 front")
+		}
+		if p.Front == "nsga2" && p.Points != 0 {
+			return fmt.Errorf("jobspec: points only applies to the weights front")
+		}
 	}
 	if s.Sim != nil && s.Kind != KindSim {
 		return fmt.Errorf("jobspec: sim section on a %q job", s.Kind)

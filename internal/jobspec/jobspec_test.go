@@ -301,6 +301,95 @@ func TestRunSweepAndPareto(t *testing.T) {
 	}
 }
 
+// TestResolveSurrogateAndFront covers the learned-surrogate overlay and
+// the pareto front-engine selection: the pointer fields reach
+// core.Options, front defaults to the weight sweep, and the nsga2
+// section validates strictly.
+func TestResolveSurrogateAndFront(t *testing.T) {
+	spec, err := Parse([]byte(`{
+	  "version": "tesa.jobspec/v1",
+	  "kind": "pareto",
+	  "options": {"surrogate": true, "surrogate_k": 5},
+	  "pareto": {"front": "nsga2", "pop": 6, "gens": 2}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := spec.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Opts.Surrogate || r.Opts.SurrogateK != 5 {
+		t.Errorf("surrogate overlay lost: %+v", r.Opts)
+	}
+	if r.ParetoFront != "nsga2" || r.ParetoPop != 6 || r.ParetoGens != 2 {
+		t.Errorf("front section lost: %q pop=%d gens=%d", r.ParetoFront, r.ParetoPop, r.ParetoGens)
+	}
+
+	plain, err := Parse([]byte(`{"version":"tesa.jobspec/v1","kind":"pareto"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := plain.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.ParetoFront != "weights" || rp.Opts.Surrogate {
+		t.Errorf("defaults drifted: front=%q surrogate=%v", rp.ParetoFront, rp.Opts.Surrogate)
+	}
+
+	for _, bad := range []string{
+		`{"version":"tesa.jobspec/v1","kind":"pareto","pareto":{"front":"hull"}}`,
+		`{"version":"tesa.jobspec/v1","kind":"pareto","pareto":{"pop":8}}`,
+		`{"version":"tesa.jobspec/v1","kind":"pareto","pareto":{"front":"nsga2","points":5}}`,
+		`{"version":"tesa.jobspec/v1","kind":"pareto","pareto":{"front":"nsga2","pop":-1}}`,
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("accepted invalid pareto section: %s", bad)
+		}
+	}
+}
+
+// TestRunNSGA2Front executes an nsga2 pareto job end to end: the wire
+// result carries the engine tag and a non-empty front whose members all
+// have full projections.
+func TestRunNSGA2Front(t *testing.T) {
+	spec, err := Parse([]byte(`{
+	  "version": "tesa.jobspec/v1",
+	  "kind": "pareto",
+	  "options": {"grid": 8, "surrogate": true},
+	  "constraints": {"fps": 15, "temp_c": 85},
+	  "space": {"array_dims": [180, 200, 220], "ics_ums": [0, 1000]},
+	  "pareto": {"front": "nsga2", "pop": 4, "gens": 2},
+	  "seed": 1
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := spec.Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), r, Runtime{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != KindPareto || res.FrontEngine != "nsga2" {
+		t.Fatalf("engine tag off: %+v", res)
+	}
+	if !res.Found || len(res.Front) == 0 {
+		t.Fatal("empty front on a feasible space")
+	}
+	for i, fp := range res.Front {
+		if !fp.Found || fp.Best == nil {
+			t.Errorf("front[%d] missing its evaluation", i)
+		}
+		if fp.Alpha != 0 || fp.Beta != 0 {
+			t.Errorf("front[%d] carries weight-sweep fields: %+v", i, fp)
+		}
+	}
+}
+
 // TestRunDeadline proves the spec's own deadline cancels a job.
 func TestRunDeadline(t *testing.T) {
 	spec, err := Parse([]byte(`{

@@ -35,8 +35,14 @@ type Resolved struct {
 	Seed int64
 	// ShardSize is the sweep shard granularity (0 = automatic).
 	ShardSize int
-	// ParetoPoints is the number of weight settings of a pareto job.
+	// ParetoFront is the front engine of a pareto job ("weights" or
+	// "nsga2"); ParetoPoints is the weight-setting count of a weight
+	// front, ParetoPop/ParetoGens the population shape of an NSGA-II
+	// front (0 = engine defaults).
+	ParetoFront  string
 	ParetoPoints int
+	ParetoPop    int
+	ParetoGens   int
 	// MaxFailures / FailFast / StageTimeout are the failure policies.
 	MaxFailures  int
 	FailFast     bool
@@ -70,6 +76,7 @@ func (s *Spec) Resolve(baseDir string) (*Resolved, error) {
 		Opts:         core.DefaultOptions(),
 		Cons:         core.DefaultConstraints(),
 		Seed:         1,
+		ParetoFront:  "weights",
 		ParetoPoints: 9,
 	}
 	w, err := s.resolveWorkload(baseDir)
@@ -116,6 +123,12 @@ func (s *Spec) Resolve(baseDir string) (*Resolved, error) {
 		if o.SurrogateBandC != nil {
 			r.Opts.SurrogateBandC = *o.SurrogateBandC
 		}
+		if o.Surrogate != nil {
+			r.Opts.Surrogate = *o.Surrogate
+		}
+		if o.SurrogateK != nil {
+			r.Opts.SurrogateK = *o.SurrogateK
+		}
 	}
 	if c := s.Constraints; c != nil {
 		if c.FPS != nil {
@@ -147,8 +160,15 @@ func (s *Spec) Resolve(baseDir string) (*Resolved, error) {
 	if s.Sweep != nil {
 		r.ShardSize = s.Sweep.ShardSize
 	}
-	if s.Pareto != nil && s.Pareto.Points != 0 {
-		r.ParetoPoints = s.Pareto.Points
+	if p := s.Pareto; p != nil {
+		if p.Front != "" {
+			r.ParetoFront = p.Front
+		}
+		if p.Points != 0 {
+			r.ParetoPoints = p.Points
+		}
+		r.ParetoPop = p.Pop
+		r.ParetoGens = p.Gens
 	}
 	if p := s.Policies; p != nil {
 		r.MaxFailures = p.MaxFailures

@@ -36,7 +36,11 @@ type Result struct {
 	// Screened counts candidates rejected by the surrogate pre-screen
 	// (only with thermal_fast).
 	Screened int `json:"screened,omitempty"`
-	// Front is the traced weight front of a pareto job, in weight order.
+	// FrontEngine says which engine traced Front: "weights" (the Eq. 6
+	// weight sweep, in weight order) or "nsga2" (the non-dominated
+	// population front, sorted by cost).
+	FrontEngine string `json:"front_engine,omitempty"`
+	// Front is the traced front of a pareto job.
 	Front []FrontPoint `json:"front,omitempty"`
 	// Sim is the dynamic-workload outcome of a sim job (absent when the
 	// point does not fit the interposer — Found is false then).
@@ -74,6 +78,10 @@ type FrontPoint struct {
 	Best *Best `json:"best,omitempty"`
 	// Duplicate marks a winner already traced by an earlier weight.
 	Duplicate bool `json:"duplicate,omitempty"`
+	// Crowding is the NSGA-II crowding distance (nsga2 fronts only;
+	// -1 encodes the +Inf of an objective-extreme member so the result
+	// stays finite JSON). Zero on weight fronts.
+	Crowding float64 `json:"crowding,omitempty"`
 }
 
 // SimOutcome is the JSON-safe outcome of a sim job: the base-seed run's

@@ -3,6 +3,7 @@ package jobspec
 import (
 	"context"
 	"errors"
+	"math"
 
 	"tesa/internal/core"
 	"tesa/internal/memo"
@@ -150,7 +151,10 @@ func runSim(ctx context.Context, r *Resolved, rt Runtime) (*Result, error) {
 // shares the runtime's store and hub (the weights enter the objective,
 // not the pipeline, so every weight-independent sub-result is reused).
 func runPareto(ctx context.Context, r *Resolved, rt Runtime) (*Result, error) {
-	out := &Result{Kind: KindPareto}
+	if r.ParetoFront == "nsga2" {
+		return runParetoNSGA2(ctx, r, rt)
+	}
+	out := &Result{Kind: KindPareto, FrontEngine: "weights"}
 	seen := map[core.DesignPoint]bool{}
 	poisoned := map[core.DesignPoint]bool{}
 	for i := 0; i < r.ParetoPoints; i++ {
@@ -204,5 +208,46 @@ func runPareto(ctx context.Context, r *Resolved, rt Runtime) (*Result, error) {
 	out.Quarantined = len(poisoned)
 	// Front stays in weight order; objectives are not comparable across
 	// weight settings, so there is no overall Best for a pareto job.
+	return out, nil
+}
+
+// runParetoNSGA2 is the true multi-objective front: one NSGA-II
+// population evolved over (cost, DRAM power, peak temperature), every
+// reported member re-evaluated at full fidelity by the engine. Unlike
+// the weight sweep there is no alpha/beta per point — the front IS the
+// trade-off surface, so Alpha/Beta stay zero and Crowding carries the
+// diversity metric instead.
+func runParetoNSGA2(ctx context.Context, r *Resolved, rt Runtime) (*Result, error) {
+	ev, err := newEvaluator(r, r.Opts, rt)
+	if err != nil {
+		return nil, err
+	}
+	front, err := ev.NSGA2FrontContext(ctx, r.Space, r.Seed, &core.FrontOptions{
+		Pop:      r.ParetoPop,
+		Gens:     r.ParetoGens,
+		Progress: rt.Progress,
+	})
+	if err != nil && !errors.Is(err, core.ErrNoFeasibleStart) {
+		return nil, err
+	}
+	out := &Result{
+		Kind:        KindPareto,
+		FrontEngine: "nsga2",
+		Found:       len(front) > 0,
+		Evaluations: ev.Evaluations(),
+		Explored:    ev.Explored(),
+		Quarantined: ev.QuarantinedCount(),
+	}
+	for _, m := range front {
+		crowding := m.Crowding
+		if math.IsInf(crowding, 1) {
+			crowding = -1 // objective-extreme member; keep the JSON finite
+		}
+		out.Front = append(out.Front, FrontPoint{
+			Found:    true,
+			Best:     bestOf(m.Eval),
+			Crowding: fin(crowding),
+		})
+	}
 	return out, nil
 }

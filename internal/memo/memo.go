@@ -263,6 +263,35 @@ func (s *Store) HasDisk() bool {
 	return s.disk != nil
 }
 
+// Range calls fn for every cached entry whose key starts with prefix,
+// until fn returns false. The iteration order is unspecified (callers
+// needing a canonical order must impose one on what they collect). The
+// matching entries are snapshotted under the lock and fn runs outside
+// it, so fn may call back into the store; values written after the
+// snapshot are not visited. This is the corpus-replay iterator: the
+// surrogate trainer walks the "eval:<cfg>|" prefix to learn from every
+// evaluation the store holds, whether computed live or seeded from
+// disk.
+func (s *Store) Range(prefix string, fn func(key string, v any) bool) {
+	s.mu.Lock()
+	type kv struct {
+		k string
+		v any
+	}
+	var snap []kv
+	for k, v := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			snap = append(snap, kv{k, v})
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range snap {
+		if !fn(e.k, e.v) {
+			return
+		}
+	}
+}
+
 // Len returns the number of cached entries.
 func (s *Store) Len() int {
 	s.mu.Lock()

@@ -1,0 +1,183 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// f is a smooth 2-D test objective with a single basin.
+func f(x, y float64) float64 {
+	return (x-3)*(x-3) + 0.5*(y+1)*(y+1)
+}
+
+func trainGrid(m *Model) {
+	for i := -5; i <= 5; i++ {
+		for j := -5; j <= 5; j++ {
+			m.Add([]float64{float64(i), float64(j)}, f(float64(i), float64(j)))
+		}
+	}
+}
+
+func TestPredictExactRecall(t *testing.T) {
+	m := New(4)
+	trainGrid(m)
+	mean, sigma, ok := m.Predict([]float64{3, -1})
+	if !ok {
+		t.Fatal("model not ready after 121 samples")
+	}
+	if mean != f(3, -1) {
+		t.Fatalf("exact training point: mean=%g want %g", mean, f(3, -1))
+	}
+	if sigma != 0 {
+		t.Fatalf("exact training point: sigma=%g want 0", sigma)
+	}
+}
+
+func TestPredictInterpolatesSmoothObjective(t *testing.T) {
+	m := New(4)
+	trainGrid(m)
+	mean, sigma, ok := m.Predict([]float64{2.5, -0.5})
+	if !ok {
+		t.Fatal("model not ready")
+	}
+	want := f(2.5, -0.5)
+	if math.Abs(mean-want) > 1.5 {
+		t.Fatalf("interpolation off: mean=%g want ~%g", mean, want)
+	}
+	if sigma <= 0 {
+		t.Fatalf("off-grid query must carry uncertainty, got sigma=%g", sigma)
+	}
+}
+
+func TestPredictRanksBasinFirst(t *testing.T) {
+	m := New(4)
+	trainGrid(m)
+	nearMean, _, _ := m.Predict([]float64{3.2, -0.8})
+	farMean, _, _ := m.Predict([]float64{-4.5, 4.5})
+	if nearMean >= farMean {
+		t.Fatalf("basin query predicted worse than rim: %g vs %g", nearMean, farMean)
+	}
+}
+
+func TestNotReadyBeforeK(t *testing.T) {
+	m := New(5)
+	for i := 0; i < 4; i++ {
+		m.Add([]float64{float64(i)}, float64(i))
+	}
+	if m.Ready() {
+		t.Fatal("Ready with fewer than k samples")
+	}
+	if _, _, ok := m.Predict([]float64{0}); ok {
+		t.Fatal("Predict ok with fewer than k samples")
+	}
+	m.Add([]float64{9}, 9)
+	if !m.Ready() {
+		t.Fatal("not Ready at k samples")
+	}
+}
+
+func TestNonFiniteObjectivesIgnored(t *testing.T) {
+	m := New(2)
+	m.Add([]float64{0}, math.Inf(1))
+	m.Add([]float64{1}, math.NaN())
+	if m.Len() != 0 {
+		t.Fatalf("non-finite samples stored: Len=%d", m.Len())
+	}
+}
+
+func TestDuplicateFeaturesCollapse(t *testing.T) {
+	m := New(2)
+	m.Add([]float64{1, 2}, 3)
+	m.Add([]float64{1, 2}, 3)
+	m.Add([]float64{1, 2}, 3)
+	if m.Len() != 1 {
+		t.Fatalf("duplicates not collapsed: Len=%d", m.Len())
+	}
+}
+
+// TestPredictionOrderIndependent is the determinism contract: two
+// models trained on the same sample set in different insertion orders
+// must predict bit-identically.
+func TestPredictionOrderIndependent(t *testing.T) {
+	type s struct {
+		x []float64
+		y float64
+	}
+	var samples []s
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 60; i++ {
+		x, y := rng.Float64()*10-5, rng.Float64()*10-5
+		samples = append(samples, s{[]float64{x, y}, f(x, y)})
+	}
+	a, b := New(6), New(6)
+	for _, sm := range samples {
+		a.Add(sm.x, sm.y)
+	}
+	perm := rng.Perm(len(samples))
+	for _, i := range perm {
+		b.Add(samples[i].x, samples[i].y)
+	}
+	for q := 0; q < 50; q++ {
+		x := []float64{rng.Float64()*12 - 6, rng.Float64()*12 - 6}
+		am, as, aok := a.Predict(x)
+		bm, bs, bok := b.Predict(x)
+		if am != bm || as != bs || aok != bok {
+			t.Fatalf("order-dependent prediction at %v: (%g,%g,%v) vs (%g,%g,%v)",
+				x, am, as, aok, bm, bs, bok)
+		}
+	}
+}
+
+// TestConcurrentTrainAndPredict exercises the lock under the race
+// detector and re-checks set-determinism after a concurrent build.
+func TestConcurrentTrainAndPredict(t *testing.T) {
+	m := New(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				x := float64(i%10) - 5
+				y := float64((i*w)%10) - 5
+				m.Add([]float64{x, y}, f(x, y))
+				m.Predict([]float64{rng.Float64(), rng.Float64()})
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Sequential reference holding the same sample set.
+	ref := New(4)
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 50; i++ {
+			x := float64(i%10) - 5
+			y := float64((i*w)%10) - 5
+			ref.Add([]float64{x, y}, f(x, y))
+		}
+	}
+	if m.Len() != ref.Len() {
+		t.Fatalf("sample sets differ: %d vs %d", m.Len(), ref.Len())
+	}
+	for q := 0; q < 20; q++ {
+		x := []float64{float64(q)/3 - 3, float64(q)/4 - 2}
+		am, as, _ := m.Predict(x)
+		bm, bs, _ := ref.Predict(x)
+		if am != bm || as != bs {
+			t.Fatalf("concurrent build diverged at %v: (%g,%g) vs (%g,%g)", x, am, as, bm, bs)
+		}
+	}
+}
+
+func TestLCB(t *testing.T) {
+	if got := LCB(10, 2, 1.5); got != 7 {
+		t.Fatalf("LCB(10,2,1.5)=%g want 7", got)
+	}
+	// Higher uncertainty must rank better (lower) at equal mean: that
+	// is what keeps unexplored regions reachable.
+	if LCB(5, 3, 1) >= LCB(5, 1, 1) {
+		t.Fatal("LCB does not favor uncertainty")
+	}
+}

@@ -130,21 +130,30 @@ func (s HistogramSnapshot) Mean() float64 {
 }
 
 // Quantile returns the q-quantile (q in [0,1]) estimated from the
-// sample reservoir — 0 when the histogram is empty or the selected
-// sample is non-finite, never NaN.
+// sample reservoir by linear rank interpolation (the R-7 estimator) —
+// 0 when the histogram is empty or the selected samples are
+// non-finite, never NaN. Interpolation keeps nearby quantiles
+// distinguishable at small sample counts, where the nearest-rank
+// estimator collapses p95, p99, and max onto the same order statistic
+// (at n=12, ceil(0.95*12) and ceil(0.99*12) are both the last rank).
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	n := len(s.sorted)
 	if n == 0 || math.IsNaN(q) {
 		return 0
 	}
-	idx := int(math.Ceil(q*float64(n))) - 1
-	if idx < 0 {
-		idx = 0
+	if q < 0 {
+		q = 0
 	}
-	if idx >= n {
-		idx = n - 1
+	if q > 1 {
+		q = 1
 	}
-	return finiteOr0(s.sorted[idx])
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return finiteOr0(s.sorted[n-1])
+	}
+	frac := pos - float64(lo)
+	return finiteOr0(s.sorted[lo] + frac*(s.sorted[lo+1]-s.sorted[lo]))
 }
 
 // finiteOr0 clamps non-finite values to 0 — the exposition layer's

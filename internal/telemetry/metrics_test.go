@@ -81,12 +81,32 @@ func TestHistogramQuantiles(t *testing.T) {
 	if m := s.Mean(); math.Abs(m-50.5) > 1e-9 {
 		t.Errorf("mean = %g, want 50.5", m)
 	}
+	// R-7 interpolation: position q*(n-1) between the order statistics.
 	for _, tc := range []struct{ q, want float64 }{
-		{0.50, 50}, {0.95, 95}, {0.99, 99}, {1.0, 100},
+		{0.50, 50.5}, {0.95, 95.05}, {0.99, 99.01}, {1.0, 100},
 	} {
-		if got := s.Quantile(tc.q); got != tc.want {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
 			t.Errorf("q%.2f = %g, want %g", tc.q, got, tc.want)
 		}
+	}
+}
+
+// TestQuantileSmallSampleDistinct is the small-N regression: with 12
+// samples (a tesa-load leg), nearest-rank p95, p99, and max all landed
+// on the last order statistic; interpolation keeps them distinct and
+// strictly ordered.
+func TestQuantileSmallSampleDistinct(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 12; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	p50, p95, p99, max := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), s.Quantile(1)
+	if !(p50 < p95 && p95 < p99 && p99 < max) {
+		t.Errorf("small-N quantiles collapsed: p50=%g p95=%g p99=%g max=%g", p50, p95, p99, max)
+	}
+	if max != 12 {
+		t.Errorf("q1 = %g, want the max sample", max)
 	}
 }
 

@@ -172,11 +172,13 @@ type StageStats struct {
 	// Stats is the stage's latency histogram (seconds).
 	Stats telemetry.HistogramStats
 	// SelfFrac is the stage's share of the summed self time of all
-	// stages; CumFrac is its share of the end-to-end pipeline.total
-	// time (they differ when stages overlap cached evaluations, or
-	// when pipeline.total was never observed — CumFrac is then 0).
-	// Simulation spans always report CumFrac 0: they run outside the
-	// evaluation pipeline that pipeline.total measures.
+	// stages; CumFrac is its share of the end-to-end total its stage
+	// family belongs to (they differ when stages overlap cached
+	// evaluations, or when the total was never observed — CumFrac is
+	// then 0). Evaluation stages report against pipeline.total;
+	// simulation spans run outside the evaluation pipeline, so they
+	// report against the summed "sim." span time instead — each family
+	// sums to at most 1 against its own total.
 	SelfFrac float64
 	CumFrac  float64
 }
@@ -195,13 +197,14 @@ const (
 // throttle events) are a separate axis — see SimTallies.
 func (s *Summary) Stages() []StageStats {
 	var out []StageStats
-	var selfSum float64
+	var selfSum, simSum float64
 	for name, h := range s.Metrics.Histograms {
 		switch {
 		case strings.HasPrefix(name, stagePrefix):
 			out = append(out, StageStats{Name: strings.TrimPrefix(name, stagePrefix), Stats: h})
 		case strings.HasPrefix(name, simPrefix):
 			out = append(out, StageStats{Name: name, Stats: h})
+			simSum += h.Sum
 		default:
 			continue
 		}
@@ -212,9 +215,14 @@ func (s *Summary) Stages() []StageStats {
 		if selfSum > 0 {
 			out[i].SelfFrac = out[i].Stats.Sum / selfSum
 		}
-		// Sim spans are not part of the evaluation pipeline, so a share
-		// of pipeline.total would exceed 100% and mean nothing.
-		if pipeSum > 0 && !strings.HasPrefix(out[i].Name, simPrefix) {
+		// Sim spans are not part of the evaluation pipeline — a share of
+		// pipeline.total would exceed 100% and mean nothing — so they
+		// report against their own family's summed span time.
+		if strings.HasPrefix(out[i].Name, simPrefix) {
+			if simSum > 0 {
+				out[i].CumFrac = out[i].Stats.Sum / simSum
+			}
+		} else if pipeSum > 0 {
 			out[i].CumFrac = out[i].Stats.Sum / pipeSum
 		}
 	}
@@ -247,8 +255,10 @@ func rate(name string, hits, misses int64) Rate {
 
 // Effectiveness summarizes the caching and fast-path counters of a run:
 // evaluator cache, cross-point memo (aggregated over result kinds),
-// thermal warm starts, and the surrogate pre-screen (a "hit" is a
-// candidate screened out without a grid solve).
+// thermal warm starts, the surrogate pre-screen (a "hit" is a candidate
+// screened out without a grid solve), and the learned ranking surrogate
+// (a "hit" is a search decision made by a warm model, a "miss" a cold
+// fallback to the unranked path).
 func (s *Summary) Effectiveness() []Rate {
 	c := s.Metrics.Counters
 	var memoHit, memoMiss int64
@@ -266,6 +276,7 @@ func (s *Summary) Effectiveness() []Rate {
 		rate("memo store", memoHit, memoMiss),
 		rate("thermal warm start", c["thermal.warmstart.hit"], c["thermal.warmstart.miss"]),
 		rate("surrogate pre-screen", skips, c["thermal.surrogate.fallthrough"]),
+		rate("surrogate ranking", c["surrogate.hit"], c["surrogate.miss"]),
 	}
 	out := rates[:0]
 	for _, r := range rates {
